@@ -1,0 +1,229 @@
+// Benchmarks regenerating the paper's tables and figures (one bench
+// per artifact; `go test -bench=. -benchmem`) plus ablation benches
+// for the design choices DESIGN.md calls out: simplex pivot rules,
+// aggregated vs enumerated scheduling, admission strategies, and
+// greedy vs optimal failure recovery.
+package main
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bate/internal/alloc"
+	"bate/internal/bate"
+	"bate/internal/demand"
+	"bate/internal/experiments"
+	"bate/internal/lp"
+	"bate/internal/routing"
+	"bate/internal/sim"
+	"bate/internal/topo"
+)
+
+// benchOpts shrinks every experiment to benchmark scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Seed: 1, Repeats: 2}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1Targets(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFig1Weibull(b *testing.B)             { benchExperiment(b, "fig1") }
+func BenchmarkFig2Motivating(b *testing.B)          { benchExperiment(b, "fig2") }
+func BenchmarkTable3Scheduling(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkFig7Admission(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig8BwRatioCDF(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9Availability(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10LinkFailures(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11DataLoss(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFig12AdmissionSim(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13Satisfaction(b *testing.B)       { benchExperiment(b, "fig13") }
+func BenchmarkFig14FixedAdmission(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkFig15ProfitAfterFailure(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16Pruning(b *testing.B)            { benchExperiment(b, "fig16") }
+func BenchmarkFig17SchedulingTime(b *testing.B)     { benchExperiment(b, "fig17") }
+func BenchmarkFig18Routing(b *testing.B)            { benchExperiment(b, "fig18") }
+func BenchmarkFig19Approx(b *testing.B)             { benchExperiment(b, "fig19") }
+func BenchmarkFig20FailureTime(b *testing.B)        { benchExperiment(b, "fig20") }
+
+// --- Ablation benches ---
+
+// randomLP builds a dense feasible LP for the pivot-rule ablation.
+func randomLP(n, m int, seed int64) *lp.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := lp.NewProblem()
+	p.SetMaximize()
+	vars := make([]lp.VarID, n)
+	x0 := make([]float64, n)
+	for j := range vars {
+		x0[j] = rng.Float64() * 10
+		vars[j] = p.AddVariable("x", 0, math.Inf(1), rng.Float64())
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]lp.Term, n)
+		rhs := 0.0
+		for j := 0; j < n; j++ {
+			c := rng.Float64()
+			terms[j] = lp.Term{Var: vars[j], Coef: c}
+			rhs += c * x0[j]
+		}
+		p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.LE, RHS: rhs})
+	}
+	return p
+}
+
+func benchPivot(b *testing.B, rule lp.PivotRule) {
+	p := randomLP(60, 40, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveOpts(lp.Options{Pivot: rule}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplexPivotDantzig(b *testing.B) { benchPivot(b, lp.Dantzig) }
+func BenchmarkSimplexPivotBland(b *testing.B)   { benchPivot(b, lp.Bland) }
+
+// benchScheduleInput builds a moderate scheduling instance on the
+// testbed.
+func benchScheduleInput() *alloc.Input {
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	rng := rand.New(rand.NewSource(3))
+	gen := demand.NewGenerator(n, demand.GeneratorConfig{
+		ArrivalsPerMinute: 0.05, MeanDurationSec: 1e9, // all demands concurrent
+		MinBandwidth: 20, MaxBandwidth: 60,
+		Targets: []float64{0.95, 0.99, 0.999},
+	}, rng)
+	demands := gen.Generate(3600)
+	return &alloc.Input{Net: n, Tunnels: ts, Demands: demands}
+}
+
+func BenchmarkScheduleAggregated(b *testing.B) {
+	in := benchScheduleInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bate.Schedule(in, bate.ScheduleOptions{MaxFail: 2, Mode: bate.Aggregated}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleEnumerated(b *testing.B) {
+	in := benchScheduleInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bate.Schedule(in, bate.ScheduleOptions{MaxFail: 1, Mode: bate.Enumerated}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Admission-strategy ablation: decision latency of the three §3.2
+// strategies on the same state.
+func benchAdmission(b *testing.B, decide func(*alloc.Input, []*demand.Demand, *demand.Demand) error) {
+	in := benchScheduleInput()
+	admitted := in.Demands[:len(in.Demands)-1]
+	newcomer := in.Demands[len(in.Demands)-1]
+	state := &alloc.Input{Net: in.Net, Tunnels: in.Tunnels, Demands: admitted}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := decide(state, admitted, newcomer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdmissionFixed(b *testing.B) {
+	benchAdmission(b, func(in *alloc.Input, _ []*demand.Demand, d *demand.Demand) error {
+		_, err := bate.AdmitFixed(in, alloc.New(in), d, 2)
+		return err
+	})
+}
+
+func BenchmarkAdmissionConjecture(b *testing.B) {
+	benchAdmission(b, func(in *alloc.Input, admitted []*demand.Demand, d *demand.Demand) error {
+		bate.Conjecture(in, append(append([]*demand.Demand(nil), admitted...), d))
+		return nil
+	})
+}
+
+func BenchmarkAdmissionOptimal(b *testing.B) {
+	benchAdmission(b, func(in *alloc.Input, admitted []*demand.Demand, d *demand.Demand) error {
+		_, _, err := bate.AdmitOptimal(in, admitted, d, 1)
+		return err
+	})
+}
+
+// Recovery ablation: greedy 2-approximation vs the exact MILP.
+func benchRecoveryInput() (*alloc.Input, topo.LinkID) {
+	in := benchScheduleInput()
+	return in, topo.LinkID(6) // L4, the flakiest fiber
+}
+
+func BenchmarkRecoveryGreedy(b *testing.B) {
+	in, link := benchRecoveryInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bate.RecoverGreedy(in, []topo.LinkID{link}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryOptimal(b *testing.B) {
+	in, link := benchRecoveryInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bate.RecoverOptimal(in, []topo.LinkID{link}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Backup precomputation across every single-link failure (§3.4).
+func BenchmarkBackupPrecompute(b *testing.B) {
+	in := benchScheduleInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bate.Backups(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end time simulation throughput (simulated seconds per run).
+func BenchmarkTimeSimSecond(b *testing.B) {
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	rng := rand.New(rand.NewSource(5))
+	gen := demand.NewGenerator(n, demand.GeneratorConfig{ArrivalsPerMinute: 0.1}, rng)
+	workload := gen.Generate(120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunTimeSim(sim.TimeSimConfig{
+			Net: n, Tunnels: ts, Workload: workload,
+			HorizonSec: 120, TE: sim.TEConfig{Kind: sim.KindBATE},
+			Admission: sim.AdmitBATE, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

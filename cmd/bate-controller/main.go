@@ -1,0 +1,114 @@
+// Command bate-controller runs the central BATE controller (§4): it
+// listens for broker and client connections, admits BA demands in near
+// real time, reschedules periodically and precomputes failure backups.
+//
+// Usage:
+//
+//	bate-controller -listen :7001 -topology Testbed6 -period 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"bate/internal/controller"
+	"bate/internal/paxos"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+func main() {
+	listen := flag.String("listen", ":7001", "listen address")
+	topoName := flag.String("topology", "Testbed6", "built-in topology name or topology file path")
+	period := flag.Duration("period", 10*time.Second, "online scheduler period")
+	maxFail := flag.Int("maxfail", 2, "scenario pruning depth y")
+	k := flag.Int("k", 4, "tunnels per pair (k-shortest paths)")
+	replicaID := flag.Int("replica", 0, "replica id for master election (0 = standalone)")
+	electPeers := flag.String("peers", "", "election peers as id=host:port,... (includes self)")
+	electListen := flag.String("election-listen", "", "election listen address (required with -replica)")
+	flag.Parse()
+
+	net0, err := topo.Resolve(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunnels := routing.Compute(net0, routing.KShortest, *k)
+	ctrl, err := controller.New(controller.Config{
+		Net: net0, Tunnels: tunnels, MaxFail: *maxFail, SchedulePeriod: *period,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("bate-controller: %s on %s, scheduling every %v", net0, ln.Addr(), *period)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *replicaID > 0 {
+		peers, err := parsePeers(*electPeers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *electListen == "" {
+			log.Fatal("bate-controller: -election-listen is required with -replica")
+		}
+		eln, err := net.Listen("tcp", *electListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elector, err := controller.NewElector(paxos.NodeID(*replicaID), peers, *listen, log.Printf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		leader, err := elector.Run(ctx, eln)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !elector.IsLeader() {
+			log.Printf("bate-controller: replica %d standing by; master is %s", *replicaID, leader)
+			<-ctx.Done()
+			return
+		}
+		log.Printf("bate-controller: replica %d elected master", *replicaID)
+	}
+
+	if err := ctrl.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parsePeers parses "1=host:port,2=host:port" into the election map.
+func parsePeers(s string) (map[paxos.NodeID]string, error) {
+	peers := make(map[paxos.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bate-controller: bad peer %q (want id=addr)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil || id <= 0 {
+			return nil, fmt.Errorf("bate-controller: bad peer id %q", kv[0])
+		}
+		peers[paxos.NodeID(id)] = kv[1]
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("bate-controller: -peers is required with -replica")
+	}
+	return peers, nil
+}

@@ -1,0 +1,114 @@
+// Command batectl submits BA demands to a running controller and
+// withdraws them.
+//
+// Usage:
+//
+//	batectl -controller localhost:7001 submit -src DC1 -dst DC4 -bw 500 -target 0.999
+//	batectl -controller localhost:7001 withdraw -id 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bate/internal/wire"
+)
+
+func main() {
+	addr := flag.String("controller", "localhost:7001", "controller address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	conn, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client"}}); err != nil {
+		log.Fatal(err)
+	}
+
+	switch args[0] {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		src := fs.String("src", "", "source DC")
+		dst := fs.String("dst", "", "destination DC")
+		bw := fs.Float64("bw", 0, "bandwidth (Mbps)")
+		target := fs.Float64("target", 0.99, "availability target (fraction)")
+		charge := fs.Float64("charge", 0, "charge (default: 1 per Mbps)")
+		refund := fs.Float64("refund", 0.10, "refund fraction on SLA violation")
+		fs.Parse(args[1:])
+		if *charge == 0 {
+			*charge = *bw
+		}
+		err := conn.Send(&wire.Message{Type: wire.TypeSubmit, Submit: &wire.Submit{
+			Src: *src, Dst: *dst, Bandwidth: *bw, Target: *target,
+			Charge: *charge, RefundFrac: *refund,
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reply.AdmitResult == nil {
+			log.Fatalf("unexpected reply: %+v", reply)
+		}
+		r := reply.AdmitResult
+		if r.Admitted {
+			fmt.Printf("admitted: id=%d method=%s delay=%.2fms\n", r.DemandID, r.Method, r.DelayMs)
+		} else {
+			fmt.Printf("rejected: method=%s delay=%.2fms\n", r.Method, r.DelayMs)
+			os.Exit(1)
+		}
+	case "status":
+		if err := conn.Send(&wire.Message{Type: wire.TypeStatus}); err != nil {
+			log.Fatal(err)
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if reply.Status == nil {
+			log.Fatalf("unexpected reply: %+v", reply)
+		}
+		fmt.Printf("epoch %d, %d demands\n", reply.Status.Epoch, len(reply.Status.Demands))
+		for _, d := range reply.Status.Demands {
+			met := "MET"
+			if d.Achieved < d.Target {
+				met = "AT RISK"
+			}
+			fmt.Printf("  id=%d %s->%s %.0f Mbps target=%.4g%% achieved=%.4g%% allocated=%.0f Mbps %s\n",
+				d.DemandID, d.Src, d.Dst, d.Bandwidth, d.Target*100, d.Achieved*100, d.Allocated, met)
+		}
+	case "withdraw":
+		fs := flag.NewFlagSet("withdraw", flag.ExitOnError)
+		id := fs.Int("id", -1, "demand id")
+		fs.Parse(args[1:])
+		if *id < 0 {
+			log.Fatal("batectl: -id is required")
+		}
+		if err := conn.Send(&wire.Message{Type: wire.TypeWithdraw, WithdrawID: *id}); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := conn.Recv(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("withdrawn: id=%d\n", *id)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  batectl [-controller addr] submit -src DC1 -dst DC4 -bw 500 [-target 0.999] [-charge N] [-refund 0.1]
+  batectl [-controller addr] status
+  batectl [-controller addr] withdraw -id N`)
+	os.Exit(2)
+}

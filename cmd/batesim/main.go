@@ -1,0 +1,181 @@
+// Command batesim runs standalone simulations: the per-second
+// testbed-style emulation (§5.1) or the event-driven large-scale
+// simulation (§5.2), for any built-in topology and TE scheme.
+//
+// Usage:
+//
+//	batesim -mode time  -topology Testbed6 -te BATE -horizon 600 -rate 2
+//	batesim -mode event -topology B4 -te TEAVAR -admission none -rate 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"bate/internal/alloc"
+	"bate/internal/bate"
+	"bate/internal/demand"
+	"bate/internal/metrics"
+	"bate/internal/routing"
+	"bate/internal/sim"
+	"bate/internal/topo"
+)
+
+func parseTE(s string) (sim.TEKind, error) {
+	for _, k := range sim.AllKinds() {
+		if strings.EqualFold(k.String(), s) {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown TE scheme %q", s)
+}
+
+func parseAdmission(s string) (sim.AdmissionMode, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return sim.AdmitNone, nil
+	case "fixed":
+		return sim.AdmitFixedOnly, nil
+	case "bate":
+		return sim.AdmitBATE, nil
+	case "opt", "optimal":
+		return sim.AdmitOptimal, nil
+	}
+	return 0, fmt.Errorf("unknown admission mode %q", s)
+}
+
+func main() {
+	mode := flag.String("mode", "time", "time (per-second §5.1), event (§5.2), or prices (link shadow prices)")
+	topoName := flag.String("topology", "Testbed6", "built-in topology name or topology file path")
+	teName := flag.String("te", "BATE", "TE scheme: BATE, FFC, TEAVAR, SWAN, SMORE, B4")
+	admName := flag.String("admission", "bate", "admission: none, fixed, bate, opt")
+	horizon := flag.Float64("horizon", 600, "simulated seconds")
+	rate := flag.Float64("rate", 0.2, "Poisson arrivals per minute per s-d pair")
+	durMean := flag.Float64("duration", 300, "mean demand duration (s)")
+	bwMin := flag.Float64("bwmin", 10, "min demand bandwidth (Mbps)")
+	bwMax := flag.Float64("bwmax", 50, "max demand bandwidth (Mbps)")
+	maxFail := flag.Int("maxfail", 2, "scenario pruning depth y")
+	seed := flag.Int64("seed", 1, "random seed")
+	workloadIn := flag.String("workload", "", "load the workload from a JSON file instead of generating")
+	traceIn := flag.String("trace", "", "replay a link failure trace file (time mode)")
+	workloadOut := flag.String("save-workload", "", "write the generated workload to a JSON file")
+	flag.Parse()
+
+	net0, err := topo.Resolve(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := parseTE(*teName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adm, err := parseAdmission(*admName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunnels := routing.Compute(net0, routing.KShortest, 4)
+	var workload []*demand.Demand
+	if *workloadIn != "" {
+		f, err := os.Open(*workloadIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workload, err = demand.Load(f, net0)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		gen := demand.NewGenerator(net0, demand.GeneratorConfig{
+			ArrivalsPerMinute: *rate,
+			MeanDurationSec:   *durMean,
+			MinBandwidth:      *bwMin,
+			MaxBandwidth:      *bwMax,
+			Targets:           demand.TestbedTargets,
+		}, rng)
+		workload = gen.Generate(*horizon)
+	}
+	if *workloadOut != "" {
+		f, err := os.Create(*workloadOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := demand.Save(f, net0, workload); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("batesim: wrote %d demands to %s", len(workload), *workloadOut)
+	}
+	fmt.Printf("batesim: %s, %s TE, %s admission, %d demands over %.0fs\n",
+		net0, kind, adm, len(workload), *horizon)
+
+	var trace []sim.FailureEvent
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err = sim.ParseTrace(f, net0)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch *mode {
+	case "time":
+		res, err := sim.RunTimeSim(sim.TimeSimConfig{
+			Net: net0, Tunnels: tunnels, Workload: workload,
+			HorizonSec: *horizon, ScheduleEverySec: 60,
+			TE:        sim.TEConfig{Kind: kind, MaxFail: *maxFail},
+			Admission: adm, MaxFail: *maxFail, Seed: *seed, Trace: trace,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("arrived=%d admitted=%d rejected=%d\n", res.Arrived, res.Admitted, res.Rejected)
+		fmt.Printf("satisfaction=%.2f%% loss=%.4f%% profit=%.0f/%.0f\n",
+			res.SatisfactionRatio()*100, res.LossRatio*100, res.Profit, res.FullCharge)
+		fmt.Printf("mean admission delay=%.2fms\n", metrics.Mean(res.AdmissionDelaysSec)*1000)
+	case "event":
+		res, err := sim.RunEventSim(sim.EventSimConfig{
+			Net: net0, Tunnels: tunnels, Workload: workload,
+			HorizonSec: *horizon, ScheduleEverySec: 120,
+			TE:        sim.TEConfig{Kind: kind, MaxFail: *maxFail},
+			Admission: adm, MaxFail: *maxFail, ProfitSamples: 1, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("arrived=%d admitted=%d rejected=%d\n", res.Arrived, res.Admitted, res.Rejected)
+		fmt.Printf("satisfaction=%.2f%% mean-util=%.2f%% mean-profit-after-failure=%.2f%%\n",
+			res.SatisfactionRatio()*100, res.MeanUtilization()*100,
+			metrics.Mean(res.ProfitRatios)*100)
+	case "prices":
+		// Treat the whole workload as concurrently active and price
+		// every link's capacity at the scheduling optimum.
+		in := &alloc.Input{Net: net0, Tunnels: tunnels, Demands: workload}
+		prices, err := bate.LinkPrices(in, bate.ScheduleOptions{MaxFail: *maxFail})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := metrics.NewTable("link", "capacity (Mbps)", "shadow price")
+		for _, l := range net0.Links() {
+			t.AddRow(
+				fmt.Sprintf("%s->%s", net0.NodeName(l.Src), net0.NodeName(l.Dst)),
+				fmt.Sprintf("%.0f", l.Capacity),
+				fmt.Sprintf("%.4f", prices[l.ID]),
+			)
+		}
+		fmt.Print(t.String())
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,67 @@
+// Simulation: a scaled-down §5.2 run — Poisson BA demands on Google's
+// B4 topology, scheduled by all six TE schemes, with satisfaction
+// computed by post-processing over failure scenarios (the Fig. 13
+// methodology).
+//
+// Run with: go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"bate/internal/demand"
+	"bate/internal/pricing"
+	"bate/internal/routing"
+	"bate/internal/sim"
+	"bate/internal/topo"
+)
+
+func main() {
+	network := topo.B4()
+	tunnels := routing.Compute(network, routing.KShortest, 4)
+	fmt.Printf("simulating on %s\n", network)
+
+	// Poisson arrivals across all 132 pairs; targets from the §5.2 set;
+	// refunds from the Azure service SLAs.
+	var refunds []demand.RefundChoice
+	for _, s := range pricing.AzureServices {
+		refunds = append(refunds, demand.RefundChoice{Service: s.Name, Frac: s.FirstTierCredit()})
+	}
+	rng := rand.New(rand.NewSource(42))
+	gen := demand.NewGenerator(network, demand.GeneratorConfig{
+		ArrivalsPerMinute: 2.0 / float64(len(network.Pairs())), // ≈2 arrivals/min network-wide
+		MeanDurationSec:   600,
+		MinBandwidth:      50, MaxBandwidth: 400,
+		Targets: demand.SimulationTargets,
+		Refunds: refunds,
+	}, rng)
+	const horizon = 2400.0
+	workload := gen.Generate(horizon)
+	fmt.Printf("%d demands over %.0f minutes\n\n", len(workload), horizon/60)
+
+	fmt.Printf("%-8s %-10s %-14s %-10s %s\n", "scheme", "admitted", "satisfaction", "mean util", "profit after failure")
+	for _, kind := range sim.AllKinds() {
+		adm := sim.AdmitNone
+		if kind == sim.KindBATE {
+			adm = sim.AdmitBATE // BATE brings its own admission control
+		}
+		res, err := sim.RunEventSim(sim.EventSimConfig{
+			Net: network, Tunnels: tunnels, Workload: workload,
+			HorizonSec: horizon, ScheduleEverySec: 600,
+			TE:        sim.TEConfig{Kind: kind, TEAVARBeta: 0.999},
+			Admission: adm, MaxFail: 2, ProfitSamples: 2, Seed: 42,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", kind, err)
+		}
+		profit := 0.0
+		for _, pr := range res.ProfitRatios {
+			profit += pr / float64(len(res.ProfitRatios))
+		}
+		fmt.Printf("%-8v %3d/%-6d %13.2f%% %9.2f%% %18.2f%%\n",
+			kind, res.Admitted, res.Arrived,
+			res.SatisfactionRatio()*100, res.MeanUtilization()*100, profit*100)
+	}
+}

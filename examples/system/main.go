@@ -1,0 +1,121 @@
+// System: the full §4 deployment in one process — a central controller
+// and six per-DC brokers talking over real localhost TCP sessions. A
+// client submits demands, the controller admits and pushes label-based
+// allocations, a broker reports a link failure, and the precomputed
+// backup activates.
+//
+// Run with: go run ./examples/system
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"bate/internal/broker"
+	"bate/internal/controller"
+	"bate/internal/routing"
+	"bate/internal/topo"
+	"bate/internal/wire"
+)
+
+func main() {
+	network := topo.Testbed()
+	tunnels := routing.Compute(network, routing.KShortest, 4)
+
+	ctrl, err := controller.New(controller.Config{
+		Net: network, Tunnels: tunnels, MaxFail: 2,
+		SchedulePeriod: 2 * time.Second,
+		Logf:           func(string, ...interface{}) {}, // quiet
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ctrl.Serve(ctx, ln)
+	fmt.Printf("controller listening on %s\n", ln.Addr())
+
+	// One broker per datacenter, each with its own TCP session.
+	brokers := make(map[string]*broker.Broker)
+	for i := 0; i < network.NumNodes(); i++ {
+		dc := network.NodeName(topo.NodeID(i))
+		b := broker.New(dc, ln.Addr().String())
+		b.SetLogf(func(string, ...interface{}) {})
+		brokers[dc] = b
+		go b.Run(ctx)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// A client submits three demands with heterogeneous targets.
+	client, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	client.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client"}})
+
+	submit := func(src, dst string, bw, target float64) int {
+		client.Send(&wire.Message{Type: wire.TypeSubmit, Submit: &wire.Submit{
+			Src: src, Dst: dst, Bandwidth: bw, Target: target, Charge: bw, RefundFrac: 0.1,
+		}})
+		reply, err := client.Recv()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := reply.AdmitResult
+		fmt.Printf("submit %s→%s %.0f Mbps @%.4g%%: admitted=%v method=%s delay=%.2fms\n",
+			src, dst, bw, target*100, r.Admitted, r.Method, r.DelayMs)
+		return r.DemandID
+	}
+	submit("DC1", "DC3", 1000, 0.995)
+	submit("DC1", "DC4", 500, 0.999)
+	id3 := submit("DC1", "DC5", 1500, 0.95)
+
+	// Let the periodic scheduler run once (it also precomputes the
+	// per-link failure backups).
+	if err := ctrl.Reschedule(); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	for _, dc := range []string{"DC1", "DC2", "DC4"} {
+		fmt.Printf("broker %s: %d forwarding entries installed (epoch %d)\n",
+			dc, brokers[dc].NumEntries(), brokers[dc].Epoch())
+	}
+
+	// DC1's network agent observes the direct DC1-DC4 fiber failing;
+	// the controller activates the precomputed backup immediately.
+	fmt.Println("\nDC1 reports link DC1→DC4 DOWN")
+	_, before := ctrl.Snapshot()
+	brokers["DC1"].ReportLink("DC1", "DC4", false)
+	waitEpoch(ctrl, before)
+	fmt.Println("backup allocation pushed to brokers")
+
+	fmt.Println("DC1 reports link DC1→DC4 UP")
+	_, mid := ctrl.Snapshot()
+	brokers["DC1"].ReportLink("DC1", "DC4", true)
+	waitEpoch(ctrl, mid)
+	fmt.Println("scheduled allocation restored")
+
+	// Withdraw one demand; capacity is released for future arrivals.
+	client.Send(&wire.Message{Type: wire.TypeWithdraw, WithdrawID: id3})
+	client.Recv()
+	nd, _ := ctrl.Snapshot()
+	fmt.Printf("\nwithdrew demand %d; controller now holds %d demands\n", id3, nd)
+}
+
+func waitEpoch(ctrl *controller.Controller, after uint64) {
+	for i := 0; i < 100; i++ {
+		if _, e := ctrl.Snapshot(); e > after {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("timed out waiting for allocation push")
+}

@@ -1,0 +1,3 @@
+module bate
+
+go 1.22

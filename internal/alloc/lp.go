@@ -1,0 +1,97 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"bate/internal/lp"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// FlowVars holds the LP variables f^t_d for every (demand, pair,
+// tunnel) triple, in the same shape as Allocation.
+type FlowVars map[int][][]lp.VarID
+
+// AddFlowVars adds one nonnegative variable per (demand, pair, tunnel)
+// to p and the per-link capacity constraints (Eq. 6) using the given
+// per-link capacities. Tunnels for which usable returns false get a
+// fixed zero upper bound (used by failure recovery, where tunnels
+// through failed links carry nothing). usable may be nil.
+func AddFlowVars(p *lp.Problem, in *Input, caps []float64, usable func(routing.Tunnel) bool) FlowVars {
+	fv, _ := AddFlowVarsIndexed(p, in, caps, usable)
+	return fv
+}
+
+// AddFlowVarsIndexed is AddFlowVars that additionally reports the LP
+// constraint index of each link's capacity row, enabling shadow-price
+// (dual) lookups after the solve. Links carrying no tunnel have no
+// capacity row and are absent from the map.
+func AddFlowVarsIndexed(p *lp.Problem, in *Input, caps []float64, usable func(routing.Tunnel) bool) (FlowVars, map[topo.LinkID]int) {
+	fv := make(FlowVars, len(in.Demands))
+	linkTerms := make([][]lp.Term, in.Net.NumLinks())
+	for _, d := range in.Demands {
+		rows := make([][]lp.VarID, len(d.Pairs))
+		for pi := range d.Pairs {
+			tunnels := in.TunnelsFor(d, pi)
+			rows[pi] = make([]lp.VarID, len(tunnels))
+			for ti, t := range tunnels {
+				upper := math.Inf(1)
+				if usable != nil && !usable(t) {
+					upper = 0
+				}
+				v := p.AddVariable(fmt.Sprintf("f[d%d,p%d,t%d]", d.ID, pi, ti), 0, upper, 0)
+				rows[pi][ti] = v
+				if upper > 0 {
+					for _, e := range t.Links {
+						linkTerms[e] = append(linkTerms[e], lp.Term{Var: v, Coef: 1})
+					}
+				}
+			}
+		}
+		fv[d.ID] = rows
+	}
+	capIdx := make(map[topo.LinkID]int)
+	for _, l := range in.Net.Links() {
+		if len(linkTerms[l.ID]) == 0 {
+			continue
+		}
+		capIdx[l.ID] = p.NumConstraints()
+		p.AddConstraint(lp.Constraint{
+			Name:  fmt.Sprintf("cap[e%d]", l.ID),
+			Terms: linkTerms[l.ID],
+			Op:    lp.LE,
+			RHS:   caps[l.ID],
+		})
+	}
+	return fv, capIdx
+}
+
+// FullCapacities returns the link capacities of the input's network.
+func FullCapacities(in *Input) []float64 {
+	caps := make([]float64, in.Net.NumLinks())
+	for _, l := range in.Net.Links() {
+		caps[l.ID] = l.Capacity
+	}
+	return caps
+}
+
+// Extract reads the solved values of the flow variables into an
+// Allocation, dropping sub-epsilon noise.
+func (fv FlowVars) Extract(sol *lp.Solution) Allocation {
+	a := make(Allocation, len(fv))
+	for id, rows := range fv {
+		nr := make([][]float64, len(rows))
+		for pi, r := range rows {
+			nr[pi] = make([]float64, len(r))
+			for ti, v := range r {
+				x := sol.Value(v)
+				if x > 1e-7 {
+					nr[pi][ti] = x
+				}
+			}
+		}
+		a[id] = nr
+	}
+	return a
+}

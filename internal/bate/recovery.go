@@ -1,0 +1,249 @@
+package bate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bate/internal/alloc"
+	"bate/internal/demand"
+	"bate/internal/lp"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// RecoveryResult is the outcome of a failure-recovery computation for
+// one failure scenario.
+type RecoveryResult struct {
+	// Alloc is the rerouted allocation over surviving tunnels.
+	Alloc alloc.Allocation
+	// FullProfit lists the demand IDs that keep their full profit
+	// (every pair fully served; the set F of Algorithm 2).
+	FullProfit map[int]bool
+	// Profit is Σ r_d under the §3.4 refund model.
+	Profit  float64
+	Elapsed time.Duration
+	// Nodes/Iterations record MILP effort (optimal only).
+	Nodes, Iterations int
+}
+
+// profitOf computes Σ r_d given which demands are fully served.
+func profitOf(demands []*demand.Demand, full map[int]bool) float64 {
+	sum := 0.0
+	for _, d := range demands {
+		if full[d.ID] {
+			sum += d.Charge
+		} else {
+			sum += (1 - d.RefundFrac) * d.Charge
+		}
+	}
+	return sum
+}
+
+// downSet returns a lookup for failed links.
+func downSet(failed []topo.LinkID) map[topo.LinkID]bool {
+	m := make(map[topo.LinkID]bool, len(failed))
+	for _, e := range failed {
+		m[e] = true
+	}
+	return m
+}
+
+// tunnelUsable returns a predicate for tunnels that avoid every failed
+// link (v^z_t).
+func tunnelUsable(failed map[topo.LinkID]bool) func(routing.Tunnel) bool {
+	return func(t routing.Tunnel) bool {
+		for _, e := range t.Links {
+			if failed[e] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// RecoverOptimal solves the failure-recovery MILP of Eq. 12: maximize
+// total profit after refunding, rerouting traffic onto surviving
+// tunnels under the failed-scenario capacities (Eq. 11).
+func RecoverOptimal(in *alloc.Input, failed []topo.LinkID) (*RecoveryResult, error) {
+	start := time.Now()
+	down := downSet(failed)
+	usable := tunnelUsable(down)
+
+	p := lp.NewProblem()
+	p.SetMaximize()
+	caps := alloc.FullCapacities(in)
+	for _, e := range failed {
+		caps[e] = 0
+	}
+	fv := alloc.AddFlowVars(p, in, caps, usable)
+	yv := make(map[int]lp.VarID, len(in.Demands))
+	for _, d := range in.Demands {
+		// y_d = 1 ⇔ no violation; profit g((1-μ) + μ·y). The constant
+		// part is added after solving.
+		y := p.AddBinary(fmt.Sprintf("y[d%d]", d.ID), d.Charge*d.RefundFrac)
+		yv[d.ID] = y
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth <= 0 {
+				continue
+			}
+			tunnels := in.TunnelsFor(d, pi)
+			terms := make([]lp.Term, 0, len(tunnels)+1)
+			for ti, t := range tunnels {
+				if usable(t) {
+					terms = append(terms, lp.Term{Var: fv[d.ID][pi][ti], Coef: 1})
+				}
+			}
+			// R_dk ≥ y_d (Eq. 9, lower side; maximization never wants
+			// y=1 without full delivery, so the big-M upper side is
+			// unnecessary).
+			terms = append(terms, lp.Term{Var: y, Coef: -pr.Bandwidth})
+			p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("bate: optimal recovery: %w", err)
+	}
+	res := &RecoveryResult{
+		Alloc:      fv.Extract(sol),
+		FullProfit: make(map[int]bool),
+		Elapsed:    time.Since(start),
+		Nodes:      sol.Nodes,
+		Iterations: sol.Iterations,
+	}
+	for _, d := range in.Demands {
+		if sol.Value(yv[d.ID]) > 0.5 {
+			res.FullProfit[d.ID] = true
+		}
+	}
+	res.Profit = profitOf(in.Demands, res.FullProfit)
+	return res, nil
+}
+
+// RecoverGreedy implements Algorithm 2, the 2-approximation greedy for
+// the failure-recovery MILP: demands are considered in non-increasing
+// profit density g_d / Σ_k b^k_d; each is fully packed if the
+// scenario's remaining capacity allows; on the first unfittable demand
+// the algorithm either swaps the whole accepted set for that single
+// demand (if it alone is worth more and fits in the fresh scenario
+// capacity) or stops (Lemma 2: max{Σ g_i, g_{n+1}} ≥ OPT/2).
+func RecoverGreedy(in *alloc.Input, failed []topo.LinkID) (*RecoveryResult, error) {
+	start := time.Now()
+	down := downSet(failed)
+	usable := tunnelUsable(down)
+
+	order := append([]*demand.Demand(nil), in.Demands...)
+	sort.Slice(order, func(i, j int) bool {
+		di := order[i].Charge / nonzero(order[i].TotalBandwidth())
+		dj := order[j].Charge / nonzero(order[j].TotalBandwidth())
+		if di != dj {
+			return di > dj
+		}
+		return order[i].ID < order[j].ID
+	})
+
+	capRem := alloc.FullCapacities(in)
+	for _, e := range failed {
+		capRem[e] = 0
+	}
+	res := &RecoveryResult{Alloc: alloc.New(in), FullProfit: make(map[int]bool)}
+	var acceptedCharge float64
+
+	for _, d := range order {
+		rows, ok := fitDemand(in, capRem, d, usable)
+		if ok {
+			res.Alloc[d.ID] = rows
+			res.FullProfit[d.ID] = true
+			acceptedCharge += d.Charge
+			consume(in, capRem, d, rows)
+			continue
+		}
+		// Line 11: the unfittable demand may alone be worth more than
+		// everything accepted so far.
+		if acceptedCharge < d.Charge {
+			fresh := alloc.FullCapacities(in)
+			for _, e := range failed {
+				fresh[e] = 0
+			}
+			if rows, ok := fitDemand(in, fresh, d, usable); ok {
+				res.Alloc = alloc.New(in)
+				res.FullProfit = map[int]bool{d.ID: true}
+				res.Alloc[d.ID] = rows
+			}
+		}
+		break // Algorithm 2 stops at the first unfittable demand.
+	}
+	res.Profit = profitOf(in.Demands, res.FullProfit)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func nonzero(x float64) float64 {
+	if x <= 0 {
+		return 1e-12
+	}
+	return x
+}
+
+// fitDemand tries to pack the full demand into the remaining
+// capacities over surviving tunnels, exactly (a tiny LP per demand,
+// since a demand's tunnels may share links). It returns the per-pair
+// per-tunnel allocation on success.
+func fitDemand(in *alloc.Input, capRem []float64, d *demand.Demand, usable func(routing.Tunnel) bool) ([][]float64, bool) {
+	one := &alloc.Input{Net: in.Net, Tunnels: in.Tunnels, Demands: []*demand.Demand{d}}
+	p := lp.NewProblem()
+	fv := alloc.AddFlowVars(p, one, capRem, usable)
+	for _, rows := range fv {
+		for _, r := range rows {
+			for _, v := range r {
+				p.SetCost(v, 1) // cheapest exact fit
+			}
+		}
+	}
+	for pi, pr := range d.Pairs {
+		if pr.Bandwidth <= 0 {
+			continue
+		}
+		terms := make([]lp.Term, 0, len(fv[d.ID][pi]))
+		for _, v := range fv[d.ID][pi] {
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+		}
+		p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.EQ, RHS: pr.Bandwidth})
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, false
+	}
+	return fv.Extract(sol)[d.ID], true
+}
+
+// consume subtracts an allocation from the remaining capacities.
+func consume(in *alloc.Input, capRem []float64, d *demand.Demand, rows [][]float64) {
+	for pi := range d.Pairs {
+		tunnels := in.TunnelsFor(d, pi)
+		for ti, f := range rows[pi] {
+			if f <= 0 {
+				continue
+			}
+			for _, e := range tunnels[ti].Links {
+				capRem[e] -= f
+			}
+		}
+	}
+}
+
+// Backups precomputes the greedy backup allocation for every
+// single-link failure scenario (§3.4: BATE proactively computes backup
+// allocation strategies so surviving tunnels can be used immediately).
+func Backups(in *alloc.Input) (map[topo.LinkID]*RecoveryResult, error) {
+	out := make(map[topo.LinkID]*RecoveryResult, in.Net.NumLinks())
+	for _, l := range in.Net.Links() {
+		r, err := RecoverGreedy(in, []topo.LinkID{l.ID})
+		if err != nil {
+			return nil, fmt.Errorf("bate: backup for link %d: %w", l.ID, err)
+		}
+		out[l.ID] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+// Package bate implements the paper's primary contribution: the BATE
+// traffic-engineering framework for hard bandwidth-availability
+// guarantees over inter-DC WANs. It provides the three core
+// components of §3 — admission control (§3.2), traffic scheduling
+// (§3.3) and failure recovery (§3.4) — on top of the lp, scenario,
+// routing and alloc substrates.
+package bate
+
+import (
+	"fmt"
+	"time"
+
+	"bate/internal/alloc"
+	"bate/internal/demand"
+	"bate/internal/lp"
+	"bate/internal/scenario"
+	"bate/internal/topo"
+)
+
+// ScheduleMode selects how the scheduling LP represents failure
+// scenarios.
+type ScheduleMode int8
+
+const (
+	// Aggregated groups scenarios into per-demand tunnel-state classes
+	// (exact, and exponentially smaller; the production mode).
+	Aggregated ScheduleMode = iota
+	// Enumerated instantiates one B variable per demand per explicit
+	// pruned scenario, exactly as written in Eq. 3-4. Used by the
+	// Fig. 16/17 benchmarks, whose cost grows with the scenario count.
+	Enumerated
+)
+
+// ScheduleOptions tunes the traffic-scheduling LP (Eq. 7).
+type ScheduleOptions struct {
+	// MaxFail is the pruning depth y: at most this many concurrent
+	// link failures are modeled; everything beyond is the aggregated
+	// unqualified residual (Fig. 3). The paper sweeps 1..4.
+	MaxFail int
+	Mode    ScheduleMode
+	// Groups are shared-risk link groups (correlated failures), an
+	// extension beyond the paper's independence assumption (§3.1
+	// footnote 3). Only the Aggregated mode supports them.
+	Groups []scenario.RiskGroup
+}
+
+// ScheduleStats reports the size and cost of a scheduling solve.
+type ScheduleStats struct {
+	Variables   int
+	Constraints int
+	Iterations  int
+	Elapsed     time.Duration
+}
+
+// Schedule solves the traffic-scheduling LP of Eq. 7: it finds the
+// cheapest bandwidth allocation (minimum Σ f^t_d) that gives every
+// admitted demand its full bandwidth (Eq. 1) and meets every
+// availability target in the B-relaxed sense of Eq. 3-4, subject to
+// link capacities (Eq. 6). It returns lp.ErrInfeasible when the
+// admitted set cannot be satisfied.
+func Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *ScheduleStats, error) {
+	if opts.MaxFail <= 0 {
+		opts.MaxFail = 2
+	}
+	start := time.Now()
+	p := lp.NewProblem()
+	fv := alloc.AddFlowVars(p, in, alloc.FullCapacities(in), nil)
+	// Objective: minimize total allocated bandwidth.
+	for _, rows := range fv {
+		for _, r := range rows {
+			for _, v := range r {
+				p.SetCost(v, 1)
+			}
+		}
+	}
+	// Eq. 1: full bandwidth for every pair of every admitted demand.
+	for _, d := range in.Demands {
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth <= 0 {
+				continue
+			}
+			terms := make([]lp.Term, 0, len(fv[d.ID][pi]))
+			for _, v := range fv[d.ID][pi] {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+			p.AddConstraint(lp.Constraint{
+				Name:  fmt.Sprintf("demand[d%d,p%d]", d.ID, pi),
+				Terms: terms, Op: lp.GE, RHS: pr.Bandwidth,
+			})
+		}
+	}
+	var err error
+	switch {
+	case opts.Mode == Aggregated:
+		err = addAvailabilityGrouped(p, in, fv, opts.MaxFail, opts.Groups)
+	case opts.Mode == Enumerated && len(opts.Groups) > 0:
+		err = fmt.Errorf("bate: risk groups require the Aggregated mode")
+	case opts.Mode == Enumerated:
+		err = addAvailabilityEnumerated(p, in, fv, opts.MaxFail)
+	default:
+		err = fmt.Errorf("bate: unknown schedule mode %d", opts.Mode)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &ScheduleStats{Variables: p.NumVariables(), Constraints: p.NumConstraints()}
+	sol, err := p.Solve()
+	stats.Elapsed = time.Since(start)
+	if sol != nil {
+		stats.Iterations = sol.Iterations
+	}
+	if err != nil {
+		return nil, stats, fmt.Errorf("bate: schedule: %w", err)
+	}
+	return fv.Extract(sol), stats, nil
+}
+
+// availabilityBonus returns the small negative cost placed on each B
+// variable. The Eq. 3-4 relaxation leaves the minimum-bandwidth
+// objective indifferent between traffic splits of equal size; the
+// bonus breaks those ties toward placements that maximize true
+// availability, weighted by how stringent the demand's target is
+// (1/(1-β)), so that high-β demands win the reliable tunnels when
+// demands compete — the Table 3 matching. The 1e-3 scale and the
+// weight cap keep the bonus rate strictly below 1 objective unit per
+// Mbps, so the LP can never profitably allocate extra bandwidth just
+// to farm the bonus.
+func availabilityBonus(d *demand.Demand) float64 {
+	w := 900.0
+	if d.Target < 1 {
+		if s := 1 / (1 - d.Target); s < w {
+			w = s
+		}
+	}
+	return 1e-3 * d.TotalBandwidth() * w
+}
+
+// addAvailabilityAggregated adds Eq. 3-4 using per-demand tunnel-state
+// classes: one B variable per (demand, class), B ∈ [0,1],
+// delivered_{k,class} ≥ b_k·B, and Σ p_class·B ≥ β_d.
+func addAvailabilityAggregated(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, maxFail int) error {
+	return addAvailabilityGrouped(p, in, fv, maxFail, nil)
+}
+
+// addAvailabilityGrouped is the aggregated formulation under the
+// correlated (SRLG) failure model; nil groups are the independent case.
+func addAvailabilityGrouped(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, maxFail int, groups []scenario.RiskGroup) error {
+	for _, d := range in.Demands {
+		if d.Target <= 0 {
+			continue
+		}
+		classes, err := scenario.ClassesForCorrelated(in.Net, groups, in.AllTunnelsFor(d), maxFail)
+		if err != nil {
+			return fmt.Errorf("bate: classes for demand %d: %w", d.ID, err)
+		}
+		bonus := availabilityBonus(d)
+		availTerms := make([]lp.Term, 0, len(classes))
+		for ci, cls := range classes {
+			bv := p.AddVariable(fmt.Sprintf("B[d%d,c%d]", d.ID, ci), 0, 1, -bonus*cls.Prob)
+			availTerms = append(availTerms, lp.Term{Var: bv, Coef: cls.Prob})
+			bit := 0
+			for pi, pr := range d.Pairs {
+				tunnels := in.TunnelsFor(d, pi)
+				if pr.Bandwidth <= 0 {
+					bit += len(tunnels)
+					continue
+				}
+				terms := make([]lp.Term, 0, len(tunnels)+1)
+				for ti := range tunnels {
+					if cls.TunnelUp(bit) {
+						terms = append(terms, lp.Term{Var: fv[d.ID][pi][ti], Coef: 1})
+					}
+					bit++
+				}
+				terms = append(terms, lp.Term{Var: bv, Coef: -pr.Bandwidth})
+				p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
+			}
+		}
+		p.AddConstraint(lp.Constraint{
+			Name:  fmt.Sprintf("avail[d%d]", d.ID),
+			Terms: availTerms, Op: lp.GE, RHS: d.Target,
+		})
+	}
+	return nil
+}
+
+// addAvailabilityEnumerated adds Eq. 3-4 with one B variable per
+// explicit pruned scenario, following the paper's formulation
+// verbatim. Exponentially larger but numerically identical to the
+// aggregated form.
+func addAvailabilityEnumerated(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, maxFail int) error {
+	set, err := scenario.Enumerate(in.Net, maxFail)
+	if err != nil {
+		return err
+	}
+	for _, d := range in.Demands {
+		if d.Target <= 0 {
+			continue
+		}
+		bonus := availabilityBonus(d)
+		availTerms := make([]lp.Term, 0, len(set.Scenarios))
+		for zi, z := range set.Scenarios {
+			bv := p.AddVariable(fmt.Sprintf("B[d%d,z%d]", d.ID, zi), 0, 1, -bonus*z.Prob)
+			availTerms = append(availTerms, lp.Term{Var: bv, Coef: z.Prob})
+			for pi, pr := range d.Pairs {
+				if pr.Bandwidth <= 0 {
+					continue
+				}
+				tunnels := in.TunnelsFor(d, pi)
+				terms := make([]lp.Term, 0, len(tunnels)+1)
+				for ti, t := range tunnels {
+					if z.TunnelUp(t) {
+						terms = append(terms, lp.Term{Var: fv[d.ID][pi][ti], Coef: 1})
+					}
+				}
+				terms = append(terms, lp.Term{Var: bv, Coef: -pr.Bandwidth})
+				p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
+			}
+		}
+		p.AddConstraint(lp.Constraint{Terms: availTerms, Op: lp.GE, RHS: d.Target})
+	}
+	return nil
+}
+
+// LinkPrices solves the scheduling LP and returns each link's shadow
+// price: the marginal reduction in total allocated bandwidth per extra
+// Mbps of capacity on that link (≤ 0 for the minimization; reported
+// negated so a larger number means a more valuable upgrade). Links the
+// optimum does not saturate price at zero. Operators use this to rank
+// WAN capacity upgrades.
+func LinkPrices(in *alloc.Input, opts ScheduleOptions) (map[topo.LinkID]float64, error) {
+	if opts.MaxFail <= 0 {
+		opts.MaxFail = 2
+	}
+	p := lp.NewProblem()
+	fv, capIdx := alloc.AddFlowVarsIndexed(p, in, alloc.FullCapacities(in), nil)
+	for _, rows := range fv {
+		for _, r := range rows {
+			for _, v := range r {
+				p.SetCost(v, 1)
+			}
+		}
+	}
+	for _, d := range in.Demands {
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth <= 0 {
+				continue
+			}
+			terms := make([]lp.Term, 0, len(fv[d.ID][pi]))
+			for _, v := range fv[d.ID][pi] {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+			p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: pr.Bandwidth})
+		}
+	}
+	if err := addAvailabilityAggregated(p, in, fv, opts.MaxFail); err != nil {
+		return nil, err
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("bate: link prices: %w", err)
+	}
+	prices := make(map[topo.LinkID]float64, len(capIdx))
+	for link, idx := range capIdx {
+		prices[link] = -sol.Dual(idx)
+	}
+	return prices, nil
+}

@@ -1,0 +1,210 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"bate/internal/wire"
+)
+
+// ForwardingEntry is one label-switched rule on the DC's edge switch:
+// traffic carrying Label leaves toward NextHop at the enforced rate.
+type ForwardingEntry struct {
+	Label   uint32
+	NextHop string
+	Limiter *RateLimiter
+}
+
+// Broker is the per-DC agent of §4. It keeps a long-lived TCP session
+// to the controller, enforces pushed allocations, and reports link
+// events. All exported methods are safe for concurrent use.
+type Broker struct {
+	dc   string
+	addr string
+
+	mu      sync.Mutex
+	conn    *wire.Conn
+	epoch   uint64
+	entries map[uint32]*ForwardingEntry
+	onAlloc func(*wire.AllocUpdate)
+
+	logf func(string, ...interface{})
+}
+
+// New creates a broker for datacenter dc that will connect to the
+// controller at addr.
+func New(dc, addr string) *Broker {
+	return &Broker{
+		dc:      dc,
+		addr:    addr,
+		entries: make(map[uint32]*ForwardingEntry),
+		logf:    log.Printf,
+	}
+}
+
+// SetLogf overrides the logger (tests use a silent one).
+func (b *Broker) SetLogf(f func(string, ...interface{})) { b.logf = f }
+
+// OnAlloc registers a callback invoked after each applied allocation
+// update (used by examples to observe pushes).
+func (b *Broker) OnAlloc(f func(*wire.AllocUpdate)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onAlloc = f
+}
+
+// Run connects to the controller and processes pushes until ctx is
+// cancelled or the connection fails.
+func (b *Broker) Run(ctx context.Context) error {
+	conn, err := wire.Dial(b.addr)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.conn = conn
+	b.mu.Unlock()
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "broker", DC: b.dc}}); err != nil {
+		return err
+	}
+	go func() {
+		<-ctx.Done()
+		conn.Close()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("broker %s: %w", b.dc, err)
+		}
+		switch m.Type {
+		case wire.TypeAllocUpdate:
+			b.applyAlloc(m.Alloc)
+		case wire.TypePing:
+			conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
+		default:
+			b.logf("broker %s: unexpected message %s", b.dc, m.Type)
+		}
+	}
+}
+
+// applyAlloc installs forwarding entries and rate limits from an
+// allocation push, replacing the previous epoch's rules.
+func (b *Broker) applyAlloc(u *wire.AllocUpdate) {
+	if u == nil {
+		return
+	}
+	now := time.Now()
+	b.mu.Lock()
+	// Backup activations layer on top of the current epoch; scheduled
+	// pushes replace the table.
+	if !u.Backup {
+		b.entries = make(map[uint32]*ForwardingEntry, len(u.Tunnels))
+	}
+	for _, t := range u.Tunnels {
+		next := nextHopFor(b.dc, t.Hops)
+		if next == "" {
+			continue // tunnel does not traverse this DC
+		}
+		if e, ok := b.entries[t.Label]; ok {
+			e.NextHop = next
+			e.Limiter.SetRate(t.Rate, now)
+			continue
+		}
+		b.entries[t.Label] = &ForwardingEntry{
+			Label:   t.Label,
+			NextHop: next,
+			Limiter: NewRateLimiter(t.Rate, 0.1, now),
+		}
+	}
+	b.epoch = u.Epoch
+	cb := b.onAlloc
+	b.mu.Unlock()
+	if cb != nil {
+		cb(u)
+	}
+}
+
+// nextHopFor returns the hop after dc in the tunnel's hop list, or ""
+// if dc is not on the tunnel (or is its destination).
+func nextHopFor(dc string, hops []string) string {
+	for i := 0; i+1 < len(hops); i++ {
+		if hops[i] == dc {
+			return hops[i+1]
+		}
+	}
+	return ""
+}
+
+// Lookup returns the forwarding entry for a label, if installed.
+func (b *Broker) Lookup(label uint32) (*ForwardingEntry, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[label]
+	return e, ok
+}
+
+// Epoch returns the allocation epoch last applied.
+func (b *Broker) Epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch
+}
+
+// NumEntries returns the installed rule count.
+func (b *Broker) NumEntries() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// ReportLink sends a link up/down observation to the controller (the
+// Network Agent's monitoring duty).
+func (b *Broker) ReportLink(srcDC, dstDC string, up bool) error {
+	b.mu.Lock()
+	conn := b.conn
+	b.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("broker %s: not connected", b.dc)
+	}
+	return conn.Send(&wire.Message{Type: wire.TypeLinkEvent, LinkEvent: &wire.LinkEvent{
+		SrcDC: srcDC, DstDC: dstDC, Up: up, AtUnixMs: time.Now().UnixMilli(),
+	}})
+}
+
+// ReportStats sends the current enforced rates to the controller.
+func (b *Broker) ReportStats() error {
+	b.mu.Lock()
+	conn := b.conn
+	rates := make(map[string]float64, len(b.entries))
+	for label, e := range b.entries {
+		rates[fmt.Sprintf("%#x", label)] = e.Limiter.Rate()
+	}
+	b.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("broker %s: not connected", b.dc)
+	}
+	return conn.Send(&wire.Message{Type: wire.TypeStats, Stats: &wire.Stats{DC: b.dc, Rates: rates}})
+}
+
+// Forward emulates the label-switched data plane: a packet of n bytes
+// carrying label arrives at this DC's edge switch and is forwarded to
+// the tunnel's next hop if (and only if) the entry exists and its
+// enforced rate admits the packet. It returns the next-hop DC name.
+func (b *Broker) Forward(label uint32, n int, now time.Time) (string, bool) {
+	b.mu.Lock()
+	e, ok := b.entries[label]
+	b.mu.Unlock()
+	if !ok {
+		return "", false // no rule: drop (§4: ingress marks, others match)
+	}
+	if !e.Limiter.Allow(n, now) {
+		return "", false // rate-limited by the Bandwidth Enforcer
+	}
+	return e.NextHop, true
+}

@@ -1,0 +1,85 @@
+// Package broker implements the per-DC broker of §4: it receives
+// bandwidth allocations from the central controller, enforces them
+// with token-bucket rate limiters (the Bandwidth Enforcer), installs
+// label-based forwarding entries (the Network Agent), and reports
+// link events back to the controller.
+package broker
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a token-bucket limiter enforcing a tunnel's allocated
+// rate. Rates are in Mbps; Allow is called with payload sizes in
+// bytes. The bucket holds up to Burst seconds of tokens.
+type RateLimiter struct {
+	mu       sync.Mutex
+	rateBps  float64 // bytes per second
+	burstSec float64
+	tokens   float64
+	last     time.Time
+}
+
+// NewRateLimiter returns a limiter for rateMbps with the given burst
+// window in seconds (default 0.1 s when <= 0).
+func NewRateLimiter(rateMbps, burstSec float64, now time.Time) *RateLimiter {
+	if burstSec <= 0 {
+		burstSec = 0.1
+	}
+	rl := &RateLimiter{
+		rateBps:  rateMbps * 1e6 / 8,
+		burstSec: burstSec,
+		last:     now,
+	}
+	rl.tokens = rl.rateBps * burstSec // start full
+	return rl
+}
+
+// SetRate updates the enforced rate (controller pushed a new
+// allocation). The bucket is clamped to the new burst size.
+func (rl *RateLimiter) SetRate(rateMbps float64, now time.Time) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	rl.refill(now)
+	rl.rateBps = rateMbps * 1e6 / 8
+	if max := rl.rateBps * rl.burstSec; rl.tokens > max {
+		rl.tokens = max
+	}
+}
+
+// Rate returns the enforced rate in Mbps.
+func (rl *RateLimiter) Rate() float64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.rateBps * 8 / 1e6
+}
+
+// Allow reports whether n bytes may be sent at time now, consuming
+// tokens if so.
+func (rl *RateLimiter) Allow(n int, now time.Time) bool {
+	if n < 0 {
+		return false
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	rl.refill(now)
+	if float64(n) > rl.tokens {
+		return false
+	}
+	rl.tokens -= float64(n)
+	return true
+}
+
+// refill adds tokens for elapsed time; callers hold mu.
+func (rl *RateLimiter) refill(now time.Time) {
+	dt := now.Sub(rl.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	rl.last = now
+	rl.tokens += rl.rateBps * dt
+	if max := rl.rateBps * rl.burstSec; rl.tokens > max {
+		rl.tokens = max
+	}
+}

@@ -1,0 +1,495 @@
+// Package controller implements the central BATE controller of §4: it
+// accepts BA demand submissions from clients, runs admission control
+// in near real time, periodically re-optimizes allocations with the
+// scheduling LP, precomputes failure backups, and pushes per-DC
+// allocations to the brokers over long-lived TCP sessions.
+package controller
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"bate/internal/alloc"
+	"bate/internal/bate"
+	"bate/internal/demand"
+	"bate/internal/routing"
+	"bate/internal/topo"
+	"bate/internal/wire"
+)
+
+// Config configures a Controller.
+type Config struct {
+	Net     *topo.Network
+	Tunnels *routing.TunnelSet
+	// MaxFail is the scenario pruning depth (default 2).
+	MaxFail int
+	// BackupDepth is how many concurrent link failures get precomputed
+	// backup allocations (default 1; §3.4). Combination counts grow as
+	// C(|E|, depth); BackupBudget caps them (0 = |E|·4).
+	BackupDepth  int
+	BackupBudget int
+	// SchedulePeriod is the online scheduler's cadence (§3.3 suggests
+	// ~10 minutes in production; examples use seconds). Zero disables
+	// the periodic loop (scheduling still runs after each admission).
+	SchedulePeriod time.Duration
+	// Logf receives diagnostics; nil uses the standard logger.
+	Logf func(string, ...interface{})
+}
+
+// Controller is the system brain. Create with New, start with Serve,
+// stop by closing the listener or cancelling the context.
+type Controller struct {
+	cfg  Config
+	logf func(string, ...interface{})
+
+	mu       sync.Mutex
+	demands  map[int]*demand.Demand
+	current  alloc.Allocation
+	backups  *bate.BackupSet
+	brokers  map[string]*wire.Conn
+	linkDown map[topo.LinkID]bool
+	epoch    uint64
+	nextID   int
+}
+
+// New creates a controller.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Net == nil || cfg.Tunnels == nil {
+		return nil, fmt.Errorf("controller: Net and Tunnels are required")
+	}
+	if cfg.MaxFail <= 0 {
+		cfg.MaxFail = 2
+	}
+	if cfg.BackupDepth <= 0 {
+		cfg.BackupDepth = 1
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Controller{
+		cfg:      cfg,
+		logf:     logf,
+		demands:  make(map[int]*demand.Demand),
+		current:  alloc.Allocation{},
+		brokers:  make(map[string]*wire.Conn),
+		linkDown: make(map[topo.LinkID]bool),
+	}, nil
+}
+
+// Serve accepts controller connections on ln until ctx is cancelled
+// or ln is closed.
+func (c *Controller) Serve(ctx context.Context, ln net.Listener) error {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	if c.cfg.SchedulePeriod > 0 {
+		go c.scheduleLoop(ctx)
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		go c.handleConn(ctx, wire.New(nc))
+	}
+}
+
+func (c *Controller) scheduleLoop(ctx context.Context) {
+	t := time.NewTicker(c.cfg.SchedulePeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := c.reschedule(); err != nil {
+				c.logf("controller: reschedule: %v", err)
+			}
+		}
+	}
+}
+
+func (c *Controller) handleConn(ctx context.Context, conn *wire.Conn) {
+	defer conn.Close()
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != wire.TypeHello || hello.Hello == nil {
+		conn.Send(&wire.Message{Type: wire.TypeError, Error: "expected hello"})
+		return
+	}
+	switch hello.Hello.Role {
+	case "broker":
+		c.serveBroker(conn, hello.Hello.DC)
+	case "client":
+		c.serveClient(conn)
+	default:
+		conn.Send(&wire.Message{Type: wire.TypeError, Error: "unknown role " + hello.Hello.Role})
+	}
+}
+
+func (c *Controller) serveBroker(conn *wire.Conn, dc string) {
+	if _, ok := c.cfg.Net.NodeByName(dc); !ok {
+		conn.Send(&wire.Message{Type: wire.TypeError, Error: "unknown DC " + dc})
+		return
+	}
+	c.mu.Lock()
+	c.brokers[dc] = conn
+	// Late joiner gets the current allocation immediately.
+	msg := c.allocMessageLocked(dc, c.current, false)
+	c.mu.Unlock()
+	conn.Send(msg)
+	defer func() {
+		c.mu.Lock()
+		if c.brokers[dc] == conn {
+			delete(c.brokers, dc)
+		}
+		c.mu.Unlock()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case wire.TypeLinkEvent:
+			c.onLinkEvent(m.LinkEvent)
+		case wire.TypeStats:
+			// Monitoring input; logged only.
+			c.logf("controller: stats from %s: %d tunnels", dc, len(m.Stats.Rates))
+		case wire.TypePong:
+		default:
+			c.logf("controller: broker %s sent %s", dc, m.Type)
+		}
+	}
+}
+
+func (c *Controller) serveClient(conn *wire.Conn) {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case wire.TypeSubmit:
+			// The reply carries the controller-assigned demand id;
+			// clients correlate via Seq.
+			res := c.submit(m.Submit)
+			conn.Send(&wire.Message{Type: wire.TypeAdmitResult, Seq: m.Seq, AdmitResult: res})
+		case wire.TypeWithdraw:
+			c.withdraw(m.WithdrawID)
+			conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
+		case wire.TypeStatus:
+			conn.Send(&wire.Message{Type: wire.TypeStatusReply, Seq: m.Seq, Status: c.status()})
+		default:
+			conn.Send(&wire.Message{Type: wire.TypeError, Error: "unexpected " + string(m.Type)})
+		}
+	}
+}
+
+// submit runs admission control for one demand (§3.2) and, when
+// admitted, installs it and pushes updated allocations.
+func (c *Controller) submit(s *wire.Submit) *wire.AdmitResult {
+	if s == nil {
+		return &wire.AdmitResult{Admitted: false, Method: "invalid"}
+	}
+	src, ok1 := c.cfg.Net.NodeByName(s.Src)
+	dst, ok2 := c.cfg.Net.NodeByName(s.Dst)
+	if !ok1 || !ok2 || src == dst || s.Bandwidth <= 0 {
+		return &wire.AdmitResult{Admitted: false, Method: "invalid"}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	id := c.allocateIDLocked()
+	if id < 0 {
+		return &wire.AdmitResult{Admitted: false, Method: "id-space-full"}
+	}
+	d := &demand.Demand{
+		ID:     id,
+		Pairs:  []demand.PairDemand{{Src: src, Dst: dst, Bandwidth: s.Bandwidth}},
+		Target: s.Target, Charge: s.Charge, RefundFrac: s.RefundFrac,
+	}
+	in, active := c.inputLocked()
+	res, err := bate.Admit(in, c.current, active, d, c.cfg.MaxFail)
+	if err != nil {
+		c.logf("controller: admit: %v", err)
+		return &wire.AdmitResult{Admitted: false, Method: "error"}
+	}
+	out := &wire.AdmitResult{
+		Admitted: res.Admitted,
+		Method:   string(res.Method),
+		DelayMs:  float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	if !res.Admitted {
+		return out
+	}
+	out.DemandID = id
+	c.demands[id] = d
+	if res.NewAlloc != nil {
+		c.current[id] = res.NewAlloc
+	}
+	c.pushAllLocked(false)
+	return out
+}
+
+func (c *Controller) withdraw(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.demands, id)
+	delete(c.current, id)
+	c.pushAllLocked(false)
+}
+
+// allocateIDLocked finds a free 12-bit demand id.
+func (c *Controller) allocateIDLocked() int {
+	for tries := 0; tries < 1<<12; tries++ {
+		id := c.nextID
+		c.nextID = (c.nextID + 1) % (1 << 12)
+		if _, used := c.demands[id]; !used {
+			return id
+		}
+	}
+	return -1
+}
+
+// inputLocked builds the alloc.Input over the admitted demands in a
+// deterministic order.
+func (c *Controller) inputLocked() (*alloc.Input, []*demand.Demand) {
+	active := make([]*demand.Demand, 0, len(c.demands))
+	for _, d := range c.demands {
+		active = append(active, d)
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+	return &alloc.Input{Net: c.cfg.Net, Tunnels: c.cfg.Tunnels, Demands: active}, active
+}
+
+// Reschedule runs the periodic optimization (§3.3): the scheduling LP
+// plus backup precomputation, then pushes to brokers.
+func (c *Controller) Reschedule() error { return c.reschedule() }
+
+func (c *Controller) reschedule() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, _ := c.inputLocked()
+	if len(in.Demands) == 0 {
+		c.current = alloc.Allocation{}
+		c.backups = nil
+		c.pushAllLocked(false)
+		return nil
+	}
+	a, _, err := bate.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail})
+	if err != nil {
+		return err
+	}
+	if hardened, herr := bate.Harden(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail}, a); herr == nil {
+		a = hardened
+	}
+	c.current = a
+	budget := c.cfg.BackupBudget
+	if budget <= 0 {
+		budget = in.Net.NumLinks() * 4
+	}
+	c.backups, err = bate.PrecomputeBackups(in, c.cfg.BackupDepth, budget)
+	if err != nil {
+		return err
+	}
+	c.pushAllLocked(false)
+	return nil
+}
+
+// onLinkEvent reacts to a broker's link report: a failure activates
+// the precomputed backup allocation (§3.4); a repair restores the
+// scheduled allocation.
+func (c *Controller) onLinkEvent(ev *wire.LinkEvent) {
+	if ev == nil {
+		return
+	}
+	src, ok1 := c.cfg.Net.NodeByName(ev.SrcDC)
+	dst, ok2 := c.cfg.Net.NodeByName(ev.DstDC)
+	if !ok1 || !ok2 {
+		return
+	}
+	link, ok := c.cfg.Net.LinkBetween(src, dst)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev.Up {
+		delete(c.linkDown, link.ID)
+		c.pushAllLocked(false)
+		return
+	}
+	c.linkDown[link.ID] = true
+	var down []topo.LinkID
+	for id := range c.linkDown {
+		down = append(down, id)
+	}
+	if b, ok := c.backups.For(down); ok {
+		c.pushAllocationLocked(b.Alloc, true)
+		return
+	}
+	// No precomputed backup for this combination: compute recovery now.
+	in, _ := c.inputLocked()
+	if rec, err := bate.RecoverGreedy(in, down); err == nil {
+		c.pushAllocationLocked(rec.Alloc, true)
+	} else {
+		c.logf("controller: recovery: %v", err)
+	}
+}
+
+// pushAllLocked pushes the scheduled allocation to every broker.
+func (c *Controller) pushAllLocked(backup bool) {
+	c.pushAllocationLocked(c.current, backup)
+}
+
+func (c *Controller) pushAllocationLocked(a alloc.Allocation, backup bool) {
+	c.epoch++
+	for dc, conn := range c.brokers {
+		msg := c.allocMessageLocked(dc, a, backup)
+		if err := conn.Send(msg); err != nil {
+			c.logf("controller: push to %s: %v", dc, err)
+		}
+	}
+}
+
+// allocMessageLocked builds the AllocUpdate for one broker: every
+// tunnel allocation whose path traverses that DC.
+func (c *Controller) allocMessageLocked(dc string, a alloc.Allocation, backup bool) *wire.Message {
+	update := &wire.AllocUpdate{Epoch: c.epoch, Backup: backup}
+	in, _ := c.inputLocked()
+	for _, d := range in.Demands {
+		rows, ok := a[d.ID]
+		if !ok {
+			continue
+		}
+		for pi := range d.Pairs {
+			if pi >= len(rows) {
+				continue
+			}
+			tunnels := in.TunnelsFor(d, pi)
+			for ti, rate := range rows[pi] {
+				if rate <= 0 {
+					continue
+				}
+				label, err := wire.Label(d.ID, ti)
+				if err != nil {
+					continue
+				}
+				hops := hopNames(c.cfg.Net, tunnels[ti])
+				if !contains(hops[:len(hops)-1], dc) {
+					continue // this DC never forwards the tunnel
+				}
+				update.Tunnels = append(update.Tunnels, wire.TunnelAlloc{
+					Label: label, Hops: hops, Rate: rate,
+				})
+			}
+		}
+	}
+	return &wire.Message{Type: wire.TypeAllocUpdate, Alloc: update}
+}
+
+func hopNames(n *topo.Network, t routing.Tunnel) []string {
+	nodes := t.Nodes(n)
+	out := make([]string, len(nodes))
+	for i, v := range nodes {
+		out[i] = n.NodeName(v)
+	}
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot returns the controller's admitted demand count and epoch,
+// for tests and tooling.
+func (c *Controller) Snapshot() (demands int, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.demands), c.epoch
+}
+
+// status reports every admitted demand with its current availability
+// estimate under the installed allocation.
+func (c *Controller) status() *wire.StatusReply {
+	c.mu.Lock()
+	in, active := c.inputLocked()
+	current := c.current
+	epoch := c.epoch
+	c.mu.Unlock()
+	reply := &wire.StatusReply{Epoch: epoch}
+	for _, d := range active {
+		achieved, err := alloc.AchievedAvailability(in, current, d, c.cfg.MaxFail)
+		if err != nil {
+			achieved = 0
+		}
+		allocated := 0.0
+		for pi := range d.Pairs {
+			allocated += current.AllocatedFor(d, pi)
+		}
+		reply.Demands = append(reply.Demands, wire.DemandStatus{
+			DemandID:  d.ID,
+			Src:       c.cfg.Net.NodeName(d.Pairs[0].Src),
+			Dst:       c.cfg.Net.NodeName(d.Pairs[0].Dst),
+			Bandwidth: d.TotalBandwidth(),
+			Target:    d.Target,
+			Achieved:  achieved,
+			Allocated: allocated,
+		})
+	}
+	return reply
+}
+
+// State persistence: the master controller can snapshot its admitted
+// demands so a newly elected replica (see Elector) resumes with the
+// same commitments and recomputes allocations from them.
+
+// SaveState writes the admitted demand set as JSON.
+func (c *Controller) SaveState(w io.Writer) error {
+	c.mu.Lock()
+	_, active := c.inputLocked()
+	c.mu.Unlock()
+	return demand.Save(w, c.cfg.Net, active)
+}
+
+// RestoreState replaces the controller's demand set with a snapshot
+// and reschedules. Demand ids from the snapshot are preserved.
+func (c *Controller) RestoreState(r io.Reader) error {
+	demands, err := demand.Load(r, c.cfg.Net)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.demands = make(map[int]*demand.Demand, len(demands))
+	maxID := -1
+	for _, d := range demands {
+		if _, dup := c.demands[d.ID]; dup {
+			c.mu.Unlock()
+			return fmt.Errorf("controller: duplicate demand id %d in snapshot", d.ID)
+		}
+		c.demands[d.ID] = d
+		if d.ID > maxID {
+			maxID = d.ID
+		}
+	}
+	c.nextID = (maxID + 1) % (1 << 12)
+	c.current = alloc.Allocation{}
+	c.mu.Unlock()
+	return c.reschedule()
+}

@@ -1,0 +1,210 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"bate/internal/paxos"
+	"bate/internal/wire"
+)
+
+// Elector elects a master among controller replicas with single-decree
+// Paxos over TCP (§4: "controller failures can be remedied by using
+// multiple replications, where the master controller is elected by the
+// Paxos algorithm"). Each replica advertises its own controller
+// address as the proposed value; the decided value is the master every
+// replica agrees on.
+type Elector struct {
+	id        paxos.NodeID
+	peers     map[paxos.NodeID]string // election addresses, including self
+	advertise string                  // this replica's controller address
+
+	mu    sync.Mutex
+	node  *paxos.Node
+	conns map[paxos.NodeID]*wire.Conn
+	logf  func(string, ...interface{})
+}
+
+// NewElector creates an election participant. peers maps every
+// replica id (including id itself) to its election listen address;
+// advertise is the controller address proposed as master.
+func NewElector(id paxos.NodeID, peers map[paxos.NodeID]string, advertise string, logf func(string, ...interface{})) (*Elector, error) {
+	if _, ok := peers[id]; !ok {
+		return nil, fmt.Errorf("controller: elector %d missing from peer map", id)
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	ids := make([]paxos.NodeID, 0, len(peers))
+	for pid := range peers {
+		ids = append(ids, pid)
+	}
+	return &Elector{
+		id:        id,
+		peers:     peers,
+		advertise: advertise,
+		node:      paxos.NewNode(id, ids),
+		conns:     make(map[paxos.NodeID]*wire.Conn),
+		logf:      logf,
+	}, nil
+}
+
+// Leader returns the elected master's controller address once decided.
+func (e *Elector) Leader() (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.node.Chosen()
+	return string(v), ok
+}
+
+// IsLeader reports whether this replica won the election.
+func (e *Elector) IsLeader() bool {
+	l, ok := e.Leader()
+	return ok && l == e.advertise
+}
+
+// Run serves election traffic on ln and proposes this replica as
+// master (with randomized retry backoff) until a decision is reached
+// or ctx is cancelled. It returns the decided master address.
+func (e *Elector) Run(ctx context.Context, ln net.Listener) (string, error) {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	go e.acceptLoop(ctx, ln)
+
+	rng := rand.New(rand.NewSource(int64(e.id)*2654435761 + 1))
+	backoff := 20 * time.Millisecond
+	for {
+		if leader, ok := e.Leader(); ok {
+			return leader, nil
+		}
+		e.mu.Lock()
+		out := e.node.Propose(paxos.Value(e.advertise))
+		e.mu.Unlock()
+		e.sendAll(out)
+
+		// Wait for the decision or retry with jittered backoff (two
+		// dueling proposers must eventually desynchronize).
+		deadline := time.Now().Add(backoff + time.Duration(rng.Intn(40))*time.Millisecond)
+		for time.Now().Before(deadline) {
+			if leader, ok := e.Leader(); ok {
+				return leader, nil
+			}
+			select {
+			case <-ctx.Done():
+				return "", ctx.Err()
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (e *Elector) acceptLoop(ctx context.Context, ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			conn := wire.New(nc)
+			defer conn.Close()
+			for {
+				m, err := conn.Recv()
+				if err != nil {
+					return
+				}
+				if m.Type != wire.TypePaxos || m.Paxos == nil {
+					continue
+				}
+				e.handle(fromWire(m.Paxos))
+			}
+		}()
+	}
+}
+
+func (e *Elector) handle(m paxos.Message) {
+	e.mu.Lock()
+	out := e.node.Handle(m)
+	e.mu.Unlock()
+	e.sendAll(out)
+}
+
+// sendAll delivers protocol messages, dialing peers lazily and
+// dropping messages to unreachable peers (Paxos tolerates loss).
+func (e *Elector) sendAll(msgs []paxos.Message) {
+	for _, m := range msgs {
+		if m.To == e.id {
+			e.handle(m) // self-delivery without a socket
+			continue
+		}
+		conn := e.conn(m.To)
+		if conn == nil {
+			continue
+		}
+		if err := conn.Send(&wire.Message{Type: wire.TypePaxos, Paxos: toWire(m)}); err != nil {
+			e.logf("elector %d: send to %d: %v", e.id, m.To, err)
+			e.dropConn(m.To, conn)
+		}
+	}
+}
+
+func (e *Elector) conn(to paxos.NodeID) *wire.Conn {
+	e.mu.Lock()
+	c := e.conns[to]
+	addr := e.peers[to]
+	e.mu.Unlock()
+	if c != nil {
+		return c
+	}
+	nc, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil
+	}
+	c = wire.New(nc)
+	e.mu.Lock()
+	if existing := e.conns[to]; existing != nil {
+		e.mu.Unlock()
+		c.Close()
+		return existing
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	return c
+}
+
+func (e *Elector) dropConn(to paxos.NodeID, c *wire.Conn) {
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	c.Close()
+}
+
+func toWire(m paxos.Message) *wire.PaxosMsg {
+	return &wire.PaxosMsg{
+		Kind: int8(m.Kind), From: int(m.From), To: int(m.To),
+		BallotRound: m.Ballot.Round, BallotNode: int(m.Ballot.Node),
+		AccBallotRound: m.AcceptedBallot.Round, AccBallotNode: int(m.AcceptedBallot.Node),
+		AccValue: string(m.AcceptedValue), HasAccepted: m.HasAccepted,
+		Value: string(m.Value),
+	}
+}
+
+func fromWire(w *wire.PaxosMsg) paxos.Message {
+	return paxos.Message{
+		Kind: paxos.Kind(w.Kind), From: paxos.NodeID(w.From), To: paxos.NodeID(w.To),
+		Ballot:         paxos.Ballot{Round: w.BallotRound, Node: paxos.NodeID(w.BallotNode)},
+		AcceptedBallot: paxos.Ballot{Round: w.AccBallotRound, Node: paxos.NodeID(w.AccBallotNode)},
+		AcceptedValue:  paxos.Value(w.AccValue), HasAccepted: w.HasAccepted,
+		Value: paxos.Value(w.Value),
+	}
+}

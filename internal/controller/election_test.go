@@ -1,0 +1,120 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bate/internal/paxos"
+)
+
+// startElectors launches n electors on localhost and returns them with
+// their Run result channels.
+func startElectors(t *testing.T, n int) ([]*Elector, chan string) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	peers := make(map[paxos.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		peers[paxos.NodeID(i+1)] = ln.Addr().String()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+
+	electors := make([]*Elector, n)
+	results := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := paxos.NodeID(i + 1)
+		e, err := NewElector(id, peers, fmt.Sprintf("controller-%d:7001", id), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		electors[i] = e
+		wg.Add(1)
+		go func(e *Elector, ln net.Listener) {
+			defer wg.Done()
+			leader, err := e.Run(ctx, ln)
+			if err != nil {
+				t.Errorf("elector: %v", err)
+				return
+			}
+			results <- leader
+		}(e, listeners[i])
+	}
+	t.Cleanup(wg.Wait)
+	return electors, results
+}
+
+func TestElectionThreeReplicas(t *testing.T) {
+	electors, results := startElectors(t, 3)
+	var leaders []string
+	for i := 0; i < 3; i++ {
+		select {
+		case l := <-results:
+			leaders = append(leaders, l)
+		case <-time.After(15 * time.Second):
+			t.Fatal("election did not converge")
+		}
+	}
+	for _, l := range leaders[1:] {
+		if l != leaders[0] {
+			t.Fatalf("split brain: %v", leaders)
+		}
+	}
+	// Exactly one replica believes it is the leader.
+	count := 0
+	for _, e := range electors {
+		if e.IsLeader() {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d replicas claim leadership", count)
+	}
+}
+
+func TestElectionSingleReplica(t *testing.T) {
+	_, results := startElectors(t, 1)
+	select {
+	case l := <-results:
+		if l != "controller-1:7001" {
+			t.Fatalf("leader = %q", l)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("solo election did not converge")
+	}
+}
+
+func TestElectionFiveReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica election in -short mode")
+	}
+	_, results := startElectors(t, 5)
+	first := ""
+	for i := 0; i < 5; i++ {
+		select {
+		case l := <-results:
+			if first == "" {
+				first = l
+			} else if l != first {
+				t.Fatalf("split brain: %q vs %q", first, l)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("election did not converge")
+		}
+	}
+}
+
+func TestNewElectorValidation(t *testing.T) {
+	if _, err := NewElector(1, map[paxos.NodeID]string{2: "x"}, "a", nil); err == nil {
+		t.Fatal("expected missing-self error")
+	}
+}

@@ -1,0 +1,186 @@
+// Package demand models bandwidth-availability (BA) demands
+// d = (b_d, β_d, t^s_d, t^e_d) (§1, §3.1) and generates the Poisson
+// workloads used in the paper's evaluation (§5).
+package demand
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bate/internal/topo"
+)
+
+// PairDemand is the bandwidth requested on one source-destination pair
+// (one component of the vector b_d).
+type PairDemand struct {
+	Src, Dst  topo.NodeID
+	Bandwidth float64 // Mbps
+}
+
+// Demand is a bandwidth-availability demand: bandwidth on each of its
+// s-d pairs, guaranteed with probability at least Target over its
+// lifetime [Start, End).
+type Demand struct {
+	ID    int
+	Pairs []PairDemand
+	// Target is the availability target β_d as a fraction (0.9999 for
+	// "four nines"). Zero means best-effort (bulk transfer in Table 1).
+	Target float64
+	// Start and End are model times in seconds.
+	Start, End float64
+	// Charge is g_d, the price charged for serving the demand. The
+	// paper charges a unit price per Mbps.
+	Charge float64
+	// RefundFrac is μ_d, the fraction of Charge refunded on an SLA
+	// violation.
+	RefundFrac float64
+	// Service names the cloud service whose SLA schedule RefundFrac
+	// was drawn from.
+	Service string
+}
+
+// TotalBandwidth returns Σ_k b^k_d.
+func (d *Demand) TotalBandwidth() float64 {
+	sum := 0.0
+	for _, p := range d.Pairs {
+		sum += p.Bandwidth
+	}
+	return sum
+}
+
+// Weight returns Σ_k b^k_d · β_d, the ordering key of Algorithm 1.
+func (d *Demand) Weight() float64 { return d.TotalBandwidth() * d.Target }
+
+// String summarizes the demand.
+func (d *Demand) String() string {
+	return fmt.Sprintf("demand %d: %.0f Mbps @ %.4f%% over %d pair(s)",
+		d.ID, d.TotalBandwidth(), d.Target*100, len(d.Pairs))
+}
+
+// Table1Targets are the B4 availability targets of Table 1 (bulk
+// transfer is best-effort, represented as 0).
+var Table1Targets = []float64{0.9999, 0.9995, 0.999, 0.99, 0}
+
+// TestbedTargets are the availability targets used by the testbed
+// evaluation (§5.1).
+var TestbedTargets = []float64{0.95, 0.99, 0.999, 0.9995, 0.9999}
+
+// SimulationTargets are the targets used by the large-scale
+// simulations (§5.2).
+var SimulationTargets = []float64{0, 0.90, 0.95, 0.99, 0.999, 0.9995, 0.9999}
+
+// GeneratorConfig shapes a Poisson BA-demand workload (§5.1, §5.2).
+type GeneratorConfig struct {
+	// ArrivalsPerMinute is the Poisson mean arrival rate per s-d pair.
+	ArrivalsPerMinute float64
+	// MeanDurationSec is the mean of the exponential demand duration.
+	MeanDurationSec float64
+	// MinBandwidth/MaxBandwidth bound the uniform bandwidth draw
+	// (Mbps). Used when BandwidthPool is nil.
+	MinBandwidth, MaxBandwidth float64
+	// BandwidthPool, when non-empty, supplies per-pair bandwidth
+	// samples (e.g. traffic-matrix entries with the paper's scale-down
+	// factor). Indexed by pair then sample.
+	BandwidthPool map[[2]topo.NodeID][]float64
+	// Targets is the availability-target set demands draw from
+	// uniformly.
+	Targets []float64
+	// UnitPrice is the charge per Mbps (the paper assumes 1).
+	UnitPrice float64
+	// Refunds supplies (service, μ) choices; defaults to a single
+	// anonymous 10% tier if empty.
+	Refunds []RefundChoice
+}
+
+// RefundChoice is one (service name, refund fraction) option.
+type RefundChoice struct {
+	Service string
+	Frac    float64
+}
+
+// Generator produces a time-ordered stream of BA demands.
+type Generator struct {
+	cfg   GeneratorConfig
+	net   *topo.Network
+	rng   *rand.Rand
+	pairs [][2]topo.NodeID
+	next  int
+}
+
+// NewGenerator returns a workload generator over all s-d pairs of net.
+func NewGenerator(net *topo.Network, cfg GeneratorConfig, rng *rand.Rand) *Generator {
+	if cfg.ArrivalsPerMinute <= 0 {
+		cfg.ArrivalsPerMinute = 2
+	}
+	if cfg.MeanDurationSec <= 0 {
+		cfg.MeanDurationSec = 300
+	}
+	if cfg.MinBandwidth <= 0 {
+		cfg.MinBandwidth = 10
+	}
+	if cfg.MaxBandwidth < cfg.MinBandwidth {
+		cfg.MaxBandwidth = cfg.MinBandwidth + 40
+	}
+	if len(cfg.Targets) == 0 {
+		cfg.Targets = TestbedTargets
+	}
+	if cfg.UnitPrice <= 0 {
+		cfg.UnitPrice = 1
+	}
+	if len(cfg.Refunds) == 0 {
+		cfg.Refunds = []RefundChoice{{Service: "default", Frac: 0.10}}
+	}
+	return &Generator{cfg: cfg, net: net, rng: rng, pairs: net.Pairs()}
+}
+
+// Generate produces every demand arriving in [0, horizonSec), sorted
+// by start time. Each s-d pair receives its own independent Poisson
+// arrival process.
+func (g *Generator) Generate(horizonSec float64) []*Demand {
+	var out []*Demand
+	ratePerSec := g.cfg.ArrivalsPerMinute / 60
+	for _, pair := range g.pairs {
+		t := 0.0
+		for {
+			t += g.rng.ExpFloat64() / ratePerSec
+			if t >= horizonSec {
+				break
+			}
+			d := g.newDemand(pair, t)
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	for i, d := range out {
+		d.ID = i
+	}
+	return out
+}
+
+func (g *Generator) newDemand(pair [2]topo.NodeID, start float64) *Demand {
+	bw := 0.0
+	if pool := g.cfg.BandwidthPool[pair]; len(pool) > 0 {
+		bw = pool[g.rng.Intn(len(pool))]
+	} else {
+		bw = g.cfg.MinBandwidth + g.rng.Float64()*(g.cfg.MaxBandwidth-g.cfg.MinBandwidth)
+	}
+	dur := g.rng.ExpFloat64() * g.cfg.MeanDurationSec
+	refund := g.cfg.Refunds[g.rng.Intn(len(g.cfg.Refunds))]
+	g.next++
+	return &Demand{
+		ID:         g.next - 1,
+		Pairs:      []PairDemand{{Src: pair[0], Dst: pair[1], Bandwidth: bw}},
+		Target:     g.cfg.Targets[g.rng.Intn(len(g.cfg.Targets))],
+		Start:      start,
+		End:        start + dur,
+		Charge:     bw * g.cfg.UnitPrice,
+		RefundFrac: refund.Frac,
+		Service:    refund.Service,
+	}
+}

@@ -1,0 +1,155 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bate/internal/topo"
+)
+
+func TestDemandHelpers(t *testing.T) {
+	d := &Demand{
+		ID: 3,
+		Pairs: []PairDemand{
+			{Src: 0, Dst: 1, Bandwidth: 100},
+			{Src: 0, Dst: 2, Bandwidth: 50},
+		},
+		Target: 0.99,
+	}
+	if d.TotalBandwidth() != 150 {
+		t.Fatalf("TotalBandwidth = %v", d.TotalBandwidth())
+	}
+	if math.Abs(d.Weight()-148.5) > 1e-9 {
+		t.Fatalf("Weight = %v, want 148.5", d.Weight())
+	}
+	if !strings.Contains(d.String(), "demand 3") {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestTargetSets(t *testing.T) {
+	for _, set := range [][]float64{Table1Targets, TestbedTargets, SimulationTargets} {
+		for _, v := range set {
+			if v < 0 || v >= 1 {
+				t.Fatalf("target %v out of [0,1)", v)
+			}
+		}
+	}
+	// Table 1 includes the four B4 tiers plus best-effort.
+	if len(Table1Targets) != 5 || Table1Targets[0] != 0.9999 {
+		t.Fatalf("Table1Targets = %v", Table1Targets)
+	}
+}
+
+func TestGeneratorPoissonRate(t *testing.T) {
+	net := topo.Testbed()
+	rng := rand.New(rand.NewSource(11))
+	g := NewGenerator(net, GeneratorConfig{
+		ArrivalsPerMinute: 2,
+		MeanDurationSec:   300,
+		MinBandwidth:      10,
+		MaxBandwidth:      50,
+	}, rng)
+	const horizon = 3600.0 // one hour
+	ds := g.Generate(horizon)
+	pairs := float64(len(net.Pairs()))
+	want := 2.0 / 60 * horizon * pairs // expected arrivals
+	got := float64(len(ds))
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("got %v arrivals, want ≈ %v", got, want)
+	}
+	// Sorted by start, IDs dense, fields in range.
+	for i, d := range ds {
+		if d.ID != i {
+			t.Fatalf("IDs not dense: %d at %d", d.ID, i)
+		}
+		if i > 0 && d.Start < ds[i-1].Start {
+			t.Fatal("not sorted by start")
+		}
+		if d.End <= d.Start {
+			t.Fatalf("duration not positive: %v..%v", d.Start, d.End)
+		}
+		bw := d.Pairs[0].Bandwidth
+		if bw < 10 || bw > 50 {
+			t.Fatalf("bandwidth %v outside [10,50]", bw)
+		}
+		if d.Charge != bw {
+			t.Fatalf("unit-price charge %v != bandwidth %v", d.Charge, bw)
+		}
+		if d.RefundFrac != 0.10 || d.Service != "default" {
+			t.Fatalf("default refund not applied: %v %v", d.RefundFrac, d.Service)
+		}
+	}
+}
+
+func TestGeneratorMeanDuration(t *testing.T) {
+	net := topo.Toy()
+	rng := rand.New(rand.NewSource(5))
+	g := NewGenerator(net, GeneratorConfig{
+		ArrivalsPerMinute: 10,
+		MeanDurationSec:   300,
+	}, rng)
+	ds := g.Generate(7200)
+	sum := 0.0
+	for _, d := range ds {
+		sum += d.End - d.Start
+	}
+	mean := sum / float64(len(ds))
+	if math.Abs(mean-300)/300 > 0.15 {
+		t.Fatalf("mean duration %v, want ≈ 300", mean)
+	}
+}
+
+func TestGeneratorBandwidthPool(t *testing.T) {
+	net := topo.Toy()
+	rng := rand.New(rand.NewSource(9))
+	pool := make(map[[2]topo.NodeID][]float64)
+	for _, p := range net.Pairs() {
+		pool[p] = []float64{123}
+	}
+	g := NewGenerator(net, GeneratorConfig{
+		ArrivalsPerMinute: 5,
+		BandwidthPool:     pool,
+		Targets:           []float64{0.99},
+		Refunds:           []RefundChoice{{Service: "Redis", Frac: 0.25}},
+	}, rng)
+	ds := g.Generate(600)
+	if len(ds) == 0 {
+		t.Fatal("no demands generated")
+	}
+	for _, d := range ds {
+		if d.Pairs[0].Bandwidth != 123 {
+			t.Fatalf("bandwidth %v, want pool value 123", d.Pairs[0].Bandwidth)
+		}
+		if d.Target != 0.99 || d.Service != "Redis" || d.RefundFrac != 0.25 {
+			t.Fatalf("config not honoured: %+v", d)
+		}
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g := NewGenerator(topo.Toy(), GeneratorConfig{}, rand.New(rand.NewSource(1)))
+	if g.cfg.ArrivalsPerMinute != 2 || g.cfg.MeanDurationSec != 300 ||
+		g.cfg.MinBandwidth != 10 || g.cfg.MaxBandwidth != 50 ||
+		g.cfg.UnitPrice != 1 {
+		t.Fatalf("defaults wrong: %+v", g.cfg)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	run := func() []*Demand {
+		return NewGenerator(topo.Toy(), GeneratorConfig{ArrivalsPerMinute: 3},
+			rand.New(rand.NewSource(77))).Generate(1200)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].Pairs[0].Bandwidth != b[i].Pairs[0].Bandwidth {
+			t.Fatal("non-deterministic demands")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package demand
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bate/internal/topo"
+)
+
+// The JSON workload format makes experiment inputs portable and
+// reviewable: node references are by DC name so a workload file is
+// meaningful independent of a topology's internal ids.
+
+// jsonPair is one pair of a serialized demand.
+type jsonPair struct {
+	Src       string  `json:"src"`
+	Dst       string  `json:"dst"`
+	Bandwidth float64 `json:"bandwidth_mbps"`
+}
+
+// jsonDemand is the on-disk form of a Demand.
+type jsonDemand struct {
+	ID         int        `json:"id"`
+	Pairs      []jsonPair `json:"pairs"`
+	Target     float64    `json:"target"`
+	Start      float64    `json:"start_sec"`
+	End        float64    `json:"end_sec"`
+	Charge     float64    `json:"charge"`
+	RefundFrac float64    `json:"refund_frac"`
+	Service    string     `json:"service,omitempty"`
+}
+
+// Save writes demands as a JSON array, resolving node ids to names
+// via net.
+func Save(w io.Writer, net *topo.Network, demands []*Demand) error {
+	out := make([]jsonDemand, len(demands))
+	for i, d := range demands {
+		jd := jsonDemand{
+			ID: d.ID, Target: d.Target, Start: d.Start, End: d.End,
+			Charge: d.Charge, RefundFrac: d.RefundFrac, Service: d.Service,
+		}
+		for _, p := range d.Pairs {
+			jd.Pairs = append(jd.Pairs, jsonPair{
+				Src: net.NodeName(p.Src), Dst: net.NodeName(p.Dst), Bandwidth: p.Bandwidth,
+			})
+		}
+		out[i] = jd
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a JSON workload, resolving DC names against net.
+func Load(r io.Reader, net *topo.Network) ([]*Demand, error) {
+	var in []jsonDemand
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("demand: decode workload: %w", err)
+	}
+	out := make([]*Demand, len(in))
+	for i, jd := range in {
+		d := &Demand{
+			ID: jd.ID, Target: jd.Target, Start: jd.Start, End: jd.End,
+			Charge: jd.Charge, RefundFrac: jd.RefundFrac, Service: jd.Service,
+		}
+		if jd.Target < 0 || jd.Target >= 1 {
+			return nil, fmt.Errorf("demand %d: target %v out of [0,1)", jd.ID, jd.Target)
+		}
+		if len(jd.Pairs) == 0 {
+			return nil, fmt.Errorf("demand %d: no pairs", jd.ID)
+		}
+		for _, p := range jd.Pairs {
+			src, ok := net.NodeByName(p.Src)
+			if !ok {
+				return nil, fmt.Errorf("demand %d: unknown DC %q", jd.ID, p.Src)
+			}
+			dst, ok := net.NodeByName(p.Dst)
+			if !ok {
+				return nil, fmt.Errorf("demand %d: unknown DC %q", jd.ID, p.Dst)
+			}
+			if p.Bandwidth <= 0 {
+				return nil, fmt.Errorf("demand %d: bandwidth %v must be positive", jd.ID, p.Bandwidth)
+			}
+			d.Pairs = append(d.Pairs, PairDemand{Src: src, Dst: dst, Bandwidth: p.Bandwidth})
+		}
+		out[i] = d
+	}
+	return out, nil
+}

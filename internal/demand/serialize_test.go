@@ -1,0 +1,66 @@
+package demand
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bate/internal/topo"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net := topo.Testbed()
+	dc := func(s string) topo.NodeID {
+		id, _ := net.NodeByName(s)
+		return id
+	}
+	demands := []*Demand{
+		{ID: 0, Pairs: []PairDemand{{Src: dc("DC1"), Dst: dc("DC3"), Bandwidth: 400}},
+			Target: 0.99, Start: 10, End: 300, Charge: 400, RefundFrac: 0.1, Service: "Redis"},
+		{ID: 1, Pairs: []PairDemand{
+			{Src: dc("DC2"), Dst: dc("DC5"), Bandwidth: 100},
+			{Src: dc("DC4"), Dst: dc("DC6"), Bandwidth: 50},
+		}, Target: 0.95, Charge: 150, RefundFrac: 0.25},
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, net, demands); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d demands", len(got))
+	}
+	for i, d := range got {
+		want := demands[i]
+		if d.ID != want.ID || d.Target != want.Target || d.Charge != want.Charge ||
+			d.RefundFrac != want.RefundFrac || d.Service != want.Service ||
+			d.Start != want.Start || d.End != want.End || len(d.Pairs) != len(want.Pairs) {
+			t.Fatalf("demand %d mismatch: %+v vs %+v", i, d, want)
+		}
+		for pi, p := range d.Pairs {
+			if p != want.Pairs[pi] {
+				t.Fatalf("pair mismatch: %+v vs %+v", p, want.Pairs[pi])
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	net := topo.Testbed()
+	cases := []string{
+		`not json`,
+		`[{"id":0,"pairs":[],"target":0.9}]`,
+		`[{"id":0,"pairs":[{"src":"NOPE","dst":"DC2","bandwidth_mbps":10}],"target":0.9}]`,
+		`[{"id":0,"pairs":[{"src":"DC1","dst":"NOPE","bandwidth_mbps":10}],"target":0.9}]`,
+		`[{"id":0,"pairs":[{"src":"DC1","dst":"DC2","bandwidth_mbps":-1}],"target":0.9}]`,
+		`[{"id":0,"pairs":[{"src":"DC1","dst":"DC2","bandwidth_mbps":10}],"target":1.5}]`,
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src), net); err == nil {
+			t.Errorf("Load(%q): expected error", src)
+		}
+	}
+}

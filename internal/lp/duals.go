@@ -1,0 +1,63 @@
+package lp
+
+// Dual values (shadow prices) for the problem's constraints, recovered
+// from the final simplex tableau. BATE uses link-capacity duals as the
+// marginal value of WAN bandwidth: the objective improvement per extra
+// Mbps on a link, which prices capacity upgrades.
+//
+// Conventions: the dual of constraint i is the derivative of the
+// optimal objective with respect to the constraint's RHS, in the
+// problem's own sense (minimize or maximize). For a minimization
+// problem, a binding >= constraint has a nonnegative dual and a
+// binding <= constraint a nonpositive one; maximization flips signs.
+
+// Duals returns the dual value per constraint (indexed as added via
+// AddConstraint). Only available for pure LPs solved to optimality;
+// MILP solutions return nil.
+func (s *Solution) Duals() []float64 { return s.duals }
+
+// Dual returns the dual value of constraint i (0 when unavailable).
+func (s *Solution) Dual(i int) float64 {
+	if s.duals == nil || i < 0 || i >= len(s.duals) {
+		return 0
+	}
+	return s.duals[i]
+}
+
+// rowMeta records how a user constraint maps onto internal tableau
+// rows: its auxiliary column and whether the row was negated during
+// RHS normalization.
+type rowMeta struct {
+	userIdx int  // index into Problem.cons, or -1 for bound rows
+	auxCol  int  // slack/surplus/artificial column holding ±e_i
+	auxSign int8 // +1 if the aux column is +e_i, -1 for surplus (-e_i)
+	negated bool // row multiplied by -1 during normalization
+}
+
+// extractDuals computes the user-constraint duals from the final
+// reduced costs: with simplex multipliers y = c_B B⁻¹, the reduced
+// cost of an auxiliary column ±e_i is c_aux ∓ y_i and c_aux = 0 in
+// phase 2, so y_i = ∓reduced[aux].
+func (t *tableau) extractDuals(nCons int) []float64 {
+	duals := make([]float64, nCons)
+	for i, m := range t.meta {
+		if m.userIdx < 0 || t.deleted[i] {
+			// Bound rows have no user constraint; redundant rows
+			// (purged in phase 1) carry zero marginal value.
+			continue
+		}
+		y := -t.reduced[m.auxCol]
+		if m.auxSign < 0 {
+			y = -y
+		}
+		if m.negated {
+			y = -y
+		}
+		if t.p.maximize {
+			// Internally we minimized -c'x; the user-sense dual flips.
+			y = -y
+		}
+		duals[m.userIdx] = y
+	}
+	return duals
+}

@@ -1,0 +1,155 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsSimpleMin(t *testing.T) {
+	// min x + 2y s.t. x + y >= 4 (binding), y >= 1 (binding):
+	// optimum x=3, y=1, obj=5. Duals: raising the first RHS by 1 costs
+	// +1 (x grows), raising the second costs +1 (swap x for y: +2-1).
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 2)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: GE, RHS: 4})
+	p.AddConstraint(Constraint{Terms: []Term{{y, 1}}, Op: GE, RHS: 1})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 5) {
+		t.Fatalf("obj = %v", sol.Objective)
+	}
+	if !near(sol.Dual(0), 1) || !near(sol.Dual(1), 1) {
+		t.Fatalf("duals = %v, want [1 1]", sol.Duals())
+	}
+}
+
+func TestDualsMaxLE(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Known duals: 0, 1.5, 1.
+	p := NewProblem()
+	p.SetMaximize()
+	x := p.AddVariable("x", 0, math.Inf(1), 3)
+	y := p.AddVariable("y", 0, math.Inf(1), 5)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: LE, RHS: 4})
+	p.AddConstraint(Constraint{Terms: []Term{{y, 2}}, Op: LE, RHS: 12})
+	p.AddConstraint(Constraint{Terms: []Term{{x, 3}, {y, 2}}, Op: LE, RHS: 18})
+	sol := solveOK(t, p)
+	want := []float64{0, 1.5, 1}
+	for i, w := range want {
+		if !near(sol.Dual(i), w) {
+			t.Fatalf("dual[%d] = %v, want %v (all: %v)", i, sol.Dual(i), w, sol.Duals())
+		}
+	}
+}
+
+// Strong duality: for feasible bounded LPs with default variable
+// bounds [0, inf), c'x* == Σ y_i b_i.
+func TestStrongDualityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		p := NewProblem()
+		p.SetMaximize()
+		vars := make([]VarID, n)
+		x0 := make([]float64, n)
+		for j := range vars {
+			x0[j] = rng.Float64() * 5
+			vars[j] = p.AddVariable("x", 0, math.Inf(1), rng.Float64()*3)
+		}
+		for i := 0; i < m; i++ {
+			terms := make([]Term, n)
+			rhs := 0.0
+			for j := range terms {
+				c := rng.Float64() + 0.05 // positive => bounded max
+				terms[j] = Term{vars[j], c}
+				rhs += c * x0[j]
+			}
+			p.AddConstraint(Constraint{Terms: terms, Op: LE, RHS: rhs})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		dualObj := 0.0
+		for i, c := range p.cons {
+			dualObj += sol.Dual(i) * c.RHS
+		}
+		if math.Abs(dualObj-sol.Objective) > 1e-6*(1+math.Abs(sol.Objective)) {
+			t.Fatalf("trial %d: primal %v != dual %v (duals %v)",
+				trial, sol.Objective, dualObj, sol.Duals())
+		}
+		// Complementary slackness: positive dual => binding constraint.
+		for i, c := range p.cons {
+			if math.Abs(sol.Dual(i)) < 1e-9 {
+				continue
+			}
+			lhs := 0.0
+			for _, tm := range c.Terms {
+				lhs += tm.Coef * sol.Value(tm.Var)
+			}
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				t.Fatalf("trial %d: dual %v on slack constraint %d (lhs %v rhs %v)",
+					trial, sol.Dual(i), i, lhs, c.RHS)
+			}
+		}
+	}
+}
+
+func TestDualsSignConventionMin(t *testing.T) {
+	// Minimization with a binding <= constraint: dual must be <= 0
+	// (loosening a <= in a min problem cannot hurt).
+	// min -x s.t. x <= 5 → x=5, dual = -1.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), -1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: LE, RHS: 5})
+	sol := solveOK(t, p)
+	if !near(sol.Dual(0), -1) {
+		t.Fatalf("dual = %v, want -1", sol.Dual(0))
+	}
+}
+
+func TestDualsEquality(t *testing.T) {
+	// min x + y s.t. x + y == 10: dual = 1 (each extra unit costs 1).
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 2)
+	_ = y
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: EQ, RHS: 10})
+	sol := solveOK(t, p)
+	if !near(sol.Dual(0), 1) {
+		t.Fatalf("dual = %v, want 1", sol.Dual(0))
+	}
+}
+
+func TestDualsUnavailableForMILP(t *testing.T) {
+	p := NewProblem()
+	p.SetMaximize()
+	a := p.AddBinary("a", 1)
+	p.AddConstraint(Constraint{Terms: []Term{{a, 1}}, Op: LE, RHS: 1})
+	sol := solveOK(t, p)
+	if sol.Duals() != nil {
+		t.Fatal("MILP solutions must not report duals")
+	}
+	if sol.Dual(0) != 0 || sol.Dual(99) != 0 {
+		t.Fatal("Dual() must be 0 when unavailable")
+	}
+}
+
+// Capacity duals price WAN links: on the Fig. 2 toy instance the
+// binding capacity rows carry the marginal bandwidth value.
+func TestDualsNegatedRow(t *testing.T) {
+	// A constraint written with negative RHS exercises row negation:
+	// min x s.t. -x <= -3 (i.e. x >= 3) → dual of the <= row is -1.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, -1}}, Op: LE, RHS: -3})
+	sol := solveOK(t, p)
+	if !near(sol.Value(x), 3) {
+		t.Fatalf("x = %v", sol.Value(x))
+	}
+	if !near(sol.Dual(0), -1) {
+		t.Fatalf("dual = %v, want -1 (obj rises 1 per unit RHS decrease)", sol.Dual(0))
+	}
+}

@@ -1,0 +1,50 @@
+package lp_test
+
+import (
+	"fmt"
+	"math"
+
+	"bate/internal/lp"
+)
+
+// Example solves a small maximization LP and reads values and duals.
+func Example() {
+	p := lp.NewProblem()
+	p.SetMaximize()
+	x := p.AddVariable("x", 0, math.Inf(1), 3)
+	y := p.AddVariable("y", 0, math.Inf(1), 5)
+	p.AddConstraint(lp.Constraint{Terms: []lp.Term{{Var: x, Coef: 1}}, Op: lp.LE, RHS: 4})
+	p.AddConstraint(lp.Constraint{Terms: []lp.Term{{Var: y, Coef: 2}}, Op: lp.LE, RHS: 12})
+	p.AddConstraint(lp.Constraint{Terms: []lp.Term{{Var: x, Coef: 3}, {Var: y, Coef: 2}}, Op: lp.LE, RHS: 18})
+
+	sol, err := p.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("objective %.0f at x=%.0f y=%.0f\n", sol.Objective, sol.Value(x), sol.Value(y))
+	fmt.Printf("shadow price of the third constraint: %.0f\n", sol.Dual(2))
+	// Output:
+	// objective 36 at x=2 y=6
+	// shadow price of the third constraint: 1
+}
+
+// ExampleProblem_AddBinary solves a tiny knapsack with branch & bound.
+func ExampleProblem_AddBinary() {
+	p := lp.NewProblem()
+	p.SetMaximize()
+	a := p.AddBinary("a", 10)
+	b := p.AddBinary("b", 13)
+	c := p.AddBinary("c", 7)
+	p.AddConstraint(lp.Constraint{
+		Terms: []lp.Term{{Var: a, Coef: 5}, {Var: b, Coef: 6}, {Var: c, Coef: 4}},
+		Op:    lp.LE, RHS: 10,
+	})
+	sol, err := p.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best value %.0f picking a=%.0f b=%.0f c=%.0f\n",
+		sol.Objective, sol.Value(a), sol.Value(b), sol.Value(c))
+	// Output:
+	// best value 20 picking a=0 b=1 c=1
+}

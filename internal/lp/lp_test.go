@@ -1,0 +1,471 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v (status %v)", err, sol.Status)
+	}
+	return sol
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMin(t *testing.T) {
+	// min x + 2y  s.t. x + y >= 4, x <= 3; expect x=3, y=1, obj=5.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 3, 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 2)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: GE, RHS: 4})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 5) || !near(sol.Value(x), 3) || !near(sol.Value(y), 1) {
+		t.Fatalf("got obj=%v x=%v y=%v", sol.Objective, sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 → x=2, y=6, obj=36.
+	p := NewProblem()
+	p.SetMaximize()
+	x := p.AddVariable("x", 0, math.Inf(1), 3)
+	y := p.AddVariable("y", 0, math.Inf(1), 5)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: LE, RHS: 4})
+	p.AddConstraint(Constraint{Terms: []Term{{y, 2}}, Op: LE, RHS: 12})
+	p.AddConstraint(Constraint{Terms: []Term{{x, 3}, {y, 2}}, Op: LE, RHS: 18})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 36) || !near(sol.Value(x), 2) || !near(sol.Value(y), 6) {
+		t.Fatalf("got obj=%v x=%v y=%v", sol.Objective, sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x+y s.t. x + y = 10, x - y = 2 → x=6, y=4.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: EQ, RHS: 10})
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, -1}}, Op: EQ, RHS: 2})
+	sol := solveOK(t, p)
+	if !near(sol.Value(x), 6) || !near(sol.Value(y), 4) {
+		t.Fatalf("got x=%v y=%v", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1, 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: GE, RHS: 5})
+	sol, err := p.Solve()
+	if err != ErrInfeasible || sol.Status != Infeasible {
+		t.Fatalf("got %v / %v, want infeasible", sol.Status, err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	p.SetMaximize()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, -1}}, Op: LE, RHS: 1})
+	sol, err := p.Solve()
+	if err != ErrUnbounded || sol.Status != Unbounded {
+		t.Fatalf("got %v / %v, want unbounded", sol.Status, err)
+	}
+}
+
+func TestLowerBoundShift(t *testing.T) {
+	// min x + y with x >= 2, y >= 3, x + y >= 7 → obj 7.
+	p := NewProblem()
+	x := p.AddVariable("x", 2, math.Inf(1), 1)
+	y := p.AddVariable("y", 3, math.Inf(1), 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: GE, RHS: 7})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 7) {
+		t.Fatalf("obj = %v, want 7", sol.Objective)
+	}
+	if sol.Value(x) < 2-1e-9 || sol.Value(y) < 3-1e-9 {
+		t.Fatalf("bounds violated: x=%v y=%v", sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicate equality rows exercise artificial purge / row deletion.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: EQ, RHS: 4})
+	p.AddConstraint(Constraint{Terms: []Term{{x, 2}, {y, 2}}, Op: EQ, RHS: 8})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 4) {
+		t.Fatalf("obj = %v, want 4", sol.Objective)
+	}
+}
+
+func TestDegenerateBeale(t *testing.T) {
+	// Beale's classic cycling example; must terminate via Bland fallback.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7
+	// s.t. 0.25x4 - 60x5 - 0.04x6 + 9x7 <= 0
+	//      0.5x4 - 90x5 - 0.02x6 + 3x7 <= 0
+	//      x6 <= 1
+	// Optimum: -0.05 at x6=1.
+	p := NewProblem()
+	x4 := p.AddVariable("x4", 0, math.Inf(1), -0.75)
+	x5 := p.AddVariable("x5", 0, math.Inf(1), 150)
+	x6 := p.AddVariable("x6", 0, math.Inf(1), -0.02)
+	x7 := p.AddVariable("x7", 0, math.Inf(1), 6)
+	p.AddConstraint(Constraint{Terms: []Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, Op: LE, RHS: 0})
+	p.AddConstraint(Constraint{Terms: []Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, Op: LE, RHS: 0})
+	p.AddConstraint(Constraint{Terms: []Term{{x6, 1}}, Op: LE, RHS: 1})
+	for _, rule := range []PivotRule{Auto, Bland} {
+		sol, err := p.SolveOpts(Options{Pivot: rule})
+		if err != nil {
+			t.Fatalf("rule %v: %v", rule, err)
+		}
+		if !near(sol.Objective, -0.05) {
+			t.Fatalf("rule %v: obj = %v, want -0.05", rule, sol.Objective)
+		}
+	}
+}
+
+func TestDuplicateTermsSummed(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {x, 1}}, Op: GE, RHS: 6})
+	sol := solveOK(t, p)
+	if !near(sol.Value(x), 3) {
+		t.Fatalf("x = %v, want 3 (2x >= 6)", sol.Value(x))
+	}
+}
+
+// feasible reports whether vals satisfies all constraints and bounds.
+func feasible(p *Problem, vals []float64) bool {
+	for j, v := range p.vars {
+		if vals[j] < v.lower-1e-6 || vals[j] > v.upper+1e-6 {
+			return false
+		}
+	}
+	for _, c := range p.cons {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * vals[t.Var]
+		}
+		switch c.Op {
+		case LE:
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-1e-6 {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRandomLPFeasibilityAndOptimality generates random LPs that are
+// feasible by construction (constraints are a'x <= a'x0 for a random
+// x0 >= 0) and checks (1) the solution is feasible, (2) it is at least
+// as good as x0, and (3) Dantzig and Bland agree on the objective.
+func TestRandomLPFeasibilityAndOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := NewProblem()
+		p.SetMaximize()
+		x0 := make([]float64, n)
+		vars := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			x0[j] = rng.Float64() * 10
+			vars[j] = p.AddVariable("x", 0, math.Inf(1), rng.Float64()*4-1)
+		}
+		bounded := false
+		for i := 0; i < m; i++ {
+			terms := make([]Term, n)
+			rhs := 0.0
+			allPos := true
+			for j := 0; j < n; j++ {
+				c := rng.Float64()*4 - 1
+				if c <= 0 {
+					allPos = false
+				}
+				terms[j] = Term{vars[j], c}
+				rhs += c * x0[j]
+			}
+			if allPos {
+				bounded = true
+			}
+			p.AddConstraint(Constraint{Terms: terms, Op: LE, RHS: rhs})
+		}
+		if !bounded {
+			// Force boundedness so the max cannot run away.
+			terms := make([]Term, n)
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				terms[j] = Term{vars[j], 1}
+				rhs += x0[j]
+			}
+			p.AddConstraint(Constraint{Terms: terms, Op: LE, RHS: rhs + 100})
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible(p, sol.Values()) {
+			t.Fatalf("trial %d: infeasible solution %v", trial, sol.Values())
+		}
+		obj0 := 0.0
+		for j := range x0 {
+			obj0 += p.vars[j].cost * x0[j]
+		}
+		if sol.Objective < obj0-1e-6 {
+			t.Fatalf("trial %d: obj %v worse than known point %v", trial, sol.Objective, obj0)
+		}
+		bl, err := p.SolveOpts(Options{Pivot: Bland})
+		if err != nil {
+			t.Fatalf("trial %d bland: %v", trial, err)
+		}
+		if math.Abs(bl.Objective-sol.Objective) > 1e-5 {
+			t.Fatalf("trial %d: dantzig %v != bland %v", trial, sol.Objective, bl.Objective)
+		}
+	}
+}
+
+func TestKnapsackMILP(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 5a + 6b + 4c <= 10, binary → b+c (20).
+	p := NewProblem()
+	p.SetMaximize()
+	a := p.AddBinary("a", 10)
+	b := p.AddBinary("b", 13)
+	c := p.AddBinary("c", 7)
+	p.AddConstraint(Constraint{Terms: []Term{{a, 5}, {b, 6}, {c, 4}}, Op: LE, RHS: 10})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 20) {
+		t.Fatalf("obj = %v, want 20", sol.Objective)
+	}
+	if !near(sol.Value(a), 0) || !near(sol.Value(b), 1) || !near(sol.Value(c), 1) {
+		t.Fatalf("got a=%v b=%v c=%v", sol.Value(a), sol.Value(b), sol.Value(c))
+	}
+}
+
+func TestMILPWithContinuous(t *testing.T) {
+	// max x + 10y, x continuous in [0, 5.5], y binary,
+	// s.t. x + 6y <= 9 → y=1, x=3, obj 13.
+	p := NewProblem()
+	p.SetMaximize()
+	x := p.AddVariable("x", 0, 5.5, 1)
+	y := p.AddBinary("y", 10)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 6}}, Op: LE, RHS: 9})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 13) || !near(sol.Value(y), 1) || !near(sol.Value(x), 3) {
+		t.Fatalf("got obj=%v x=%v y=%v", sol.Objective, sol.Value(x), sol.Value(y))
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	p := NewProblem()
+	a := p.AddBinary("a", 1)
+	b := p.AddBinary("b", 1)
+	p.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Op: GE, RHS: 3})
+	sol, err := p.Solve()
+	if err != ErrInfeasible || sol.Status != Infeasible {
+		t.Fatalf("got %v / %v, want infeasible", sol.Status, err)
+	}
+}
+
+// bruteForceBinary enumerates all binary assignments and returns the
+// best objective of feasible ones (maximization), or NaN if none.
+func bruteForceBinary(p *Problem, bins []VarID) float64 {
+	best := math.NaN()
+	n := len(bins)
+	vals := make([]float64, len(p.vars))
+	for mask := 0; mask < 1<<n; mask++ {
+		for i, v := range bins {
+			vals[v] = float64((mask >> i) & 1)
+		}
+		if !feasible(p, vals) {
+			continue
+		}
+		obj := 0.0
+		for j, v := range p.vars {
+			obj += v.cost * vals[j]
+		}
+		if math.IsNaN(best) || obj > best {
+			best = obj
+		}
+	}
+	return best
+}
+
+func TestMILPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		m := 1 + rng.Intn(4)
+		p := NewProblem()
+		p.SetMaximize()
+		bins := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			bins[j] = p.AddBinary("b", rng.Float64()*10)
+		}
+		for i := 0; i < m; i++ {
+			terms := make([]Term, n)
+			for j := 0; j < n; j++ {
+				terms[j] = Term{bins[j], rng.Float64() * 5}
+			}
+			p.AddConstraint(Constraint{Terms: terms, Op: LE, RHS: rng.Float64() * float64(n) * 2})
+		}
+		want := bruteForceBinary(p, bins)
+		sol, err := p.Solve()
+		if math.IsNaN(want) {
+			if err != ErrInfeasible {
+				t.Fatalf("trial %d: want infeasible, got %v obj=%v", trial, err, sol.Objective)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: milp %v != brute force %v", trial, sol.Objective, want)
+		}
+	}
+}
+
+func TestSolutionAccessors(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 2, -1)
+	sol := solveOK(t, p)
+	if len(sol.Values()) != 1 || !near(sol.Value(x), 2) {
+		t.Fatalf("Values() = %v", sol.Values())
+	}
+	if sol.Nodes != 1 {
+		t.Fatalf("Nodes = %d, want 1 for pure LP", sol.Nodes)
+	}
+}
+
+func TestStatusAndOpStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Fatal("Status strings wrong")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Op strings wrong")
+	}
+	if Status(99).String() != "unknown" || Op(9).String() != "?" {
+		t.Fatal("fallback strings wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	p := NewProblem()
+	mustPanic("negative lower", func() { p.AddVariable("x", -1, 1, 0) })
+	mustPanic("upper<lower", func() { p.AddVariable("x", 2, 1, 0) })
+	x := p.AddVariable("x", 0, 1, 0)
+	mustPanic("bad constraint var", func() {
+		p.AddConstraint(Constraint{Terms: []Term{{x + 5, 1}}, Op: LE, RHS: 1})
+	})
+	mustPanic("bad SetBounds", func() { p.SetBounds(x, 3, 1) })
+}
+
+func TestSetIntegral(t *testing.T) {
+	p := NewProblem()
+	p.SetMaximize()
+	x := p.AddVariable("x", 0, 2.5, 1)
+	p.SetIntegral(x)
+	if !p.HasIntegers() {
+		t.Fatal("SetIntegral not recorded")
+	}
+	sol := solveOK(t, p)
+	if !near(sol.Value(x), 2) {
+		t.Fatalf("x = %v, want integral 2", sol.Value(x))
+	}
+	if sol.Nodes < 1 {
+		t.Fatal("no branch-and-bound nodes reported")
+	}
+}
+
+func TestMILPNodeLimit(t *testing.T) {
+	// A tiny node budget on a problem whose relaxation is fractional:
+	// either an incumbent is found within budget or IterLimit reported.
+	rng := rand.New(rand.NewSource(55))
+	p := NewProblem()
+	p.SetMaximize()
+	n := 14
+	bins := make([]VarID, n)
+	for j := range bins {
+		bins[j] = p.AddBinary("b", 1+rng.Float64())
+	}
+	terms := make([]Term, n)
+	for j := range terms {
+		terms[j] = Term{bins[j], 1 + rng.Float64()}
+	}
+	p.AddConstraint(Constraint{Terms: terms, Op: LE, RHS: float64(n) / 3})
+	sol, err := p.SolveOpts(Options{MaxNodes: 2})
+	if err == nil {
+		// Found and proved optimal within 2 nodes; acceptable.
+		return
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+	// A larger budget must solve it.
+	if _, err := p.SolveOpts(Options{MaxNodes: 100000}); err != nil {
+		t.Fatalf("full solve: %v", err)
+	}
+}
+
+func TestMILPMinimization(t *testing.T) {
+	// Set-cover-ish minimization: min a+b+c s.t. a+b >= 1, b+c >= 1,
+	// a+c >= 1 over binaries → pick any two, objective 2.
+	p := NewProblem()
+	a := p.AddBinary("a", 1)
+	b := p.AddBinary("b", 1)
+	c := p.AddBinary("c", 1)
+	p.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Op: GE, RHS: 1})
+	p.AddConstraint(Constraint{Terms: []Term{{b, 1}, {c, 1}}, Op: GE, RHS: 1})
+	p.AddConstraint(Constraint{Terms: []Term{{a, 1}, {c, 1}}, Op: GE, RHS: 1})
+	sol := solveOK(t, p)
+	if !near(sol.Objective, 2) {
+		t.Fatalf("obj = %v, want 2", sol.Objective)
+	}
+}
+
+func TestZeroVariableProblem(t *testing.T) {
+	p := NewProblem()
+	sol := solveOK(t, p)
+	if sol.Objective != 0 || len(sol.Values()) != 0 {
+		t.Fatalf("empty problem: %+v", sol)
+	}
+}
+
+func TestFixedVariableViaBounds(t *testing.T) {
+	// lower == upper pins the variable.
+	p := NewProblem()
+	x := p.AddVariable("x", 3, 3, 1)
+	y := p.AddVariable("y", 0, math.Inf(1), 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: GE, RHS: 5})
+	sol := solveOK(t, p)
+	if !near(sol.Value(x), 3) || !near(sol.Value(y), 2) {
+		t.Fatalf("x=%v y=%v", sol.Value(x), sol.Value(y))
+	}
+}

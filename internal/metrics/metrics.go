@@ -1,0 +1,189 @@
+// Package metrics provides the small statistics helpers the
+// experiment harness uses to report results the way the paper does:
+// CDFs (Figs 1, 8, 11), min/avg/max error bars (§5.2 "the error bar
+// paints the maximal, average and minimal value"), and fixed-width
+// text tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution over float samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(q * float64(len(c.sorted)))
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Points samples the CDF at n evenly spaced probability levels,
+// returning (value, probability) rows suitable for plotting a figure's
+// curve.
+func (c *CDF) Points(n int) [][2]float64 {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out = append(out, [2]float64{c.Quantile(q), q})
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of samples (NaN when empty).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	m := Mean(samples)
+	sum := 0.0
+	for _, v := range samples {
+		sum += (v - m) * (v - m)
+	}
+	return math.Sqrt(sum / float64(len(samples)))
+}
+
+// ErrorBar is the min/avg/max triple the paper's error bars paint.
+type ErrorBar struct {
+	Min, Avg, Max float64
+}
+
+// NewErrorBar summarizes samples.
+func NewErrorBar(samples []float64) ErrorBar {
+	if len(samples) == 0 {
+		return ErrorBar{Min: math.NaN(), Avg: math.NaN(), Max: math.NaN()}
+	}
+	eb := ErrorBar{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range samples {
+		eb.Min = math.Min(eb.Min, v)
+		eb.Max = math.Max(eb.Max, v)
+	}
+	eb.Avg = Mean(samples)
+	return eb
+}
+
+// String formats as "avg [min, max]".
+func (e ErrorBar) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f]", e.Avg, e.Min, e.Max)
+}
+
+// Table renders fixed-width text tables for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped,
+// missing cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowv appends a row of values formatted with %v (floats with %.3g).
+func (t *Table) AddRowv(cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%.4g", v)
+		default:
+			parts[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(parts...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 4 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if pts := c.Points(5); len(pts) != 5 || pts[0][1] != 0 || pts[4][1] != 1 {
+		t.Fatalf("Points = %v", pts)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 || !math.IsNaN(c.Quantile(0.5)) || c.Points(3) != nil {
+		t.Fatal("empty CDF misbehaves")
+	}
+}
+
+// Property: At is monotone non-decreasing.
+func TestCDFMonotone(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		for i := range samples {
+			if math.IsNaN(samples[i]) {
+				samples[i] = 0
+			}
+		}
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		c := NewCDF(samples)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := Stddev([]float64{2, 2, 2}); s != 0 {
+		t.Fatalf("Stddev = %v", s)
+	}
+	if s := Stddev([]float64{1, 3}); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("Stddev = %v, want 1", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Stddev(nil)) {
+		t.Fatal("empty stats should be NaN")
+	}
+}
+
+func TestErrorBar(t *testing.T) {
+	eb := NewErrorBar([]float64{1, 5, 3})
+	if eb.Min != 1 || eb.Max != 5 || eb.Avg != 3 {
+		t.Fatalf("ErrorBar = %+v", eb)
+	}
+	if !strings.Contains(eb.String(), "3.000") {
+		t.Fatalf("String = %q", eb.String())
+	}
+	empty := NewErrorBar(nil)
+	if !math.IsNaN(empty.Avg) {
+		t.Fatal("empty error bar should be NaN")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowv("beta", 2.5)
+	tb.AddRow("toolongcell")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // header, sep, 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[2], "alpha") {
+		t.Fatalf("table malformed:\n%s", s)
+	}
+	if !strings.Contains(lines[3], "2.5") {
+		t.Fatalf("AddRowv formatting:\n%s", s)
+	}
+}

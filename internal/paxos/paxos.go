@@ -1,0 +1,247 @@
+// Package paxos implements single-decree Paxos, used by BATE's
+// controller replicas to elect a master (§4: "controller failures can
+// be remedied by using multiple replications, where the master
+// controller is elected by the Paxos algorithm").
+//
+// Node is a pure message-in/messages-out state machine: callers own
+// the transport (channels in tests, wire connections in deployments),
+// which makes the protocol deterministic to test under drops,
+// duplication and reordering.
+package paxos
+
+import "fmt"
+
+// NodeID identifies a participant.
+type NodeID int
+
+// Value is the decided value (for leader election, the winning
+// node's name or address).
+type Value string
+
+// Ballot is a Paxos ballot number, totally ordered by (Round, Node).
+type Ballot struct {
+	Round uint64
+	Node  NodeID
+}
+
+// Less orders ballots.
+func (b Ballot) Less(o Ballot) bool {
+	if b.Round != o.Round {
+		return b.Round < o.Round
+	}
+	return b.Node < o.Node
+}
+
+// IsZero reports an unset ballot.
+func (b Ballot) IsZero() bool { return b.Round == 0 && b.Node == 0 }
+
+// Kind discriminates protocol messages.
+type Kind int8
+
+// Message kinds of the two Paxos phases.
+const (
+	Prepare Kind = iota + 1
+	Promise
+	Reject // Promise/Accept refusal carrying the higher promised ballot
+	Accept
+	Accepted
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Prepare:
+		return "prepare"
+	case Promise:
+		return "promise"
+	case Reject:
+		return "reject"
+	case Accept:
+		return "accept"
+	case Accepted:
+		return "accepted"
+	}
+	return "unknown"
+}
+
+// Message is one Paxos protocol message.
+type Message struct {
+	Kind     Kind
+	From, To NodeID
+	Ballot   Ballot
+	// Promise: previously accepted proposal, if any.
+	AcceptedBallot Ballot
+	AcceptedValue  Value
+	HasAccepted    bool
+	// Accept/Accepted: the proposed value.
+	Value Value
+}
+
+// Node is one Paxos participant, acting as proposer, acceptor and
+// learner. It is not safe for concurrent use; serialize calls.
+type Node struct {
+	id    NodeID
+	peers []NodeID // all participants including self
+
+	// Acceptor state.
+	promised    Ballot
+	accepted    Ballot
+	acceptedVal Value
+	hasAccepted bool
+
+	// Proposer state.
+	round     uint64
+	proposal  Value
+	proposing bool
+	curBallot Ballot
+	promises  map[NodeID]Message
+	acceptOKs map[NodeID]bool
+
+	// Learner state: Accepted counts per ballot.
+	learned map[Ballot]map[NodeID]bool
+	values  map[Ballot]Value
+	chosen  *Value
+}
+
+// NewNode creates a participant; peers must include id and be the
+// same set on every node.
+func NewNode(id NodeID, peers []NodeID) *Node {
+	n := &Node{
+		id:      id,
+		peers:   append([]NodeID(nil), peers...),
+		learned: make(map[Ballot]map[NodeID]bool),
+		values:  make(map[Ballot]Value),
+	}
+	return n
+}
+
+// ID returns the node's id.
+func (n *Node) ID() NodeID { return n.id }
+
+// Chosen returns the decided value once a majority has accepted one.
+func (n *Node) Chosen() (Value, bool) {
+	if n.chosen == nil {
+		return "", false
+	}
+	return *n.chosen, true
+}
+
+func (n *Node) majority() int { return len(n.peers)/2 + 1 }
+
+// Propose starts (or restarts, with a higher ballot) a proposal for
+// value v, returning the Prepare messages to send to every peer.
+// Paxos may decide a different value if one was already accepted.
+func (n *Node) Propose(v Value) []Message {
+	n.round++
+	if n.promised.Round >= n.round {
+		n.round = n.promised.Round + 1
+	}
+	n.proposal = v
+	n.proposing = true
+	n.curBallot = Ballot{Round: n.round, Node: n.id}
+	n.promises = make(map[NodeID]Message)
+	n.acceptOKs = make(map[NodeID]bool)
+	out := make([]Message, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, Message{Kind: Prepare, From: n.id, To: p, Ballot: n.curBallot})
+	}
+	return out
+}
+
+// Handle processes one incoming message and returns the messages to
+// send in response. Unknown or stale messages produce no output.
+func (n *Node) Handle(m Message) []Message {
+	switch m.Kind {
+	case Prepare:
+		return n.onPrepare(m)
+	case Promise:
+		return n.onPromise(m)
+	case Reject:
+		return n.onReject(m)
+	case Accept:
+		return n.onAccept(m)
+	case Accepted:
+		n.onAccepted(m)
+		return nil
+	}
+	return nil
+}
+
+func (n *Node) onPrepare(m Message) []Message {
+	if n.promised.Less(m.Ballot) {
+		n.promised = m.Ballot
+		return []Message{{
+			Kind: Promise, From: n.id, To: m.From, Ballot: m.Ballot,
+			AcceptedBallot: n.accepted, AcceptedValue: n.acceptedVal, HasAccepted: n.hasAccepted,
+		}}
+	}
+	return []Message{{Kind: Reject, From: n.id, To: m.From, Ballot: n.promised}}
+}
+
+func (n *Node) onPromise(m Message) []Message {
+	if !n.proposing || m.Ballot != n.curBallot {
+		return nil
+	}
+	n.promises[m.From] = m
+	if len(n.promises) != n.majority() {
+		return nil // act exactly once, at quorum
+	}
+	// Adopt the highest-ballot accepted value among promises, if any.
+	value := n.proposal
+	var best Ballot
+	for _, pm := range n.promises {
+		if pm.HasAccepted && best.Less(pm.AcceptedBallot) {
+			best = pm.AcceptedBallot
+			value = pm.AcceptedValue
+		}
+	}
+	out := make([]Message, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, Message{Kind: Accept, From: n.id, To: p, Ballot: n.curBallot, Value: value})
+	}
+	return out
+}
+
+func (n *Node) onReject(m Message) []Message {
+	if !n.proposing || n.curBallot.Round > m.Ballot.Round {
+		return nil
+	}
+	// A higher ballot exists; catch up so the next Propose outbids it.
+	if n.round < m.Ballot.Round {
+		n.round = m.Ballot.Round
+	}
+	n.proposing = false
+	return nil
+}
+
+func (n *Node) onAccept(m Message) []Message {
+	if m.Ballot.Less(n.promised) {
+		return []Message{{Kind: Reject, From: n.id, To: m.From, Ballot: n.promised}}
+	}
+	n.promised = m.Ballot
+	n.accepted = m.Ballot
+	n.acceptedVal = m.Value
+	n.hasAccepted = true
+	// Announce to all learners (every peer).
+	out := make([]Message, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, Message{Kind: Accepted, From: n.id, To: p, Ballot: m.Ballot, Value: m.Value})
+	}
+	return out
+}
+
+func (n *Node) onAccepted(m Message) {
+	if n.learned[m.Ballot] == nil {
+		n.learned[m.Ballot] = make(map[NodeID]bool)
+	}
+	n.learned[m.Ballot][m.From] = true
+	n.values[m.Ballot] = m.Value
+	if n.chosen == nil && len(n.learned[m.Ballot]) >= n.majority() {
+		v := m.Value
+		n.chosen = &v
+	} else if n.chosen != nil && len(n.learned[m.Ballot]) >= n.majority() && *n.chosen != m.Value {
+		// Paxos safety guarantees this cannot happen; panicking here
+		// turns a protocol bug into a loud failure instead of a split
+		// brain.
+		panic(fmt.Sprintf("paxos: node %d learned conflicting values %q and %q", n.id, *n.chosen, m.Value))
+	}
+}

@@ -1,0 +1,186 @@
+package paxos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// cluster is an in-memory test harness delivering messages between
+// nodes, optionally dropping or duplicating them.
+type cluster struct {
+	nodes map[NodeID]*Node
+	queue []Message
+	rng   *rand.Rand
+	drop  float64 // probability of dropping a message
+	dup   float64 // probability of duplicating a message
+}
+
+func newCluster(n int, seed int64) *cluster {
+	c := &cluster{nodes: make(map[NodeID]*Node), rng: rand.New(rand.NewSource(seed))}
+	peers := make([]NodeID, n)
+	for i := range peers {
+		peers[i] = NodeID(i + 1)
+	}
+	for _, id := range peers {
+		c.nodes[id] = NewNode(id, peers)
+	}
+	return c
+}
+
+func (c *cluster) send(ms []Message) {
+	for _, m := range ms {
+		if c.rng.Float64() < c.drop {
+			continue
+		}
+		c.queue = append(c.queue, m)
+		if c.rng.Float64() < c.dup {
+			c.queue = append(c.queue, m)
+		}
+	}
+}
+
+// run delivers queued messages (in shuffled order) until quiescent or
+// the step budget is exhausted.
+func (c *cluster) run(maxSteps int) {
+	for steps := 0; len(c.queue) > 0 && steps < maxSteps; steps++ {
+		i := c.rng.Intn(len(c.queue))
+		m := c.queue[i]
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		if node, ok := c.nodes[m.To]; ok {
+			c.send(node.Handle(m))
+		}
+	}
+}
+
+func (c *cluster) chosenValues() map[Value]bool {
+	out := make(map[Value]bool)
+	for _, n := range c.nodes {
+		if v, ok := n.Chosen(); ok {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func TestSingleProposerElection(t *testing.T) {
+	c := newCluster(3, 1)
+	c.send(c.nodes[1].Propose("node-1"))
+	c.run(10000)
+	chosen := c.chosenValues()
+	if len(chosen) != 1 || !chosen["node-1"] {
+		t.Fatalf("chosen = %v, want {node-1}", chosen)
+	}
+	// Every node learned it.
+	for id, n := range c.nodes {
+		if _, ok := n.Chosen(); !ok {
+			t.Fatalf("node %d did not learn the decision", id)
+		}
+	}
+}
+
+func TestCompetingProposersAgree(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		c := newCluster(5, seed)
+		// All five propose themselves concurrently.
+		for id := NodeID(1); id <= 5; id++ {
+			c.send(c.nodes[id].Propose(Value(fmt.Sprintf("node-%d", id))))
+		}
+		// Re-propose on stalls: nodes whose proposal was rejected try
+		// again with higher ballots.
+		for round := 0; round < 20; round++ {
+			c.run(100000)
+			if len(c.chosenValues()) > 0 {
+				break
+			}
+			for id := NodeID(1); id <= 5; id++ {
+				c.send(c.nodes[id].Propose(Value(fmt.Sprintf("node-%d", id))))
+			}
+		}
+		chosen := c.chosenValues()
+		if len(chosen) != 1 {
+			t.Fatalf("seed %d: chosen = %v, want exactly one value", seed, chosen)
+		}
+	}
+}
+
+func TestAgreementUnderDropsAndDuplicates(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := newCluster(3, seed)
+		c.drop = 0.2
+		c.dup = 0.2
+		decided := false
+		for attempt := 0; attempt < 50 && !decided; attempt++ {
+			proposer := NodeID(c.rng.Intn(3) + 1)
+			c.send(c.nodes[proposer].Propose(Value(fmt.Sprintf("node-%d", proposer))))
+			c.run(100000)
+			decided = len(c.chosenValues()) > 0
+		}
+		if !decided {
+			t.Fatalf("seed %d: no decision after 50 attempts", seed)
+		}
+		if got := c.chosenValues(); len(got) != 1 {
+			t.Fatalf("seed %d: conflicting decisions %v", seed, got)
+		}
+	}
+}
+
+// Once a value is chosen, later proposals must decide the same value.
+func TestChosenValueStable(t *testing.T) {
+	c := newCluster(3, 7)
+	c.send(c.nodes[1].Propose("first"))
+	c.run(10000)
+	if got := c.chosenValues(); !got["first"] {
+		t.Fatalf("setup: %v", got)
+	}
+	// A later competing proposal must converge to "first".
+	c.send(c.nodes[2].Propose("second"))
+	c.run(10000)
+	got := c.chosenValues()
+	if len(got) != 1 || !got["first"] {
+		t.Fatalf("later proposal changed the decision: %v", got)
+	}
+}
+
+func TestMinorityPartitionCannotDecide(t *testing.T) {
+	c := newCluster(5, 3)
+	// Deliver messages only among nodes 1-2 (a minority).
+	c.send(c.nodes[1].Propose("isolated"))
+	for steps := 0; len(c.queue) > 0 && steps < 10000; steps++ {
+		m := c.queue[0]
+		c.queue = c.queue[1:]
+		if m.To > 2 {
+			continue // partitioned away
+		}
+		c.send(c.nodes[m.To].Handle(m))
+	}
+	if got := c.chosenValues(); len(got) != 0 {
+		t.Fatalf("minority decided: %v", got)
+	}
+}
+
+func TestBallotOrdering(t *testing.T) {
+	a := Ballot{Round: 1, Node: 2}
+	b := Ballot{Round: 2, Node: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("round dominates")
+	}
+	c := Ballot{Round: 1, Node: 3}
+	if !a.Less(c) {
+		t.Fatal("node breaks ties")
+	}
+	if !(Ballot{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Prepare, Promise, Reject, Accept, Accepted} {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("fallback")
+	}
+}

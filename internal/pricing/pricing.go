@@ -1,0 +1,110 @@
+// Package pricing implements the SLA pricing and refund model of §3.4:
+// a demand is charged g_d, and if its bandwidth-availability target is
+// violated a fraction μ_d is refunded. Refund schedules follow the ten
+// Azure cloud services referenced in §5.2 (footnote 8) and the Amazon
+// Compute SLA.
+package pricing
+
+import "fmt"
+
+// Tier is one row of an SLA credit schedule: if the achieved
+// availability falls below Below (a fraction), the customer is
+// credited Credit (fraction of the charge).
+type Tier struct {
+	Below  float64
+	Credit float64
+}
+
+// Service is a cloud service with a published SLA credit schedule,
+// ordered from highest Below to lowest.
+type Service struct {
+	Name  string
+	Tiers []Tier
+}
+
+// Refund returns the credited fraction of the charge for the achieved
+// availability (0 if the SLA was met).
+func (s Service) Refund(achieved float64) float64 {
+	credit := 0.0
+	for _, t := range s.Tiers {
+		if achieved < t.Below {
+			credit = t.Credit
+		}
+	}
+	return credit
+}
+
+// FirstTierCredit returns the credit of the mildest violation tier,
+// used as the paper's single μ_d per demand.
+func (s Service) FirstTierCredit() float64 {
+	if len(s.Tiers) == 0 {
+		return 0
+	}
+	return s.Tiers[0].Credit
+}
+
+// The standard three-tier Azure schedule (credit 10%/25%/100% below
+// 99.9%/99%/95%) and variants used by specific services.
+var (
+	threeNines = []Tier{{0.999, 0.10}, {0.99, 0.25}, {0.95, 1.00}}
+	fourNines  = []Tier{{0.9999, 0.10}, {0.999, 0.25}, {0.95, 1.00}}
+	twoNinesHi = []Tier{{0.995, 0.10}, {0.99, 0.25}, {0.95, 1.00}}
+)
+
+// AzureServices are the ten services of §5.2 footnote 8 with their SLA
+// credit schedules.
+var AzureServices = []Service{
+	{Name: "API Management", Tiers: threeNines},
+	{Name: "App Configuration", Tiers: threeNines},
+	{Name: "Application Gateway", Tiers: twoNinesHi},
+	{Name: "Application Insights", Tiers: threeNines},
+	{Name: "Automation", Tiers: threeNines},
+	{Name: "Virtual Machines", Tiers: fourNines},
+	{Name: "BareMetal Infrastructure", Tiers: threeNines},
+	{Name: "Redis", Tiers: threeNines},
+	{Name: "CDN", Tiers: threeNines},
+	{Name: "Storage Accounts", Tiers: fourNines},
+}
+
+// TestbedServices are the three services used by the testbed workload
+// (§5.1): Redis, CDN and Virtual Machines.
+var TestbedServices = []Service{
+	AzureServices[7], AzureServices[8], AzureServices[5],
+}
+
+// ByName returns the named Azure service.
+func ByName(name string) (Service, error) {
+	for _, s := range AzureServices {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Service{}, fmt.Errorf("pricing: unknown service %q", name)
+}
+
+// Profit returns r_d, the profit after refunding (§3.4): the full
+// charge if every pair met its demand (violated == false), otherwise
+// (1-μ)·g_d.
+func Profit(charge, refundFrac float64, violated bool) float64 {
+	if violated {
+		return (1 - refundFrac) * charge
+	}
+	return charge
+}
+
+// AchievedRefund returns the refund fraction for a demand whose
+// achieved availability is known, using the service's full tier
+// schedule (a richer model than the single-μ simplification; used by
+// the overall-profit experiments).
+func AchievedRefund(s Service, achieved, target float64) float64 {
+	if achieved >= target {
+		return 0
+	}
+	if r := s.Refund(achieved); r > 0 {
+		return r
+	}
+	// The SLA schedule may start below the demand's target; any
+	// violation of the negotiated target still triggers the mildest
+	// tier.
+	return s.FirstTierCredit()
+}

@@ -1,0 +1,106 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRefundTiers(t *testing.T) {
+	vm, err := ByName("Virtual Machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		achieved float64
+		want     float64
+	}{
+		{0.99995, 0},   // SLA met
+		{0.9995, 0.10}, // below 99.99
+		{0.995, 0.25},  // below 99.9
+		{0.90, 1.00},   // below 95
+	}
+	for _, c := range cases {
+		if got := vm.Refund(c.achieved); got != c.want {
+			t.Errorf("Refund(%v) = %v, want %v", c.achieved, got, c.want)
+		}
+	}
+}
+
+func TestFirstTierCredit(t *testing.T) {
+	for _, s := range AzureServices {
+		if got := s.FirstTierCredit(); got != 0.10 {
+			t.Errorf("%s: first tier %v, want 0.10", s.Name, got)
+		}
+	}
+	if (Service{}).FirstTierCredit() != 0 {
+		t.Error("empty service should have no credit")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Redis"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown service")
+	}
+}
+
+func TestTenServices(t *testing.T) {
+	if len(AzureServices) != 10 {
+		t.Fatalf("got %d services, want the 10 of §5.2", len(AzureServices))
+	}
+	seen := map[string]bool{}
+	for _, s := range AzureServices {
+		if seen[s.Name] {
+			t.Fatalf("duplicate service %s", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Tiers) == 0 {
+			t.Fatalf("%s has no tiers", s.Name)
+		}
+		// Tiers must be ordered highest Below first and credits
+		// non-decreasing.
+		for i := 1; i < len(s.Tiers); i++ {
+			if s.Tiers[i].Below >= s.Tiers[i-1].Below {
+				t.Fatalf("%s tiers out of order", s.Name)
+			}
+			if s.Tiers[i].Credit < s.Tiers[i-1].Credit {
+				t.Fatalf("%s credits decrease", s.Name)
+			}
+		}
+	}
+	if len(TestbedServices) != 3 {
+		t.Fatalf("testbed services = %d, want 3 (Redis, CDN, VMs)", len(TestbedServices))
+	}
+}
+
+func TestProfit(t *testing.T) {
+	if Profit(100, 0.10, false) != 100 {
+		t.Fatal("no violation should keep full charge")
+	}
+	if got := Profit(100, 0.10, true); math.Abs(got-90) > 1e-12 {
+		t.Fatalf("Profit violated = %v, want 90", got)
+	}
+	if got := Profit(100, 1, true); got != 0 {
+		t.Fatalf("full refund = %v, want 0", got)
+	}
+}
+
+func TestAchievedRefund(t *testing.T) {
+	redis, _ := ByName("Redis")
+	if got := AchievedRefund(redis, 0.9999, 0.999); got != 0 {
+		t.Fatalf("met SLA: refund %v, want 0", got)
+	}
+	if got := AchievedRefund(redis, 0.998, 0.999); got != 0.10 {
+		t.Fatalf("mild violation: refund %v, want 0.10", got)
+	}
+	if got := AchievedRefund(redis, 0.94, 0.999); got != 1.00 {
+		t.Fatalf("severe violation: refund %v, want 1.00", got)
+	}
+	// Violation of a target above the schedule's top tier still
+	// triggers the mildest credit.
+	if got := AchievedRefund(redis, 0.9995, 0.9999); got != 0.10 {
+		t.Fatalf("above-schedule violation: refund %v, want 0.10", got)
+	}
+}

@@ -1,0 +1,102 @@
+package routing
+
+import "bate/internal/topo"
+
+// Tunnel-set quality metrics. Fig. 18's finding — oblivious routing
+// works slightly better "because it finds diverse and low-stretch
+// paths and avoids link over-utilization" — rests on these properties;
+// they are measurable here for any tunnel set.
+
+// Stretch returns the hop-count stretch of tunnel t relative to the
+// shortest path between its endpoints (1.0 = shortest possible).
+func Stretch(n *topo.Network, t Tunnel) float64 {
+	sp := dijkstra(n, t.Src, t.Dst, hopWeight, nil, nil)
+	if len(sp) == 0 {
+		return 1
+	}
+	return float64(len(t.Links)) / float64(len(sp))
+}
+
+// MaxStretch returns the largest stretch across a pair's tunnels.
+func MaxStretch(n *topo.Network, tunnels []Tunnel) float64 {
+	max := 0.0
+	for _, t := range tunnels {
+		if s := Stretch(n, t); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Diversity measures how link-disjoint a pair's tunnels are: 1 means
+// fully edge-disjoint, approaching 0 as every tunnel reuses the same
+// links. Defined as distinct links used / total link traversals.
+func Diversity(tunnels []Tunnel) float64 {
+	total := 0
+	distinct := make(map[topo.LinkID]bool)
+	for _, t := range tunnels {
+		for _, e := range t.Links {
+			total++
+			distinct[e] = true
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(len(distinct)) / float64(total)
+}
+
+// QualityReport summarizes a tunnel set's stretch and diversity.
+type QualityReport struct {
+	Pairs         int
+	MeanTunnels   float64
+	MeanStretch   float64
+	MaxStretch    float64
+	MeanDiversity float64
+	// MaxLinkShare is the fraction of all tunnels traversing the most
+	// popular link — a proxy for over-utilization risk.
+	MaxLinkShare float64
+}
+
+// Quality computes the report for a whole tunnel set.
+func Quality(ts *TunnelSet) QualityReport {
+	r := QualityReport{}
+	n := ts.Net
+	linkUse := make(map[topo.LinkID]int)
+	totalTunnels, totalStretch := 0, 0.0
+	for _, pair := range n.Pairs() {
+		tunnels := ts.For(pair[0], pair[1])
+		if len(tunnels) == 0 {
+			continue
+		}
+		r.Pairs++
+		r.MeanTunnels += float64(len(tunnels))
+		r.MeanDiversity += Diversity(tunnels)
+		for _, t := range tunnels {
+			totalTunnels++
+			s := Stretch(n, t)
+			totalStretch += s
+			if s > r.MaxStretch {
+				r.MaxStretch = s
+			}
+			for _, e := range t.Links {
+				linkUse[e]++
+			}
+		}
+	}
+	if r.Pairs > 0 {
+		r.MeanTunnels /= float64(r.Pairs)
+		r.MeanDiversity /= float64(r.Pairs)
+	}
+	if totalTunnels > 0 {
+		r.MeanStretch = totalStretch / float64(totalTunnels)
+		maxUse := 0
+		for _, u := range linkUse {
+			if u > maxUse {
+				maxUse = u
+			}
+		}
+		r.MaxLinkShare = float64(maxUse) / float64(totalTunnels)
+	}
+	return r
+}

@@ -1,0 +1,375 @@
+// Package routing computes the tunnel sets T_k used by BATE and the
+// baseline TE schemes (§3.1, §4 "Offline Routing"): k-shortest paths,
+// edge-disjoint paths, and oblivious (low-stretch randomized-tree)
+// routing.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"bate/internal/topo"
+)
+
+// Tunnel is a loop-free path between one source-destination pair,
+// identified by the ordered list of link ids it traverses.
+type Tunnel struct {
+	Src, Dst topo.NodeID
+	Links    []topo.LinkID
+}
+
+// Nodes returns the node sequence of the tunnel (Src first, Dst last).
+func (t Tunnel) Nodes(n *topo.Network) []topo.NodeID {
+	nodes := []topo.NodeID{t.Src}
+	for _, id := range t.Links {
+		nodes = append(nodes, n.Link(id).Dst)
+	}
+	return nodes
+}
+
+// Uses reports whether the tunnel traverses link e (the u^e_t input of
+// Table 2).
+func (t Tunnel) Uses(e topo.LinkID) bool {
+	for _, id := range t.Links {
+		if id == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Availability returns the probability that every link of the tunnel
+// is up, assuming independent link failures (§2.2).
+func (t Tunnel) Availability(n *topo.Network) float64 {
+	p := 1.0
+	for _, id := range t.Links {
+		p *= 1 - n.Link(id).FailProb
+	}
+	return p
+}
+
+// Bottleneck returns the minimum link capacity along the tunnel.
+func (t Tunnel) Bottleneck(n *topo.Network) float64 {
+	c := math.Inf(1)
+	for _, id := range t.Links {
+		if cap := n.Link(id).Capacity; cap < c {
+			c = cap
+		}
+	}
+	return c
+}
+
+// Format renders the tunnel as node names joined by "->".
+func (t Tunnel) Format(n *topo.Network) string {
+	s := n.NodeName(t.Src)
+	for _, id := range t.Links {
+		s += "->" + n.NodeName(n.Link(id).Dst)
+	}
+	return s
+}
+
+// key returns a comparable identity for deduplication.
+func (t Tunnel) key() string {
+	return fmt.Sprint(t.Links)
+}
+
+// Scheme selects a tunnel-computation algorithm.
+type Scheme int8
+
+// Tunnel selection schemes evaluated in Fig. 18.
+const (
+	KShortest Scheme = iota
+	EdgeDisjoint
+	Oblivious
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case KShortest:
+		return "KSP"
+	case EdgeDisjoint:
+		return "Edge-disjoint"
+	case Oblivious:
+		return "Oblivious"
+	}
+	return "unknown"
+}
+
+// TunnelSet holds the precomputed tunnels for every s-d pair of a
+// network (the T_k sets).
+type TunnelSet struct {
+	Net     *topo.Network
+	Scheme  Scheme
+	K       int
+	byPair  map[[2]topo.NodeID][]Tunnel
+	tunnels []Tunnel // all tunnels, stable order
+}
+
+// For returns the tunnels for the pair (src, dst). The returned slice
+// must not be modified.
+func (ts *TunnelSet) For(src, dst topo.NodeID) []Tunnel {
+	return ts.byPair[[2]topo.NodeID{src, dst}]
+}
+
+// All returns every tunnel across all pairs in deterministic order.
+func (ts *TunnelSet) All() []Tunnel { return ts.tunnels }
+
+// Compute builds the tunnel set for net using the given scheme with k
+// tunnels per pair (the paper defaults to 4-shortest paths).
+func Compute(net *topo.Network, scheme Scheme, k int) *TunnelSet {
+	if k <= 0 {
+		k = 4
+	}
+	ts := &TunnelSet{Net: net, Scheme: scheme, K: k, byPair: make(map[[2]topo.NodeID][]Tunnel)}
+	for _, pair := range net.Pairs() {
+		var tun []Tunnel
+		switch scheme {
+		case KShortest:
+			tun = YenKSP(net, pair[0], pair[1], k)
+		case EdgeDisjoint:
+			tun = EdgeDisjointPaths(net, pair[0], pair[1], k)
+		case Oblivious:
+			tun = ObliviousPaths(net, pair[0], pair[1], k, 1)
+		}
+		ts.byPair[pair] = tun
+		ts.tunnels = append(ts.tunnels, tun...)
+	}
+	return ts
+}
+
+// linkWeight is the routing metric: unit hop cost. A separate weighted
+// variant supports the oblivious sampler.
+type weightFunc func(topo.Link) float64
+
+func hopWeight(topo.Link) float64 { return 1 }
+
+// dijkstra returns the shortest path from src to dst under w, as a
+// link sequence, or nil if unreachable. banned links/nodes are skipped
+// (bannedNode[src] is ignored so Yen's spur node works).
+func dijkstra(n *topo.Network, src, dst topo.NodeID, w weightFunc,
+	bannedLink map[topo.LinkID]bool, bannedNode map[topo.NodeID]bool) []topo.LinkID {
+
+	const inf = math.MaxFloat64
+	dist := make([]float64, n.NumNodes())
+	prev := make([]topo.LinkID, n.NumNodes())
+	done := make([]bool, n.NumNodes())
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodePQ{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		if v == dst {
+			break
+		}
+		for _, id := range n.Out(v) {
+			if bannedLink[id] {
+				continue
+			}
+			l := n.Link(id)
+			if bannedNode[l.Dst] && l.Dst != dst {
+				continue
+			}
+			nd := dist[v] + w(l)
+			if nd < dist[l.Dst] {
+				dist[l.Dst] = nd
+				prev[l.Dst] = id
+				heap.Push(pq, nodeItem{node: l.Dst, dist: nd})
+			}
+		}
+	}
+	if prev[dst] == -1 && src != dst {
+		if dist[dst] == inf {
+			return nil
+		}
+	}
+	// Reconstruct.
+	var rev []topo.LinkID
+	for v := dst; v != src; {
+		id := prev[v]
+		if id == -1 {
+			return nil
+		}
+		rev = append(rev, id)
+		v = n.Link(id).Src
+	}
+	links := make([]topo.LinkID, len(rev))
+	for i := range rev {
+		links[i] = rev[len(rev)-1-i]
+	}
+	return links
+}
+
+type nodeItem struct {
+	node topo.NodeID
+	dist float64
+}
+
+type nodePQ []nodeItem
+
+func (q nodePQ) Len() int            { return len(q) }
+func (q nodePQ) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nodePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x interface{}) { *q = append(*q, x.(nodeItem)) }
+func (q *nodePQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// YenKSP returns up to k loop-free shortest paths from src to dst by
+// hop count (Yen's algorithm), in non-decreasing length order.
+func YenKSP(n *topo.Network, src, dst topo.NodeID, k int) []Tunnel {
+	first := dijkstra(n, src, dst, hopWeight, nil, nil)
+	if first == nil {
+		return nil
+	}
+	paths := [][]topo.LinkID{first}
+	seen := map[string]bool{Tunnel{Links: first}.key(): true}
+	var candidates [][]topo.LinkID
+
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// Spur from every node of the previous path.
+		prefixNodes := []topo.NodeID{src}
+		for _, id := range last {
+			prefixNodes = append(prefixNodes, n.Link(id).Dst)
+		}
+		for i := 0; i < len(last); i++ {
+			spur := prefixNodes[i]
+			rootLinks := last[:i]
+			bannedLink := make(map[topo.LinkID]bool)
+			for _, p := range paths {
+				if sharesPrefix(p, rootLinks) && len(p) > i {
+					bannedLink[p[i]] = true
+				}
+			}
+			bannedNode := make(map[topo.NodeID]bool)
+			for _, v := range prefixNodes[:i] {
+				bannedNode[v] = true
+			}
+			spurPath := dijkstra(n, spur, dst, hopWeight, bannedLink, bannedNode)
+			if spurPath == nil {
+				continue
+			}
+			full := append(append([]topo.LinkID(nil), rootLinks...), spurPath...)
+			key := Tunnel{Links: full}.key()
+			if !seen[key] {
+				seen[key] = true
+				candidates = append(candidates, full)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if len(candidates[a]) != len(candidates[b]) {
+				return len(candidates[a]) < len(candidates[b])
+			}
+			return Tunnel{Links: candidates[a]}.key() < Tunnel{Links: candidates[b]}.key()
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	out := make([]Tunnel, len(paths))
+	for i, p := range paths {
+		out[i] = Tunnel{Src: src, Dst: dst, Links: p}
+	}
+	return out
+}
+
+func sharesPrefix(p, prefix []topo.LinkID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeDisjointPaths returns up to k mutually edge-disjoint paths from
+// src to dst, greedily shortest-first (the risk-aware edge-disjoint
+// routing of [49] reduces to disjoint shortest paths on these
+// topologies).
+func EdgeDisjointPaths(n *topo.Network, src, dst topo.NodeID, k int) []Tunnel {
+	banned := make(map[topo.LinkID]bool)
+	var out []Tunnel
+	for len(out) < k {
+		p := dijkstra(n, src, dst, hopWeight, banned, nil)
+		if p == nil {
+			break
+		}
+		out = append(out, Tunnel{Src: src, Dst: dst, Links: p})
+		for _, id := range p {
+			banned[id] = true
+		}
+	}
+	return out
+}
+
+// ObliviousPaths approximates Räcke-style oblivious routing by
+// sampling low-stretch shortest paths under exponentially perturbed,
+// capacity-biased link weights, keeping the k most diverse distinct
+// paths (DESIGN.md substitution 5). seed makes the sampling
+// deterministic.
+func ObliviousPaths(n *topo.Network, src, dst topo.NodeID, k int, seed int64) []Tunnel {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(src)*131 + int64(dst)))
+	base := dijkstra(n, src, dst, hopWeight, nil, nil)
+	if base == nil {
+		return nil
+	}
+	maxStretch := float64(len(base)) * 2.5
+	seen := map[string]bool{Tunnel{Links: base}.key(): true}
+	out := []Tunnel{{Src: src, Dst: dst, Links: base}}
+	samples := 8 * k
+	for s := 0; s < samples && len(out) < k; s++ {
+		w := func(l topo.Link) float64 {
+			// Capacity bias: prefer fat links; exponential perturbation
+			// yields the randomized low-stretch trees of Räcke-style
+			// schemes.
+			return (1 + rng.ExpFloat64()) * (1 + 10000/l.Capacity) / 2
+		}
+		p := dijkstra(n, src, dst, w, nil, nil)
+		if p == nil || float64(len(p)) > maxStretch {
+			continue
+		}
+		key := Tunnel{Links: p}.key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Tunnel{Src: src, Dst: dst, Links: p})
+	}
+	// Fall back to Yen to fill up if sampling found too few, keeping
+	// the low-stretch property.
+	if len(out) < k {
+		for _, t := range YenKSP(n, src, dst, k) {
+			if len(out) >= k {
+				break
+			}
+			if float64(len(t.Links)) > maxStretch {
+				continue
+			}
+			if !seen[t.key()] {
+				seen[t.key()] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}

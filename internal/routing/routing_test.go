@@ -1,0 +1,328 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"bate/internal/topo"
+)
+
+func nodesOf(t *testing.T, n *topo.Network, names ...string) []topo.NodeID {
+	t.Helper()
+	out := make([]topo.NodeID, len(names))
+	for i, name := range names {
+		id, ok := n.NodeByName(name)
+		if !ok {
+			t.Fatalf("node %s missing", name)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// validPath checks the link sequence is connected src->dst and loop free.
+func validPath(t *testing.T, n *topo.Network, tun Tunnel) {
+	t.Helper()
+	if len(tun.Links) == 0 {
+		t.Fatal("empty tunnel")
+	}
+	cur := tun.Src
+	visited := map[topo.NodeID]bool{cur: true}
+	for _, id := range tun.Links {
+		l := n.Link(id)
+		if l.Src != cur {
+			t.Fatalf("disconnected tunnel at link %d: %v != %v", id, l.Src, cur)
+		}
+		cur = l.Dst
+		if visited[cur] {
+			t.Fatalf("loop at node %v", cur)
+		}
+		visited[cur] = true
+	}
+	if cur != tun.Dst {
+		t.Fatalf("tunnel ends at %v, want %v", cur, tun.Dst)
+	}
+}
+
+func TestYenToyTopology(t *testing.T) {
+	n := topo.Toy()
+	ids := nodesOf(t, n, "DC1", "DC4")
+	paths := YenKSP(n, ids[0], ids[1], 4)
+	if len(paths) < 2 {
+		t.Fatalf("got %d paths, want >= 2", len(paths))
+	}
+	for _, p := range paths {
+		validPath(t, n, p)
+	}
+	// Both 2-hop paths (via DC2 and via DC3) must be found first.
+	if len(paths[0].Links) != 2 || len(paths[1].Links) != 2 {
+		t.Fatalf("first two paths have lengths %d, %d; want 2, 2",
+			len(paths[0].Links), len(paths[1].Links))
+	}
+	// Paths are sorted by length.
+	for i := 1; i < len(paths); i++ {
+		if len(paths[i].Links) < len(paths[i-1].Links) {
+			t.Fatal("paths not sorted by length")
+		}
+	}
+}
+
+func TestYenDistinctPaths(t *testing.T) {
+	n := topo.Testbed()
+	ids := nodesOf(t, n, "DC1", "DC3")
+	paths := YenKSP(n, ids[0], ids[1], 4)
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths, want 4", len(paths))
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		validPath(t, n, p)
+		k := p.key()
+		if seen[k] {
+			t.Fatalf("duplicate path %v", p.Links)
+		}
+		seen[k] = true
+	}
+}
+
+func TestYenUnreachable(t *testing.T) {
+	n := topo.NewBuilder("t").
+		AddLink("a", "b", 1, 0).
+		AddLink("c", "d", 1, 0).
+		MustBuild()
+	a, _ := n.NodeByName("a")
+	d, _ := n.NodeByName("d")
+	if paths := YenKSP(n, a, d, 3); paths != nil {
+		t.Fatalf("got %v for unreachable pair", paths)
+	}
+}
+
+func TestEdgeDisjoint(t *testing.T) {
+	n := topo.Toy()
+	ids := nodesOf(t, n, "DC1", "DC4")
+	paths := EdgeDisjointPaths(n, ids[0], ids[1], 4)
+	if len(paths) != 2 {
+		t.Fatalf("got %d disjoint paths, want 2", len(paths))
+	}
+	used := map[topo.LinkID]bool{}
+	for _, p := range paths {
+		validPath(t, n, p)
+		for _, id := range p.Links {
+			if used[id] {
+				t.Fatalf("link %d reused across disjoint paths", id)
+			}
+			used[id] = true
+		}
+	}
+}
+
+func TestObliviousPaths(t *testing.T) {
+	n := topo.B4()
+	src, dst := topo.NodeID(0), topo.NodeID(7)
+	paths := ObliviousPaths(n, src, dst, 4, 1)
+	if len(paths) == 0 {
+		t.Fatal("no oblivious paths")
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		validPath(t, n, p)
+		if seen[p.key()] {
+			t.Fatal("duplicate oblivious path")
+		}
+		seen[p.key()] = true
+	}
+	// Deterministic given the same seed.
+	again := ObliviousPaths(n, src, dst, 4, 1)
+	if len(again) != len(paths) {
+		t.Fatalf("non-deterministic: %d vs %d paths", len(again), len(paths))
+	}
+	for i := range paths {
+		if paths[i].key() != again[i].key() {
+			t.Fatal("non-deterministic path ordering")
+		}
+	}
+}
+
+func TestTunnelHelpers(t *testing.T) {
+	n := topo.Toy()
+	ids := nodesOf(t, n, "DC1", "DC4")
+	paths := YenKSP(n, ids[0], ids[1], 2)
+	p := paths[0]
+	if got := p.Format(n); got == "" {
+		t.Fatal("empty Format")
+	}
+	if !p.Uses(p.Links[0]) {
+		t.Fatal("Uses(first link) = false")
+	}
+	var unused topo.LinkID
+	for _, l := range n.Links() {
+		if !p.Uses(l.ID) {
+			unused = l.ID
+			break
+		}
+	}
+	if p.Uses(unused) {
+		t.Fatal("Uses(unused link) = true")
+	}
+	if b := p.Bottleneck(n); b != 10000 {
+		t.Fatalf("Bottleneck = %v, want 10000", b)
+	}
+	av := p.Availability(n)
+	if av <= 0 || av > 1 {
+		t.Fatalf("Availability = %v", av)
+	}
+	nodes := p.Nodes(n)
+	if nodes[0] != p.Src || nodes[len(nodes)-1] != p.Dst {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+// The toy example's path availabilities must match §2.2:
+// via-DC2 ≈ 0.95999904, via-DC3 ≈ 0.998999001 (we use slightly
+// different per-link decimals; check ordering and magnitude).
+func TestToyPathAvailabilities(t *testing.T) {
+	n := topo.Toy()
+	ids := nodesOf(t, n, "DC1", "DC4")
+	paths := YenKSP(n, ids[0], ids[1], 2)
+	var viaDC2, viaDC3 float64
+	dc2, _ := n.NodeByName("DC2")
+	for _, p := range paths {
+		mid := n.Link(p.Links[0]).Dst
+		if mid == dc2 {
+			viaDC2 = p.Availability(n)
+		} else {
+			viaDC3 = p.Availability(n)
+		}
+	}
+	if math.Abs(viaDC2-0.96*0.999999) > 1e-9 {
+		t.Fatalf("via DC2 availability = %v", viaDC2)
+	}
+	if math.Abs(viaDC3-0.999*0.999999) > 1e-9 {
+		t.Fatalf("via DC3 availability = %v", viaDC3)
+	}
+	if viaDC3 <= viaDC2 {
+		t.Fatal("via-DC3 path should be more available")
+	}
+}
+
+func TestComputeAllSchemes(t *testing.T) {
+	n := topo.Testbed()
+	for _, s := range []Scheme{KShortest, EdgeDisjoint, Oblivious} {
+		ts := Compute(n, s, 4)
+		if ts.Scheme != s || ts.K != 4 {
+			t.Fatalf("scheme/k not recorded: %+v", ts)
+		}
+		pairs := n.Pairs()
+		for _, pr := range pairs {
+			tun := ts.For(pr[0], pr[1])
+			if len(tun) == 0 {
+				t.Fatalf("%v: no tunnels for %v", s, pr)
+			}
+			for _, p := range tun {
+				validPath(t, n, p)
+				if p.Src != pr[0] || p.Dst != pr[1] {
+					t.Fatalf("%v: tunnel endpoints wrong", s)
+				}
+			}
+		}
+		if len(ts.All()) == 0 {
+			t.Fatalf("%v: All() empty", s)
+		}
+	}
+	if Compute(n, KShortest, 0).K != 4 {
+		t.Fatal("default k != 4")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if KShortest.String() != "KSP" || EdgeDisjoint.String() != "Edge-disjoint" ||
+		Oblivious.String() != "Oblivious" || Scheme(9).String() != "unknown" {
+		t.Fatal("Scheme strings wrong")
+	}
+}
+
+// Table 3 requires exactly the four 4-shortest paths per demand pair on
+// the testbed. Verify DC1->DC3's set includes the two 2-hop paths.
+func TestTestbedKSPMatchesTable3(t *testing.T) {
+	n := topo.Testbed()
+	ids := nodesOf(t, n, "DC1", "DC3")
+	paths := YenKSP(n, ids[0], ids[1], 4)
+	var formats []string
+	for _, p := range paths {
+		formats = append(formats, p.Format(n))
+	}
+	want := map[string]bool{
+		"DC1->DC2->DC3": false,
+		"DC1->DC4->DC3": false,
+	}
+	for _, f := range formats {
+		if _, ok := want[f]; ok {
+			want[f] = true
+		}
+	}
+	for f, ok := range want {
+		if !ok {
+			t.Fatalf("missing path %s in %v", f, formats)
+		}
+	}
+}
+
+func TestStretchAndDiversity(t *testing.T) {
+	n := topo.Toy()
+	ids := nodesOf(t, n, "DC1", "DC4")
+	paths := YenKSP(n, ids[0], ids[1], 2)
+	for _, p := range paths {
+		if s := Stretch(n, p); s != 1 {
+			t.Fatalf("2-hop path stretch %v, want 1", s)
+		}
+	}
+	if d := Diversity(paths); d != 1 {
+		t.Fatalf("disjoint paths diversity %v, want 1", d)
+	}
+	// Duplicated path halves diversity.
+	if d := Diversity([]Tunnel{paths[0], paths[0]}); d != 0.5 {
+		t.Fatalf("duplicate diversity %v, want 0.5", d)
+	}
+	if Diversity(nil) != 1 {
+		t.Fatal("empty diversity should be 1")
+	}
+	if m := MaxStretch(n, paths); m != 1 {
+		t.Fatalf("MaxStretch %v", m)
+	}
+}
+
+func TestQualityReport(t *testing.T) {
+	n := topo.B4()
+	for _, scheme := range []Scheme{KShortest, EdgeDisjoint, Oblivious} {
+		ts := Compute(n, scheme, 4)
+		q := Quality(ts)
+		if q.Pairs != len(n.Pairs()) {
+			t.Fatalf("%v: %d pairs", scheme, q.Pairs)
+		}
+		if q.MeanStretch < 1 || q.MaxStretch < q.MeanStretch {
+			t.Fatalf("%v: stretch mean %v max %v", scheme, q.MeanStretch, q.MaxStretch)
+		}
+		if q.MeanDiversity <= 0 || q.MeanDiversity > 1 {
+			t.Fatalf("%v: diversity %v", scheme, q.MeanDiversity)
+		}
+		if q.MaxLinkShare <= 0 || q.MaxLinkShare > 1 {
+			t.Fatalf("%v: link share %v", scheme, q.MaxLinkShare)
+		}
+		// Edge-disjoint tunnels are perfectly diverse by construction.
+		if scheme == EdgeDisjoint && q.MeanDiversity < 1-1e-9 {
+			t.Fatalf("edge-disjoint diversity %v, want 1", q.MeanDiversity)
+		}
+	}
+}
+
+// Oblivious sampling respects its stretch ceiling (2.5x shortest).
+func TestObliviousStretchBound(t *testing.T) {
+	n := topo.ATT()
+	for _, pair := range n.Pairs()[:40] {
+		for _, p := range ObliviousPaths(n, pair[0], pair[1], 4, 3) {
+			if s := Stretch(n, p); s > 2.5+1e-9 {
+				t.Fatalf("oblivious path stretch %v exceeds bound", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package scenario models network failure scenarios (§3.1): a
+// scenario is a set of simultaneously failed links with probability
+// p_z = Π z_i(1-x_i) + (1-z_i)x_i under independent link failures.
+//
+// BATE prunes the exponential scenario space by considering at most y
+// concurrent link failures and aggregating everything else into one
+// unqualified residual scenario (Fig. 3). This package provides both
+// an explicit enumeration of the pruned set (used by failure recovery,
+// FFC, and the paper-faithful LP of Fig. 16/17) and an exact analytic
+// aggregation of scenarios into tunnel-state classes (used by the fast
+// scheduling LP; see DESIGN.md).
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// Scenario is one network failure scenario: the set of down links and
+// its probability.
+type Scenario struct {
+	Down []topo.LinkID // sorted ascending
+	Prob float64
+}
+
+// LinkUp reports whether link e is up in the scenario (w^z_e).
+func (s Scenario) LinkUp(e topo.LinkID) bool {
+	i := sort.Search(len(s.Down), func(i int) bool { return s.Down[i] >= e })
+	return i >= len(s.Down) || s.Down[i] != e
+}
+
+// TunnelUp reports whether every link of t is up (v^z_t).
+func (s Scenario) TunnelUp(t routing.Tunnel) bool {
+	for _, e := range t.Links {
+		if !s.LinkUp(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Set is a pruned scenario set: all scenarios with at most MaxFail
+// concurrent link failures, plus the aggregated residual probability
+// of every pruned (and therefore unqualified) scenario.
+type Set struct {
+	Net       *topo.Network
+	MaxFail   int
+	Scenarios []Scenario
+	// Residual is the total probability of pruned scenarios.
+	Residual float64
+}
+
+// MaxEnumerated guards against materializing enormous scenario sets;
+// Enumerate returns an error beyond this many scenarios.
+const MaxEnumerated = 2_000_000
+
+// Enumerate returns the pruned scenario set with at most maxFail
+// concurrent link failures. Scenario 0 is always the all-up scenario.
+func Enumerate(net *topo.Network, maxFail int) (*Set, error) {
+	if maxFail < 0 {
+		return nil, fmt.Errorf("scenario: negative maxFail %d", maxFail)
+	}
+	count := Count(net.NumLinks(), maxFail)
+	if count > MaxEnumerated {
+		return nil, fmt.Errorf("scenario: %d scenarios exceed limit %d (links=%d, y=%d)",
+			count, MaxEnumerated, net.NumLinks(), maxFail)
+	}
+	links := net.Links()
+	allUp := 1.0
+	odds := make([]float64, len(links)) // x_e / (1-x_e)
+	for i, l := range links {
+		allUp *= 1 - l.FailProb
+		odds[i] = l.FailProb / (1 - l.FailProb)
+	}
+	set := &Set{Net: net, MaxFail: maxFail}
+	var down []topo.LinkID
+	total := 0.0
+	var rec func(start int, prob float64)
+	rec = func(start int, prob float64) {
+		sc := Scenario{Down: append([]topo.LinkID(nil), down...), Prob: prob}
+		set.Scenarios = append(set.Scenarios, sc)
+		total += prob
+		if len(down) == maxFail {
+			return
+		}
+		for i := start; i < len(links); i++ {
+			down = append(down, topo.LinkID(i))
+			rec(i+1, prob*odds[i])
+			down = down[:len(down)-1]
+		}
+	}
+	rec(0, allUp)
+	set.Residual = math.Max(0, 1-total)
+	return set, nil
+}
+
+// Count returns the number of scenarios with at most maxFail failures
+// among nLinks links: sum_{i=0}^{y} C(n, i). Saturates at MaxInt64.
+func Count(nLinks, maxFail int) int64 {
+	var total int64 = 0
+	c := int64(1) // C(n, 0)
+	for i := 0; i <= maxFail && i <= nLinks; i++ {
+		if total > math.MaxInt64-c {
+			return math.MaxInt64
+		}
+		total += c
+		if i == nLinks {
+			break
+		}
+		// C(n, i+1) = C(n, i) * (n-i) / (i+1); guard overflow.
+		if c > math.MaxInt64/int64(nLinks-i) {
+			return math.MaxInt64
+		}
+		c = c * int64(nLinks-i) / int64(i+1)
+	}
+	return total
+}
+
+// Class aggregates all scenarios in which exactly the tunnels set in
+// UpMask (bit i ↔ tunnel i) are up, within the ≤maxFail pruned space.
+type Class struct {
+	UpMask uint64
+	Prob   float64
+}
+
+// AllUp reports whether every one of n tunnels is up in the class.
+func (c Class) AllUp(n int) bool { return c.UpMask == (uint64(1)<<n)-1 }
+
+// TunnelUp reports whether tunnel i is up in the class.
+func (c Class) TunnelUp(i int) bool { return c.UpMask&(1<<uint(i)) != 0 }
+
+// ClassesFor computes, exactly and without enumerating the full
+// scenario space, the probability of every tunnel-up/down combination
+// among the given tunnels, restricted to scenarios with at most
+// maxFail total link failures. Scenarios beyond maxFail contribute to
+// no class (they are the pruned residual). At most 63 tunnels are
+// supported.
+//
+// This is exact because a scenario's effect on the tunnels depends
+// only on the states of the links the tunnels traverse; for each
+// assignment S of those "relevant" links we multiply by the
+// Poisson-binomial probability that the remaining links suffer at most
+// maxFail-|S| failures.
+func ClassesFor(net *topo.Network, tunnels []routing.Tunnel, maxFail int) ([]Class, error) {
+	if len(tunnels) > 63 {
+		return nil, fmt.Errorf("scenario: %d tunnels exceed the 63-tunnel class limit", len(tunnels))
+	}
+	// Relevant links, deduplicated, in id order.
+	relSet := make(map[topo.LinkID]bool)
+	for _, t := range tunnels {
+		for _, e := range t.Links {
+			relSet[e] = true
+		}
+	}
+	rel := make([]topo.LinkID, 0, len(relSet))
+	for e := range relSet {
+		rel = append(rel, e)
+	}
+	sort.Slice(rel, func(i, j int) bool { return rel[i] < rel[j] })
+	if len(rel) > 30 {
+		return nil, fmt.Errorf("scenario: %d relevant links exceed the 2^30 subset limit", len(rel))
+	}
+
+	// Tail DP: prob of at most m failures among the non-relevant links.
+	tail := atMostFailures(net, relSet, maxFail)
+
+	// Tunnel masks over relevant links.
+	relIndex := make(map[topo.LinkID]int, len(rel))
+	for i, e := range rel {
+		relIndex[e] = i
+	}
+	tunMask := make([]uint32, len(tunnels)) // bit j ↔ relevant link j used
+	for i, t := range tunnels {
+		for _, e := range t.Links {
+			tunMask[i] |= 1 << uint(relIndex[e])
+		}
+	}
+
+	probs := make(map[uint64]float64)
+	nRel := len(rel)
+	// Enumerate down-subsets of relevant links with |S| <= maxFail.
+	var downIdx []int
+	var rec func(start int, prob float64)
+	base := 1.0
+	for _, e := range rel {
+		base *= 1 - net.Link(e).FailProb
+	}
+	odds := make([]float64, nRel)
+	for i, e := range rel {
+		odds[i] = net.Link(e).FailProb / (1 - net.Link(e).FailProb)
+	}
+	rec = func(start int, prob float64) {
+		var downMask uint32
+		for _, i := range downIdx {
+			downMask |= 1 << uint(i)
+		}
+		var up uint64
+		for i := range tunnels {
+			if tunMask[i]&downMask == 0 {
+				up |= 1 << uint(i)
+			}
+		}
+		budget := maxFail - len(downIdx)
+		probs[up] += prob * tail[budget]
+		if len(downIdx) == maxFail {
+			return
+		}
+		for i := start; i < nRel; i++ {
+			downIdx = append(downIdx, i)
+			rec(i+1, prob*odds[i])
+			downIdx = downIdx[:len(downIdx)-1]
+		}
+	}
+	rec(0, base)
+
+	classes := make([]Class, 0, len(probs))
+	for m, p := range probs {
+		classes = append(classes, Class{UpMask: m, Prob: p})
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].UpMask > classes[j].UpMask })
+	return classes, nil
+}
+
+// atMostFailures returns tail[m] = P(at most m of the links outside
+// exclude fail), for m = 0..maxFail, via a Poisson-binomial DP.
+func atMostFailures(net *topo.Network, exclude map[topo.LinkID]bool, maxFail int) []float64 {
+	// dp[j] = P(exactly j failures so far), truncated at maxFail.
+	dp := make([]float64, maxFail+1)
+	dp[0] = 1
+	for _, l := range net.Links() {
+		if exclude[l.ID] {
+			continue
+		}
+		x := l.FailProb
+		for j := maxFail; j >= 1; j-- {
+			dp[j] = dp[j]*(1-x) + dp[j-1]*x
+		}
+		dp[0] *= 1 - x
+	}
+	tail := make([]float64, maxFail+1)
+	sum := 0.0
+	for m := 0; m <= maxFail; m++ {
+		sum += dp[m]
+		tail[m] = sum
+	}
+	return tail
+}
+
+// Weibull samples from a Weibull distribution with shape k and scale
+// lambda: λ·(-ln U)^(1/k).
+func Weibull(rng *rand.Rand, shape, scale float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return scale * math.Pow(-math.Log(u), 1/shape)
+}
+
+// FailProbScale maps a Weibull(8, 0.6) sample into the empirical
+// failure-probability band of Fig. 1(b) (1e-4 % to 1e-2 %): a sample w
+// becomes the fraction w·1e-4.
+const FailProbScale = 1e-4
+
+// WeibullFailProbs draws n link failure probabilities matching the
+// paper's simulation setup (§5.2: Weibull, shape 8, scale 0.6, fitted
+// to Fig. 1(b)). Results are fractions in (0, ~1e-4·1.2].
+func WeibullFailProbs(rng *rand.Rand, n int) []float64 {
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = Weibull(rng, 8, 0.6) * FailProbScale
+	}
+	return probs
+}

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// Shared-risk link groups (SRLGs) relax the paper's independence
+// assumption (§3.1 footnote 3): links sharing a fiber conduit, an
+// optical segment or a line card fail together. A RiskGroup is one
+// such set with its own failure probability; correlated scenarios
+// enumerate link failures and group failures as independent *units*,
+// where a link is down if its own failure fires or any containing
+// group fires.
+
+// RiskGroup is a set of links that fail together with probability
+// Prob.
+type RiskGroup struct {
+	Name  string
+	Links []topo.LinkID
+	Prob  float64
+}
+
+// EnumerateCorrelated returns the pruned scenario set under the
+// correlated model: at most maxFail failure units (individual links or
+// whole groups) down simultaneously. Scenarios with identical down-link
+// sets (reachable through different unit combinations) are merged.
+func EnumerateCorrelated(net *topo.Network, groups []RiskGroup, maxFail int) (*Set, error) {
+	if maxFail < 0 {
+		return nil, fmt.Errorf("scenario: negative maxFail %d", maxFail)
+	}
+	for _, g := range groups {
+		if g.Prob < 0 || g.Prob >= 1 {
+			return nil, fmt.Errorf("scenario: group %q probability %v out of [0,1)", g.Name, g.Prob)
+		}
+		if len(g.Links) == 0 {
+			return nil, fmt.Errorf("scenario: group %q has no links", g.Name)
+		}
+		for _, e := range g.Links {
+			if int(e) < 0 || int(e) >= net.NumLinks() {
+				return nil, fmt.Errorf("scenario: group %q references unknown link %d", g.Name, e)
+			}
+		}
+	}
+	// Units: every link, then every group.
+	type unit struct {
+		links []topo.LinkID
+		prob  float64
+	}
+	units := make([]unit, 0, net.NumLinks()+len(groups))
+	for _, l := range net.Links() {
+		units = append(units, unit{links: []topo.LinkID{l.ID}, prob: l.FailProb})
+	}
+	for _, g := range groups {
+		units = append(units, unit{links: append([]topo.LinkID(nil), g.Links...), prob: g.Prob})
+	}
+	count := Count(len(units), maxFail)
+	if count > MaxEnumerated {
+		return nil, fmt.Errorf("scenario: %d correlated scenarios exceed limit %d", count, MaxEnumerated)
+	}
+
+	allUp := 1.0
+	odds := make([]float64, len(units))
+	for i, u := range units {
+		allUp *= 1 - u.prob
+		odds[i] = u.prob / (1 - u.prob)
+	}
+	merged := make(map[string]*Scenario)
+	var order []string
+	var downIdx []int
+	total := 0.0
+	var rec func(start int, prob float64)
+	rec = func(start int, prob float64) {
+		downSet := map[topo.LinkID]bool{}
+		for _, ui := range downIdx {
+			for _, e := range units[ui].links {
+				downSet[e] = true
+			}
+		}
+		down := make([]topo.LinkID, 0, len(downSet))
+		for e := range downSet {
+			down = append(down, e)
+		}
+		sort.Slice(down, func(i, j int) bool { return down[i] < down[j] })
+		key := fmt.Sprint(down)
+		if sc, ok := merged[key]; ok {
+			sc.Prob += prob
+		} else {
+			merged[key] = &Scenario{Down: down, Prob: prob}
+			order = append(order, key)
+		}
+		total += prob
+		if len(downIdx) == maxFail {
+			return
+		}
+		for i := start; i < len(units); i++ {
+			downIdx = append(downIdx, i)
+			rec(i+1, prob*odds[i])
+			downIdx = downIdx[:len(downIdx)-1]
+		}
+	}
+	rec(0, allUp)
+
+	set := &Set{Net: net, MaxFail: maxFail, Residual: math.Max(0, 1-total)}
+	for _, key := range order {
+		set.Scenarios = append(set.Scenarios, *merged[key])
+	}
+	return set, nil
+}
+
+// ClassesForCorrelated is ClassesFor under the correlated model: the
+// probability of every tunnel-up combination among the given tunnels,
+// restricted to scenarios with at most maxFail failure units (links or
+// risk groups). A unit is "relevant" when any of its links appears on
+// a tunnel; the non-relevant units contribute through the same
+// Poisson-binomial tail as the independent case, which stays exact
+// because units are mutually independent.
+func ClassesForCorrelated(net *topo.Network, groups []RiskGroup, tunnels []routing.Tunnel, maxFail int) ([]Class, error) {
+	if len(tunnels) > 63 {
+		return nil, fmt.Errorf("scenario: %d tunnels exceed the 63-tunnel class limit", len(tunnels))
+	}
+	for _, g := range groups {
+		if g.Prob < 0 || g.Prob >= 1 {
+			return nil, fmt.Errorf("scenario: group %q probability %v out of [0,1)", g.Name, g.Prob)
+		}
+	}
+	relLinks := make(map[topo.LinkID]bool)
+	for _, t := range tunnels {
+		for _, e := range t.Links {
+			relLinks[e] = true
+		}
+	}
+	// Units relevant to the tunnels: their own links plus groups
+	// touching them. Each relevant unit's "kill mask" marks the
+	// tunnels it takes down.
+	type unit struct {
+		prob float64
+		kill uint64
+	}
+	killOf := func(links []topo.LinkID) uint64 {
+		var mask uint64
+		for ti, t := range tunnels {
+			for _, e := range t.Links {
+				for _, d := range links {
+					if d == e {
+						mask |= 1 << uint(ti)
+					}
+				}
+			}
+		}
+		return mask
+	}
+	var rel []unit
+	otherProbs := make([]float64, 0, net.NumLinks()+len(groups))
+	for _, l := range net.Links() {
+		if relLinks[l.ID] {
+			rel = append(rel, unit{prob: l.FailProb, kill: killOf([]topo.LinkID{l.ID})})
+		} else {
+			otherProbs = append(otherProbs, l.FailProb)
+		}
+	}
+	for _, g := range groups {
+		if k := killOf(g.Links); k != 0 {
+			rel = append(rel, unit{prob: g.Prob, kill: k})
+		} else {
+			otherProbs = append(otherProbs, g.Prob)
+		}
+	}
+	if len(rel) > 30 {
+		return nil, fmt.Errorf("scenario: %d relevant units exceed the 2^30 subset limit", len(rel))
+	}
+	// Tail DP over non-relevant units.
+	tail := make([]float64, maxFail+1)
+	dp := make([]float64, maxFail+1)
+	dp[0] = 1
+	for _, x := range otherProbs {
+		for j := maxFail; j >= 1; j-- {
+			dp[j] = dp[j]*(1-x) + dp[j-1]*x
+		}
+		dp[0] *= 1 - x
+	}
+	sum := 0.0
+	for m := 0; m <= maxFail; m++ {
+		sum += dp[m]
+		tail[m] = sum
+	}
+
+	base := 1.0
+	odds := make([]float64, len(rel))
+	for i, u := range rel {
+		base *= 1 - u.prob
+		odds[i] = u.prob / (1 - u.prob)
+	}
+	allUp := (uint64(1) << uint(len(tunnels))) - 1
+	probs := make(map[uint64]float64)
+	var downIdx []int
+	var rec func(start int, prob float64)
+	rec = func(start int, prob float64) {
+		up := allUp
+		for _, i := range downIdx {
+			up &^= rel[i].kill
+		}
+		probs[up] += prob * tail[maxFail-len(downIdx)]
+		if len(downIdx) == maxFail {
+			return
+		}
+		for i := start; i < len(rel); i++ {
+			downIdx = append(downIdx, i)
+			rec(i+1, prob*odds[i])
+			downIdx = downIdx[:len(downIdx)-1]
+		}
+	}
+	rec(0, base)
+
+	classes := make([]Class, 0, len(probs))
+	for m, p := range probs {
+		classes = append(classes, Class{UpMask: m, Prob: p})
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].UpMask > classes[j].UpMask })
+	return classes, nil
+}

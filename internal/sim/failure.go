@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math/rand"
+
+	"bate/internal/alloc"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// FailureInjector emulates the testbed's link failure process (§5.1):
+// every second, each up link fails independently with its failure
+// probability; a failed link repairs after RepairSec seconds.
+type FailureInjector struct {
+	net       *topo.Network
+	rng       *rand.Rand
+	repairSec float64
+	downUntil []float64 // 0 when up; repair time when down
+	// FailCounts tallies failures per link (Fig. 10).
+	FailCounts []int
+	// Scripted outages (ApplyTrace), sorted by DownAt.
+	trace     []FailureEvent
+	traceNext int
+	// Shared-risk groups: correlated whole-group failures.
+	groups []riskGroup
+}
+
+type riskGroup struct {
+	links []topo.LinkID
+	prob  float64
+}
+
+// AddRiskGroup registers a shared-risk link group: every second the
+// group fires with prob, taking all member links down together for the
+// repair window (fiber-conduit cuts, optical segment faults).
+func (fi *FailureInjector) AddRiskGroup(links []topo.LinkID, prob float64) {
+	fi.groups = append(fi.groups, riskGroup{links: append([]topo.LinkID(nil), links...), prob: prob})
+}
+
+// NewFailureInjector returns an injector for net with the given repair
+// time (the paper's default x is 3 seconds).
+func NewFailureInjector(net *topo.Network, repairSec float64, rng *rand.Rand) *FailureInjector {
+	if repairSec <= 0 {
+		repairSec = 3
+	}
+	return &FailureInjector{
+		net:        net,
+		rng:        rng,
+		repairSec:  repairSec,
+		downUntil:  make([]float64, net.NumLinks()),
+		FailCounts: make([]int, net.NumLinks()),
+	}
+}
+
+// Step advances to time now (seconds), repairing expired failures,
+// firing scripted trace outages, and rolling the per-second failure
+// dice. It returns true if any link changed state.
+func (fi *FailureInjector) Step(now float64) bool {
+	changed := fi.stepTrace(now)
+	for _, g := range fi.groups {
+		if fi.rng.Float64() >= g.prob {
+			continue
+		}
+		for _, e := range g.links {
+			if fi.downUntil[e] == 0 {
+				fi.FailCounts[e]++
+				changed = true
+			}
+			if until := now + fi.repairSec; until > fi.downUntil[e] {
+				fi.downUntil[e] = until
+			}
+		}
+	}
+	for _, l := range fi.net.Links() {
+		id := l.ID
+		if fi.downUntil[id] > 0 {
+			if now >= fi.downUntil[id] {
+				fi.downUntil[id] = 0
+				changed = true
+			}
+			continue
+		}
+		// The testbed draws an integer p in [0,10000) each second and
+		// fails the link when p/10000 < failProb; equivalently a
+		// Bernoulli trial.
+		if fi.rng.Float64() < l.FailProb {
+			fi.downUntil[id] = now + fi.repairSec
+			fi.FailCounts[id]++
+			changed = true
+		}
+	}
+	return changed
+}
+
+// LinkUp reports whether link e is currently up.
+func (fi *FailureInjector) LinkUp(e topo.LinkID) bool { return fi.downUntil[e] == 0 }
+
+// Down returns the ids of currently failed links.
+func (fi *FailureInjector) Down() []topo.LinkID {
+	var out []topo.LinkID
+	for id, until := range fi.downUntil {
+		if until > 0 {
+			out = append(out, topo.LinkID(id))
+		}
+	}
+	return out
+}
+
+// TunnelUp reports whether every link of t is up.
+func (fi *FailureInjector) TunnelUp(t routing.Tunnel) bool {
+	for _, e := range t.Links {
+		if !fi.LinkUp(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// sendRates is the per-demand per-pair per-tunnel sending rate during
+// one simulated second (may differ from the scheduled allocation after
+// rescaling).
+type sendRates map[int][][]float64
+
+// rescaleProportional models the baselines' failure reaction: each
+// demand moves the traffic of its dead tunnels onto its surviving
+// tunnels proportionally to their allocation, capacity-unaware (the
+// congestion source of Fig. 11). Demands with no surviving tunnel
+// lose everything.
+func rescaleProportional(in *alloc.Input, a alloc.Allocation, up func(routing.Tunnel) bool) sendRates {
+	out := make(sendRates, len(a))
+	for _, d := range in.Demands {
+		rows, ok := a[d.ID]
+		if !ok {
+			continue
+		}
+		nr := make([][]float64, len(rows))
+		for pi := range d.Pairs {
+			tunnels := in.TunnelsFor(d, pi)
+			nr[pi] = make([]float64, len(rows[pi]))
+			total, surviving := 0.0, 0.0
+			for ti, f := range rows[pi] {
+				total += f
+				if up(tunnels[ti]) {
+					surviving += f
+				}
+			}
+			if surviving <= 0 {
+				continue // everything lost
+			}
+			scale := total / surviving
+			for ti, f := range rows[pi] {
+				if up(tunnels[ti]) {
+					nr[pi][ti] = f * scale
+				}
+			}
+		}
+		out[d.ID] = nr
+	}
+	return out
+}
+
+// ratesFromAlloc sends exactly the scheduled allocation on surviving
+// tunnels (FFC's and BATE's behaviour: no capacity-unaware rescaling).
+func ratesFromAlloc(in *alloc.Input, a alloc.Allocation, up func(routing.Tunnel) bool) sendRates {
+	out := make(sendRates, len(a))
+	for _, d := range in.Demands {
+		rows, ok := a[d.ID]
+		if !ok {
+			continue
+		}
+		nr := make([][]float64, len(rows))
+		for pi := range d.Pairs {
+			tunnels := in.TunnelsFor(d, pi)
+			nr[pi] = make([]float64, len(rows[pi]))
+			for ti, f := range rows[pi] {
+				if up(tunnels[ti]) {
+					nr[pi][ti] = f
+				}
+			}
+		}
+		out[d.ID] = nr
+	}
+	return out
+}
+
+// deliveredWithCongestion computes, for every demand pair, the
+// bandwidth actually delivered given sending rates and link
+// capacities: when a link is oversubscribed every flow crossing it is
+// throttled proportionally (its delivery fraction is the minimum
+// cap/load ratio along the tunnel). It returns delivered bandwidth
+// per demand per pair and the total offered rate.
+func deliveredWithCongestion(in *alloc.Input, rates sendRates) (map[int][]float64, float64) {
+	loads := make([]float64, in.Net.NumLinks())
+	offered := 0.0
+	for _, d := range in.Demands {
+		rows, ok := rates[d.ID]
+		if !ok {
+			continue
+		}
+		for pi := range d.Pairs {
+			tunnels := in.TunnelsFor(d, pi)
+			for ti, r := range rows[pi] {
+				if r <= 0 {
+					continue
+				}
+				offered += r
+				for _, e := range tunnels[ti].Links {
+					loads[e] += r
+				}
+			}
+		}
+	}
+	frac := make([]float64, in.Net.NumLinks())
+	for _, l := range in.Net.Links() {
+		if loads[l.ID] > l.Capacity {
+			frac[l.ID] = l.Capacity / loads[l.ID]
+		} else {
+			frac[l.ID] = 1
+		}
+	}
+	out := make(map[int][]float64, len(rates))
+	for _, d := range in.Demands {
+		rows, ok := rates[d.ID]
+		if !ok {
+			continue
+		}
+		per := make([]float64, len(d.Pairs))
+		for pi := range d.Pairs {
+			tunnels := in.TunnelsFor(d, pi)
+			for ti, r := range rows[pi] {
+				if r <= 0 {
+					continue
+				}
+				f := 1.0
+				for _, e := range tunnels[ti].Links {
+					if frac[e] < f {
+						f = frac[e]
+					}
+				}
+				per[pi] += r * f
+			}
+		}
+		out[d.ID] = per
+	}
+	return out, offered
+}

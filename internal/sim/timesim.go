@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bate/internal/alloc"
+	"bate/internal/bate"
+	"bate/internal/demand"
+	"bate/internal/pricing"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// AdmissionMode selects the admission-control strategy a simulation
+// applies to arriving demands.
+type AdmissionMode int8
+
+// Admission modes compared in Figs. 7(a) and 12.
+const (
+	// AdmitNone disables admission control: every demand becomes
+	// active (the Fig. 13 setting for baseline TE schemes).
+	AdmitNone AdmissionMode = iota
+	// AdmitFixedOnly is step (1) only: admit iff the remaining
+	// capacity satisfies the demand with allocations held fixed.
+	AdmitFixedOnly
+	// AdmitBATE is the full §3.2 strategy: fixed check, then the
+	// Algorithm 1 conjecture.
+	AdmitBATE
+	// AdmitOptimal solves the Appendix A MILP per arrival.
+	AdmitOptimal
+)
+
+func (m AdmissionMode) String() string {
+	switch m {
+	case AdmitNone:
+		return "None"
+	case AdmitFixedOnly:
+		return "Fixed"
+	case AdmitBATE:
+		return "BATE"
+	case AdmitOptimal:
+		return "OPT"
+	}
+	return "unknown"
+}
+
+// TimeSimConfig drives the per-second testbed-style simulation (§5.1).
+type TimeSimConfig struct {
+	Net     *topo.Network
+	Tunnels *routing.TunnelSet
+	// Workload is the time-ordered demand arrivals (IDs must be dense
+	// and unique).
+	Workload []*demand.Demand
+	// HorizonSec is the simulated duration.
+	HorizonSec float64
+	// ScheduleEverySec is the traffic-scheduling period (testbed: 60).
+	ScheduleEverySec float64
+	// RepairSec is the link repair time x (default 3; Fig. 20 sweeps
+	// 0.5..4).
+	RepairSec float64
+	TE        TEConfig
+	Admission AdmissionMode
+	// MaxFail is the pruning depth used by admission.
+	MaxFail int
+	// Tolerance is the satisfied-second threshold: a second counts as
+	// satisfied when delivered ≥ (1-Tolerance)·b (paper: 1%).
+	Tolerance float64
+	Seed      int64
+	// DisableRecovery turns off BATE's backup-based failure reaction
+	// (the BATE-TS variant of Fig. 9).
+	DisableRecovery bool
+	// Trace pre-loads scripted link outages replayed on top of (or,
+	// with zero failure probabilities, instead of) the Bernoulli
+	// failure process.
+	Trace []FailureEvent
+}
+
+func (c TimeSimConfig) defaults() TimeSimConfig {
+	if c.HorizonSec <= 0 {
+		c.HorizonSec = 600
+	}
+	if c.ScheduleEverySec <= 0 {
+		c.ScheduleEverySec = 60
+	}
+	if c.RepairSec <= 0 {
+		c.RepairSec = 3
+	}
+	if c.MaxFail <= 0 {
+		c.MaxFail = 2
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.01
+	}
+	c.TE = c.TE.Defaults()
+	return c
+}
+
+// DemandOutcome summarizes one demand at the end of a simulation.
+type DemandOutcome struct {
+	ID         int
+	Target     float64
+	Charge     float64
+	RefundFrac float64
+	Admitted   bool
+	Method     bate.AdmissionMethod
+	ActiveSec  int
+	// SatisfiedSec counts seconds with full (within tolerance)
+	// delivery on every pair.
+	SatisfiedSec int
+	// Availability is SatisfiedSec/ActiveSec.
+	Availability float64
+	// Violated reports Availability < Target.
+	Violated bool
+	// Profit is the post-refund revenue r_d.
+	Profit float64
+}
+
+// TimeSimResult aggregates a run.
+type TimeSimResult struct {
+	Outcomes  []DemandOutcome
+	Arrived   int
+	Admitted  int
+	Rejected  int
+	ByMethod  map[bate.AdmissionMethod]int
+	FailCount []int // per link (Fig. 10)
+	// LossRatio is lost/offered traffic over the run (Fig. 11).
+	LossRatio float64
+	// BwRatios samples min-pair allocated/demanded per admitted demand
+	// per scheduling epoch (Fig. 8).
+	BwRatios []float64
+	// AdmissionDelaysSec records wall-clock admission latency.
+	AdmissionDelaysSec []float64
+	// UtilSamples records mean link utilization at scheduling epochs.
+	UtilSamples []float64
+	// Profit and FullCharge give the run's revenue after refunds and
+	// the theoretical maximum.
+	Profit     float64
+	FullCharge float64
+}
+
+// SatisfactionRatio returns the fraction of admitted demands meeting
+// their availability target over their lifetime.
+func (r *TimeSimResult) SatisfactionRatio() float64 {
+	total, ok := 0, 0
+	for _, o := range r.Outcomes {
+		if !o.Admitted || o.ActiveSec == 0 {
+			continue
+		}
+		total++
+		if !o.Violated {
+			ok++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// RunTimeSim executes the per-second simulation.
+func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
+	cfg = cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	injector := NewFailureInjector(cfg.Net, cfg.RepairSec, rng)
+	if len(cfg.Trace) > 0 {
+		injector.ApplyTrace(cfg.Trace)
+	}
+
+	// Sort workload by start time.
+	workload := append([]*demand.Demand(nil), cfg.Workload...)
+	sort.Slice(workload, func(i, j int) bool { return workload[i].Start < workload[j].Start })
+
+	res := &TimeSimResult{ByMethod: make(map[bate.AdmissionMethod]int)}
+	outcomes := make(map[int]*DemandOutcome)
+
+	var active []*demand.Demand
+	input := func() *alloc.Input {
+		return &alloc.Input{Net: cfg.Net, Tunnels: cfg.Tunnels, Demands: active}
+	}
+	current := alloc.Allocation{} // scheduled allocation
+	var backups map[topo.LinkID]*bate.RecoveryResult
+	rates := sendRates{}
+	nextArrival := 0
+	var offeredTotal, lostTotal float64
+
+	reschedule := func() error {
+		in := input()
+		a, err := cfg.TE.Allocate(in)
+		if err != nil {
+			return fmt.Errorf("sim: reschedule: %w", err)
+		}
+		current = a
+		if cfg.TE.Kind == KindBATE && !cfg.DisableRecovery {
+			// Backups are precomputed lazily: the first failure of a
+			// link in this epoch computes and caches its backup
+			// (equivalent to the §3.4 precomputation for the links
+			// that matter, without paying for the rest).
+			backups = make(map[topo.LinkID]*bate.RecoveryResult)
+		}
+		rates = ratesFromAlloc(in, current, func(t routing.Tunnel) bool { return injector.TunnelUp(t) })
+		// Fig. 8 samples.
+		for _, d := range active {
+			minRatio := 1.0
+			for pi, pr := range d.Pairs {
+				if pr.Bandwidth <= 0 {
+					continue
+				}
+				r := current.AllocatedFor(d, pi) / pr.Bandwidth
+				if r < minRatio {
+					minRatio = r
+				}
+			}
+			res.BwRatios = append(res.BwRatios, minRatio)
+		}
+		res.UtilSamples = append(res.UtilSamples, current.MeanUtilization(in))
+		return nil
+	}
+
+	react := func() {
+		in := input()
+		down := injector.Down()
+		up := func(t routing.Tunnel) bool { return injector.TunnelUp(t) }
+		switch {
+		case len(down) == 0:
+			rates = ratesFromAlloc(in, current, up)
+		case cfg.TE.Kind == KindBATE && !cfg.DisableRecovery:
+			if len(down) == 1 && backups != nil {
+				if backups[down[0]] == nil {
+					if rec, err := bate.RecoverGreedy(in, down); err == nil {
+						backups[down[0]] = rec
+					}
+				}
+				if b := backups[down[0]]; b != nil {
+					rates = ratesFromAlloc(in, b.Alloc, up)
+					break
+				}
+			}
+			if rec, err := bate.RecoverGreedy(in, down); err == nil {
+				rates = ratesFromAlloc(in, rec.Alloc, up)
+			} else {
+				rates = ratesFromAlloc(in, current, up)
+			}
+		case cfg.TE.Kind == KindFFC || (cfg.TE.Kind == KindBATE && cfg.DisableRecovery):
+			// No rescaling: surviving tunnels keep their allocation.
+			rates = ratesFromAlloc(in, current, up)
+		default:
+			// Capacity-unaware proportional rescaling (congestion risk).
+			rates = rescaleProportional(in, current, up)
+		}
+	}
+
+	lastSchedule := -cfg.ScheduleEverySec
+	for now := 0.0; now < cfg.HorizonSec; now++ {
+		// Departures.
+		kept := active[:0]
+		for _, d := range active {
+			if d.End <= now {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		active = kept
+
+		// Arrivals.
+		for nextArrival < len(workload) && workload[nextArrival].Start <= now {
+			d := workload[nextArrival]
+			nextArrival++
+			res.Arrived++
+			out := &DemandOutcome{ID: d.ID, Target: d.Target, Charge: d.Charge, RefundFrac: d.RefundFrac}
+			outcomes[d.ID] = out
+			adRes, err := admitOne(cfg, input(), current, active, d)
+			if err != nil {
+				return nil, err
+			}
+			res.AdmissionDelaysSec = append(res.AdmissionDelaysSec, adRes.Elapsed.Seconds())
+			res.ByMethod[adRes.Method]++
+			if !adRes.Admitted {
+				res.Rejected++
+				continue
+			}
+			res.Admitted++
+			out.Admitted = true
+			out.Method = adRes.Method
+			active = append(active, d)
+			if adRes.NewAlloc != nil {
+				current[d.ID] = adRes.NewAlloc
+				rates[d.ID] = adRes.NewAlloc
+			}
+			// A conjecture admit may carry only a partial temporary
+			// allocation (§3.2 footnote 5); reschedule right away so
+			// the demand is not left under-served until the next
+			// periodic epoch.
+			if adRes.Method == bate.MethodConjecture {
+				if err := reschedule(); err != nil {
+					return nil, err
+				}
+				lastSchedule = now
+			}
+		}
+
+		// Periodic scheduling.
+		if now-lastSchedule >= cfg.ScheduleEverySec {
+			if err := reschedule(); err != nil {
+				return nil, err
+			}
+			lastSchedule = now
+		}
+
+		// Failure process. Traffic already in flight on dead tunnels
+		// is lost during this transient second — the accounting below
+		// runs with the stale rates (dead-tunnel traffic drops), and
+		// react() below installs the post-failure rates for subsequent
+		// seconds. BATE's precomputed backups are the exception: §3.4
+		// activates them immediately ("so that the surviving tunnels
+		// can be used immediately, and packet loss can be mitigated"),
+		// so its reaction applies before this second is charged.
+		changed := injector.Step(now)
+		instant := changed && cfg.TE.Kind == KindBATE && !cfg.DisableRecovery
+		if instant {
+			react()
+			changed = false
+		}
+
+		// Account this second.
+		in := input()
+		delivered, offered := deliveredThisSecond(in, rates, injector)
+		offeredTotal += offered.sent
+		lostTotal += offered.lost
+		tol := 1 - cfg.Tolerance
+		for _, d := range active {
+			out := outcomes[d.ID]
+			out.ActiveSec++
+			okAll := true
+			for pi, pr := range d.Pairs {
+				if pr.Bandwidth <= 0 {
+					continue
+				}
+				if delivered[d.ID] == nil || delivered[d.ID][pi] < pr.Bandwidth*tol {
+					okAll = false
+					break
+				}
+			}
+			if okAll {
+				out.SatisfiedSec++
+			}
+		}
+
+		// Reaction to state changes applies from the next second.
+		if changed {
+			react()
+		}
+	}
+
+	// Final accounting.
+	for _, d := range workload[:nextArrival] {
+		out := outcomes[d.ID]
+		if out == nil {
+			continue
+		}
+		if out.ActiveSec > 0 {
+			out.Availability = float64(out.SatisfiedSec) / float64(out.ActiveSec)
+		}
+		if out.Admitted {
+			out.Violated = d.Target > 0 && out.Availability < d.Target
+			out.Profit = pricing.Profit(d.Charge, d.RefundFrac, out.Violated)
+			res.Profit += out.Profit
+			res.FullCharge += d.Charge
+		}
+		res.Outcomes = append(res.Outcomes, *out)
+	}
+	if offeredTotal > 0 {
+		res.LossRatio = lostTotal / offeredTotal
+	}
+	res.FailCount = injector.FailCounts
+	return res, nil
+}
+
+// admitOne dispatches the configured admission mode.
+func admitOne(cfg TimeSimConfig, in *alloc.Input, current alloc.Allocation, active []*demand.Demand, d *demand.Demand) (*bate.AdmissionResult, error) {
+	switch cfg.Admission {
+	case AdmitNone:
+		return &bate.AdmissionResult{Admitted: true, Method: "none"}, nil
+	case AdmitFixedOnly:
+		return bate.AdmitFixed(in, current, d, cfg.MaxFail)
+	case AdmitBATE:
+		return bate.Admit(in, current, active, d, cfg.MaxFail)
+	case AdmitOptimal:
+		res, _, err := bate.AdmitOptimal(in, active, d, minInt(cfg.MaxFail, 1))
+		return res, err
+	}
+	return nil, fmt.Errorf("sim: unknown admission mode %d", cfg.Admission)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// secondAccounting carries the sent/lost tally of one second.
+type secondAccounting struct {
+	sent, lost float64
+}
+
+// deliveredThisSecond computes delivered bandwidth per demand pair for
+// the current second: dead-tunnel traffic is lost entirely, surviving
+// traffic is throttled by link congestion.
+func deliveredThisSecond(in *alloc.Input, rates sendRates, injector *FailureInjector) (map[int][]float64, secondAccounting) {
+	// Split rates into surviving and dead portions.
+	surviving := make(sendRates, len(rates))
+	var acct secondAccounting
+	for _, d := range in.Demands {
+		rows, ok := rates[d.ID]
+		if !ok {
+			continue
+		}
+		nr := make([][]float64, len(rows))
+		for pi := range d.Pairs {
+			if pi >= len(rows) {
+				nr[pi] = nil
+				continue
+			}
+			tunnels := in.TunnelsFor(d, pi)
+			nr[pi] = make([]float64, len(rows[pi]))
+			for ti, r := range rows[pi] {
+				if r <= 0 {
+					continue
+				}
+				acct.sent += r
+				if injector.TunnelUp(tunnels[ti]) {
+					nr[pi][ti] = r
+				} else {
+					acct.lost += r
+				}
+			}
+		}
+		surviving[d.ID] = nr
+	}
+	delivered, offered := deliveredWithCongestion(in, surviving)
+	// Congestion drops count as loss too.
+	deliveredSum := 0.0
+	for _, per := range delivered {
+		for _, v := range per {
+			deliveredSum += v
+		}
+	}
+	acct.lost += offered - deliveredSum
+	return delivered, acct
+}

@@ -1,0 +1,110 @@
+// Package tm generates gravity-model traffic matrices standing in for
+// the 200 measured matrices per topology the paper collected (§5.2,
+// DESIGN.md substitution 4). Demands draw their bandwidth from these
+// matrices with the paper's scale-down factor (5) so several demands
+// fit per pair.
+package tm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bate/internal/topo"
+)
+
+// Matrix is a traffic matrix: Mbps demanded from src to dst, indexed
+// [src][dst]. The diagonal is zero.
+type Matrix [][]float64
+
+// At returns the entry for (src, dst).
+func (m Matrix) At(src, dst topo.NodeID) float64 { return m[src][dst] }
+
+// Total returns the sum of all entries.
+func (m Matrix) Total() float64 {
+	sum := 0.0
+	for _, row := range m {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Generate produces count gravity-model matrices for net. Node masses
+// are drawn lognormally (heavy-tailed DC sizes); each matrix gets an
+// independent diurnal-style global scale in [0.5, 1.5]. The aggregate
+// load is normalized so the busiest matrix fills roughly fill of the
+// total egress capacity of the average node.
+func Generate(net *topo.Network, count int, fill float64, rng *rand.Rand) []Matrix {
+	if fill <= 0 {
+		fill = 0.5
+	}
+	n := net.NumNodes()
+	// Per-node egress capacity for normalization.
+	egress := make([]float64, n)
+	for _, l := range net.Links() {
+		egress[l.Src] += l.Capacity
+	}
+	meanEgress := 0.0
+	for _, e := range egress {
+		meanEgress += e
+	}
+	meanEgress /= float64(n)
+
+	out := make([]Matrix, count)
+	for c := 0; c < count; c++ {
+		mass := make([]float64, n)
+		var massSum float64
+		for i := range mass {
+			// Lognormal-ish: exp(N(0, 0.8)).
+			mass[i] = expNormal(rng, 0.8)
+			massSum += mass[i]
+		}
+		scale := 0.5 + rng.Float64()
+		m := make(Matrix, n)
+		rowTotal := fill * meanEgress * scale
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				if i == j {
+					continue
+				}
+				// Gravity: proportional to mass_i * mass_j.
+				m[i][j] = rowTotal * mass[i] * mass[j] / (massSum * massSum)
+			}
+		}
+		out[c] = m
+	}
+	return out
+}
+
+// expNormal returns exp(sigma * N(0,1)).
+func expNormal(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma * rng.NormFloat64())
+}
+
+// Pool builds the per-pair bandwidth sample pool consumed by
+// demand.GeneratorConfig.BandwidthPool: every matrix entry for a pair,
+// divided by scaleDown (the paper uses 5).
+func Pool(net *topo.Network, matrices []Matrix, scaleDown float64) (map[[2]topo.NodeID][]float64, error) {
+	if scaleDown <= 0 {
+		return nil, fmt.Errorf("tm: scaleDown %v must be positive", scaleDown)
+	}
+	pool := make(map[[2]topo.NodeID][]float64)
+	for _, m := range matrices {
+		if len(m) != net.NumNodes() {
+			return nil, fmt.Errorf("tm: matrix has %d rows for %d nodes", len(m), net.NumNodes())
+		}
+		for i := range m {
+			for j := range m[i] {
+				if i == j || m[i][j] <= 0 {
+					continue
+				}
+				key := [2]topo.NodeID{topo.NodeID(i), topo.NodeID(j)}
+				pool[key] = append(pool[key], m[i][j]/scaleDown)
+			}
+		}
+	}
+	return pool, nil
+}

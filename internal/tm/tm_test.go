@@ -1,0 +1,113 @@
+package tm
+
+import (
+	"math/rand"
+	"testing"
+
+	"bate/internal/topo"
+)
+
+func TestGenerateShape(t *testing.T) {
+	net := topo.B4()
+	ms := Generate(net, 10, 0.5, rand.New(rand.NewSource(3)))
+	if len(ms) != 10 {
+		t.Fatalf("got %d matrices, want 10", len(ms))
+	}
+	for _, m := range ms {
+		if len(m) != net.NumNodes() {
+			t.Fatalf("matrix rows = %d", len(m))
+		}
+		for i := range m {
+			if len(m[i]) != net.NumNodes() {
+				t.Fatalf("matrix cols = %d", len(m[i]))
+			}
+			if m[i][i] != 0 {
+				t.Fatal("diagonal not zero")
+			}
+			for j, v := range m[i] {
+				if i != j && v < 0 {
+					t.Fatalf("negative entry %v", v)
+				}
+			}
+		}
+		if m.Total() <= 0 {
+			t.Fatal("empty matrix")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	net := topo.Testbed()
+	a := Generate(net, 3, 0.5, rand.New(rand.NewSource(4)))
+	b := Generate(net, 3, 0.5, rand.New(rand.NewSource(4)))
+	for k := range a {
+		for i := range a[k] {
+			for j := range a[k][i] {
+				if a[k][i][j] != b[k][i][j] {
+					t.Fatal("non-deterministic matrices")
+				}
+			}
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	m := Matrix{{0, 5}, {7, 0}}
+	if m.At(0, 1) != 5 || m.At(1, 0) != 7 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestPool(t *testing.T) {
+	net := topo.Toy()
+	ms := Generate(net, 5, 0.5, rand.New(rand.NewSource(8)))
+	pool, err := Pool(net, ms, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Pairs() {
+		samples := pool[p]
+		if len(samples) != 5 {
+			t.Fatalf("pair %v: %d samples, want 5", p, len(samples))
+		}
+		// Each sample is the matrix entry / 5.
+		for k, s := range samples {
+			if want := ms[k].At(p[0], p[1]) / 5; s != want {
+				t.Fatalf("sample %v, want %v", s, want)
+			}
+		}
+	}
+}
+
+func TestPoolErrors(t *testing.T) {
+	net := topo.Toy()
+	ms := Generate(net, 1, 0.5, rand.New(rand.NewSource(1)))
+	if _, err := Pool(net, ms, 0); err == nil {
+		t.Fatal("expected scaleDown error")
+	}
+	if _, err := Pool(topo.Testbed(), ms, 5); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+// Matrices should not overload the network: with fill 0.5 the per-node
+// egress demand stays within a small multiple of egress capacity.
+func TestGenerateLoadReasonable(t *testing.T) {
+	net := topo.B4()
+	ms := Generate(net, 20, 0.5, rand.New(rand.NewSource(12)))
+	egress := make([]float64, net.NumNodes())
+	for _, l := range net.Links() {
+		egress[l.Src] += l.Capacity
+	}
+	for _, m := range ms {
+		for i := range m {
+			row := 0.0
+			for _, v := range m[i] {
+				row += v
+			}
+			if row > egress[i]*5 {
+				t.Fatalf("node %d egress demand %v vastly exceeds capacity %v", i, row, egress[i])
+			}
+		}
+	}
+}

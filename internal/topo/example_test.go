@@ -1,0 +1,42 @@
+package topo_test
+
+import (
+	"fmt"
+	"strings"
+
+	"bate/internal/topo"
+)
+
+// Example builds a custom WAN with the Builder.
+func Example() {
+	n := topo.NewBuilder("MyWAN").
+		Bidi("FRA", "AMS", 10000, 0.001).
+		Bidi("AMS", "LON", 10000, 0.0005).
+		Bidi("FRA", "LON", 20000, 0.002).
+		MustBuild()
+	fmt.Println(n)
+	fra, _ := n.NodeByName("FRA")
+	lon, _ := n.NodeByName("LON")
+	l, _ := n.LinkBetween(fra, lon)
+	fmt.Printf("FRA->LON: %.0f Mbps, %.4f%% availability\n", l.Capacity, l.Availability()*100)
+	// Output:
+	// MyWAN(3 nodes, 6 links)
+	// FRA->LON: 20000 Mbps, 99.8000% availability
+}
+
+// ExampleParse loads a topology from the text file format.
+func ExampleParse() {
+	const src = `
+topology EuroRing
+bidi FRA AMS 10000 0.001   # primary fiber
+bidi AMS LON 10000 0.0005
+link LON FRA 5000 0.01     # one-way leased wave
+`
+	n, err := topo.Parse(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output:
+	// EuroRing(3 nodes, 5 links)
+}

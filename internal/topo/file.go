@@ -1,0 +1,153 @@
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text topology format lets operators load their own WAN instead
+// of the built-ins:
+//
+//	# comment
+//	topology MyWAN
+//	node DC1                      # optional; links create nodes too
+//	link DC1 DC2 10000 0.001      # src dst capacity_mbps fail_prob
+//	bidi DC1 DC3 10000 0.0001     # both directions
+//
+// Capacities are Mbps; failure probabilities are fractions in [0,1).
+
+// Parse reads a topology from r in the text format.
+func Parse(r io.Reader) (*Network, error) {
+	b := NewBuilder("")
+	name := "custom"
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "topology":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: topology wants one name", lineNo)
+			}
+			name = fields[1]
+		case "node":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topo: line %d: node wants one name", lineNo)
+			}
+			b.Node(fields[1])
+		case "link", "bidi":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("topo: line %d: %s wants src dst capacity failprob", lineNo, fields[0])
+			}
+			capacity, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad capacity %q: %v", lineNo, fields[3], err)
+			}
+			failProb, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topo: line %d: bad failprob %q: %v", lineNo, fields[4], err)
+			}
+			if fields[0] == "link" {
+				b.AddLink(fields[1], fields[2], capacity, failProb)
+			} else {
+				b.Bidi(fields[1], fields[2], capacity, failProb)
+			}
+		default:
+			return nil, fmt.Errorf("topo: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b.name = name
+	n, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if n.NumNodes() == 0 {
+		return nil, fmt.Errorf("topo: empty topology")
+	}
+	return n, nil
+}
+
+// Load reads a topology file from disk.
+func Load(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	n, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return n, nil
+}
+
+// Write renders the network in the text format, pairing reverse links
+// into bidi lines when capacity and failure probability match.
+func (n *Network) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "topology %s\n", n.name); err != nil {
+		return err
+	}
+	for _, name := range n.nodeNames {
+		if _, err := fmt.Fprintf(w, "node %s\n", name); err != nil {
+			return err
+		}
+	}
+	done := make([]bool, len(n.links))
+	for _, l := range n.links {
+		if done[l.ID] {
+			continue
+		}
+		done[l.ID] = true
+		kind := "link"
+		if rev, ok := n.LinkBetween(l.Dst, l.Src); ok && !done[rev.ID] &&
+			rev.Capacity == l.Capacity && rev.FailProb == l.FailProb {
+			done[rev.ID] = true
+			kind = "bidi"
+		}
+		if _, err := fmt.Fprintf(w, "%s %s %s %g %g\n",
+			kind, n.nodeNames[l.Src], n.nodeNames[l.Dst], l.Capacity, l.FailProb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Save writes the network to a file.
+func (n *Network) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := n.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Resolve interprets s as a built-in topology name first, then as a
+// path to a topology file. Commands use it for their -topology flag.
+func Resolve(s string) (*Network, error) {
+	if n, err := ByName(s); err == nil {
+		return n, nil
+	}
+	if _, statErr := os.Stat(s); statErr == nil {
+		return Load(s)
+	}
+	return nil, fmt.Errorf("topo: %q is neither a built-in topology (%v) nor a readable file", s, Names())
+}

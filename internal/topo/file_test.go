@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+# a small WAN
+topology Demo
+node DC1
+link DC1 DC2 10000 0.001   # one way
+bidi DC2 DC3 20000 0.0001
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "Demo" || n.NumNodes() != 3 || n.NumLinks() != 3 {
+		t.Fatalf("got %s with %d nodes %d links", n.Name(), n.NumNodes(), n.NumLinks())
+	}
+	dc1, _ := n.NodeByName("DC1")
+	dc2, _ := n.NodeByName("DC2")
+	if _, ok := n.LinkBetween(dc2, dc1); ok {
+		t.Fatal("one-way link got a reverse")
+	}
+	l, _ := n.LinkBetween(dc1, dc2)
+	if l.Capacity != 10000 || l.FailProb != 0.001 {
+		t.Fatalf("link = %+v", l)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"topology a b",
+		"node",
+		"link DC1 DC2 100",
+		"link DC1 DC2 x 0.1",
+		"link DC1 DC2 100 y",
+		"frob DC1",
+		"link DC1 DC2 100 1.5", // failProb out of range (builder error)
+		"",                     // empty topology
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// Round trip: every built-in topology survives Write→Parse unchanged.
+func TestWriteParseRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		orig, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Name() != orig.Name() || got.NumNodes() != orig.NumNodes() || got.NumLinks() != orig.NumLinks() {
+			t.Fatalf("%s: round trip changed shape: %s vs %s", name, got, orig)
+		}
+		for _, l := range orig.Links() {
+			rl, ok := got.LinkBetween(l.Src, l.Dst)
+			if !ok || rl.Capacity != l.Capacity || rl.FailProb != l.FailProb {
+				t.Fatalf("%s: link %d changed: %+v vs %+v", name, l.ID, rl, l)
+			}
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wan.topo")
+	if err := Testbed().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 6 || n.NumLinks() != 16 {
+		t.Fatalf("loaded %s", n)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.topo")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+	// Corrupt file.
+	bad := filepath.Join(dir, "bad.topo")
+	os.WriteFile(bad, []byte("link a"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,249 @@
+// Package topo models the inter-DC WAN as a directed graph whose nodes
+// are datacenters and whose links carry a capacity (Mbps) and an
+// independent failure probability, following §3.1 of the BATE paper.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a datacenter in a Network. IDs are dense and start
+// at zero so they can index slices directly.
+type NodeID int
+
+// LinkID identifies a directed link in a Network. IDs are dense and
+// start at zero.
+type LinkID int
+
+// Link is a directed edge of the WAN graph.
+type Link struct {
+	ID       LinkID
+	Src, Dst NodeID
+	// Capacity is the link capacity in Mbps.
+	Capacity float64
+	// FailProb is the probability (fraction in [0,1]) that the link
+	// is down, estimated from historical data (§3.1).
+	FailProb float64
+}
+
+// Availability returns 1 - FailProb.
+func (l Link) Availability() float64 { return 1 - l.FailProb }
+
+// Network is an immutable directed graph of datacenters and links.
+// Construct one with NewBuilder; a zero Network is empty.
+type Network struct {
+	name      string
+	nodeNames []string
+	nodeIndex map[string]NodeID
+	links     []Link
+	out       [][]LinkID // outgoing links per node
+	in        [][]LinkID // incoming links per node
+	byPair    map[[2]NodeID]LinkID
+}
+
+// Name returns the topology name (e.g. "B4").
+func (n *Network) Name() string { return n.name }
+
+// NumNodes returns the number of datacenters.
+func (n *Network) NumNodes() int { return len(n.nodeNames) }
+
+// NumLinks returns the number of directed links.
+func (n *Network) NumLinks() int { return len(n.links) }
+
+// NodeName returns the name of node id.
+func (n *Network) NodeName(id NodeID) string { return n.nodeNames[id] }
+
+// NodeByName returns the id of the named node.
+func (n *Network) NodeByName(name string) (NodeID, bool) {
+	id, ok := n.nodeIndex[name]
+	return id, ok
+}
+
+// Link returns the link with the given id.
+func (n *Network) Link(id LinkID) Link { return n.links[id] }
+
+// Links returns all links in id order. The returned slice must not be
+// modified.
+func (n *Network) Links() []Link { return n.links }
+
+// Out returns the ids of links leaving node v. The returned slice must
+// not be modified.
+func (n *Network) Out(v NodeID) []LinkID { return n.out[v] }
+
+// In returns the ids of links entering node v. The returned slice must
+// not be modified.
+func (n *Network) In(v NodeID) []LinkID { return n.in[v] }
+
+// LinkBetween returns the link from src to dst, if one exists.
+func (n *Network) LinkBetween(src, dst NodeID) (Link, bool) {
+	id, ok := n.byPair[[2]NodeID{src, dst}]
+	if !ok {
+		return Link{}, false
+	}
+	return n.links[id], true
+}
+
+// Pairs returns every ordered (src, dst) node pair with src != dst, in
+// deterministic order. This is the demand pair set K of the paper.
+func (n *Network) Pairs() [][2]NodeID {
+	pairs := make([][2]NodeID, 0, n.NumNodes()*(n.NumNodes()-1))
+	for s := 0; s < n.NumNodes(); s++ {
+		for d := 0; d < n.NumNodes(); d++ {
+			if s != d {
+				pairs = append(pairs, [2]NodeID{NodeID(s), NodeID(d)})
+			}
+		}
+	}
+	return pairs
+}
+
+// String returns a short human-readable summary.
+func (n *Network) String() string {
+	return fmt.Sprintf("%s(%d nodes, %d links)", n.name, n.NumNodes(), n.NumLinks())
+}
+
+// Describe returns a multi-line listing of nodes and links, useful in
+// examples and debugging output.
+func (n *Network) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology %s: %d nodes, %d links\n", n.name, n.NumNodes(), n.NumLinks())
+	for _, l := range n.links {
+		fmt.Fprintf(&b, "  %s -> %s  cap=%.0f Mbps  pfail=%.6g\n",
+			n.nodeNames[l.Src], n.nodeNames[l.Dst], l.Capacity, l.FailProb)
+	}
+	return b.String()
+}
+
+// Builder accumulates nodes and links and produces an immutable
+// Network. Node and Bidi/AddLink calls may be freely interleaved.
+type Builder struct {
+	name  string
+	nodes []string
+	index map[string]NodeID
+	links []Link
+	err   error
+}
+
+// NewBuilder returns a Builder for a topology with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, index: make(map[string]NodeID)}
+}
+
+// Node adds (or finds) a node by name and returns its id.
+func (b *Builder) Node(name string) NodeID {
+	if id, ok := b.index[name]; ok {
+		return id
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, name)
+	b.index[name] = id
+	return id
+}
+
+// AddLink adds a directed link. Capacity is in Mbps, failProb in [0,1].
+func (b *Builder) AddLink(src, dst string, capacity, failProb float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if capacity <= 0 {
+		b.err = fmt.Errorf("topo: link %s->%s: capacity %v must be positive", src, dst, capacity)
+		return b
+	}
+	if failProb < 0 || failProb >= 1 {
+		b.err = fmt.Errorf("topo: link %s->%s: failProb %v out of [0,1)", src, dst, failProb)
+		return b
+	}
+	s, d := b.Node(src), b.Node(dst)
+	if s == d {
+		b.err = fmt.Errorf("topo: self loop on %s", src)
+		return b
+	}
+	b.links = append(b.links, Link{
+		ID: LinkID(len(b.links)), Src: s, Dst: d,
+		Capacity: capacity, FailProb: failProb,
+	})
+	return b
+}
+
+// Bidi adds a pair of directed links, one in each direction, with the
+// same capacity and failure probability. WAN links in the paper's
+// topologies are bidirectional fibers modeled as two directed links.
+func (b *Builder) Bidi(a, c string, capacity, failProb float64) *Builder {
+	return b.AddLink(a, c, capacity, failProb).AddLink(c, a, capacity, failProb)
+}
+
+// Build finalizes the Network. It fails on duplicate links or if any
+// prior Add call reported an error.
+func (b *Builder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := &Network{
+		name:      b.name,
+		nodeNames: append([]string(nil), b.nodes...),
+		nodeIndex: make(map[string]NodeID, len(b.nodes)),
+		links:     append([]Link(nil), b.links...),
+		out:       make([][]LinkID, len(b.nodes)),
+		in:        make([][]LinkID, len(b.nodes)),
+		byPair:    make(map[[2]NodeID]LinkID, len(b.links)),
+	}
+	for name, id := range b.index {
+		n.nodeIndex[name] = id
+	}
+	for _, l := range n.links {
+		key := [2]NodeID{l.Src, l.Dst}
+		if _, dup := n.byPair[key]; dup {
+			return nil, fmt.Errorf("topo: duplicate link %s->%s",
+				n.nodeNames[l.Src], n.nodeNames[l.Dst])
+		}
+		n.byPair[key] = l.ID
+		n.out[l.Src] = append(n.out[l.Src], l.ID)
+		n.in[l.Dst] = append(n.in[l.Dst], l.ID)
+	}
+	for v := range n.out {
+		sort.Slice(n.out[v], func(i, j int) bool { return n.out[v][i] < n.out[v][j] })
+		sort.Slice(n.in[v], func(i, j int) bool { return n.in[v][i] < n.in[v][j] })
+	}
+	return n, nil
+}
+
+// MustBuild is Build that panics on error, for static topology tables.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Scale returns a copy of the network with every link capacity
+// multiplied by factor. Used to scale testbed topologies between Gbps
+// and Mbps experiments.
+func (n *Network) Scale(factor float64) *Network {
+	b := NewBuilder(n.name)
+	for _, name := range n.nodeNames {
+		b.Node(name)
+	}
+	for _, l := range n.links {
+		b.AddLink(n.nodeNames[l.Src], n.nodeNames[l.Dst], l.Capacity*factor, l.FailProb)
+	}
+	return b.MustBuild()
+}
+
+// WithFailProbs returns a copy of the network whose link failure
+// probabilities are replaced by probs (indexed by LinkID).
+func (n *Network) WithFailProbs(probs []float64) (*Network, error) {
+	if len(probs) != len(n.links) {
+		return nil, fmt.Errorf("topo: got %d probs for %d links", len(probs), len(n.links))
+	}
+	b := NewBuilder(n.name)
+	for _, name := range n.nodeNames {
+		b.Node(name)
+	}
+	for _, l := range n.links {
+		b.AddLink(n.nodeNames[l.Src], n.nodeNames[l.Dst], l.Capacity, probs[l.ID])
+	}
+	return b.Build()
+}

@@ -1,0 +1,257 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	n, err := NewBuilder("t").
+		AddLink("a", "b", 100, 0.01).
+		AddLink("b", "c", 200, 0.02).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 3 || n.NumLinks() != 2 {
+		t.Fatalf("got %d nodes %d links, want 3/2", n.NumNodes(), n.NumLinks())
+	}
+	a, ok := n.NodeByName("a")
+	if !ok {
+		t.Fatal("node a missing")
+	}
+	b, _ := n.NodeByName("b")
+	l, ok := n.LinkBetween(a, b)
+	if !ok || l.Capacity != 100 || l.FailProb != 0.01 {
+		t.Fatalf("LinkBetween(a,b) = %+v, %v", l, ok)
+	}
+	if got := l.Availability(); got != 0.99 {
+		t.Fatalf("Availability = %v, want 0.99", got)
+	}
+	if _, ok := n.LinkBetween(b, a); ok {
+		t.Fatal("unexpected reverse link")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+	}{
+		{"zero capacity", NewBuilder("t").AddLink("a", "b", 0, 0.1)},
+		{"negative capacity", NewBuilder("t").AddLink("a", "b", -5, 0.1)},
+		{"failProb 1", NewBuilder("t").AddLink("a", "b", 1, 1)},
+		{"failProb negative", NewBuilder("t").AddLink("a", "b", 1, -0.1)},
+		{"self loop", NewBuilder("t").AddLink("a", "a", 1, 0.1)},
+		{"duplicate", NewBuilder("t").AddLink("a", "b", 1, 0.1).AddLink("a", "b", 2, 0.1)},
+	}
+	for _, c := range cases {
+		if _, err := c.b.Build(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	n := NewBuilder("t").
+		AddLink("a", "b", 1, 0).
+		AddLink("a", "c", 1, 0).
+		AddLink("b", "c", 1, 0).
+		MustBuild()
+	a, _ := n.NodeByName("a")
+	c, _ := n.NodeByName("c")
+	if len(n.Out(a)) != 2 {
+		t.Fatalf("Out(a) = %v, want 2 links", n.Out(a))
+	}
+	if len(n.In(c)) != 2 {
+		t.Fatalf("In(c) = %v, want 2 links", n.In(c))
+	}
+	if len(n.Out(c)) != 0 || len(n.In(a)) != 0 {
+		t.Fatal("unexpected adjacency")
+	}
+}
+
+func TestPairs(t *testing.T) {
+	n := Toy()
+	pairs := n.Pairs()
+	want := n.NumNodes() * (n.NumNodes() - 1)
+	if len(pairs) != want {
+		t.Fatalf("got %d pairs, want %d", len(pairs), want)
+	}
+	seen := make(map[[2]NodeID]bool)
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("self pair %v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+// Table 4 sizes must match the paper exactly.
+func TestTable4Sizes(t *testing.T) {
+	cases := []struct {
+		n            *Network
+		nodes, links int
+	}{
+		{B4(), 12, 38},
+		{IBM(), 18, 48},
+		{ATT(), 25, 112},
+		{FITI(), 14, 32},
+	}
+	for _, c := range cases {
+		if c.n.NumNodes() != c.nodes || c.n.NumLinks() != c.links {
+			t.Errorf("%s: %d nodes %d links, want %d/%d",
+				c.n.Name(), c.n.NumNodes(), c.n.NumLinks(), c.nodes, c.links)
+		}
+	}
+}
+
+func TestToyMatchesFigure2(t *testing.T) {
+	n := Toy()
+	if n.NumNodes() != 4 || n.NumLinks() != 8 {
+		t.Fatalf("toy: %d nodes %d links", n.NumNodes(), n.NumLinks())
+	}
+	dc1, _ := n.NodeByName("DC1")
+	dc2, _ := n.NodeByName("DC2")
+	l, ok := n.LinkBetween(dc1, dc2)
+	if !ok || l.FailProb != 0.04 {
+		t.Fatalf("DC1->DC2 = %+v, want failProb 0.04", l)
+	}
+}
+
+func TestTestbedLabels(t *testing.T) {
+	n := Testbed()
+	if n.NumNodes() != 6 || n.NumLinks() != 16 {
+		t.Fatalf("testbed: %d nodes %d links", n.NumNodes(), n.NumLinks())
+	}
+	if got := TestbedLinkName(0); got != "L1" {
+		t.Fatalf("TestbedLinkName(0) = %s", got)
+	}
+	if got := TestbedLinkName(7); got != "L4" {
+		t.Fatalf("TestbedLinkName(7) = %s", got)
+	}
+	// L4 (DC1-DC4) has the highest failure probability, 1%.
+	dc1, _ := n.NodeByName("DC1")
+	dc4, _ := n.NodeByName("DC4")
+	l, ok := n.LinkBetween(dc1, dc4)
+	if !ok || l.FailProb != 0.01 {
+		t.Fatalf("L4 = %+v, want failProb 0.01", l)
+	}
+	for _, other := range n.Links() {
+		if other.Src == dc1 && other.Dst == dc4 {
+			continue
+		}
+		if other.Dst == dc1 && other.Src == dc4 {
+			continue
+		}
+		if other.FailProb >= l.FailProb {
+			t.Fatalf("link %d has failProb %v >= L4's", other.ID, other.FailProb)
+		}
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	for _, name := range Names() {
+		n, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// BFS from node 0 along out-links, then along in-links.
+		for _, dir := range []string{"out", "in"} {
+			visited := make([]bool, n.NumNodes())
+			queue := []NodeID{0}
+			visited[0] = true
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				var adj []LinkID
+				if dir == "out" {
+					adj = n.Out(v)
+				} else {
+					adj = n.In(v)
+				}
+				for _, id := range adj {
+					l := n.Link(id)
+					next := l.Dst
+					if dir == "in" {
+						next = l.Src
+					}
+					if !visited[next] {
+						visited[next] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+			for v, ok := range visited {
+				if !ok {
+					t.Fatalf("%s: node %d unreachable (%s)", name, v, dir)
+				}
+			}
+		}
+	}
+}
+
+func TestHeavyTailedProbsInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		probs := heavyTailedProbs(64, seed|1)
+		for _, p := range probs {
+			if p < 1e-5 || p >= 0.01+0.005 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	n := Testbed().Scale(2)
+	for _, l := range n.Links() {
+		if l.Capacity != 2000 {
+			t.Fatalf("scaled capacity = %v, want 2000", l.Capacity)
+		}
+	}
+}
+
+func TestWithFailProbs(t *testing.T) {
+	n := Toy()
+	probs := make([]float64, n.NumLinks())
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	m, err := n.WithFailProbs(probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.Links() {
+		if l.FailProb != 0.5 {
+			t.Fatalf("failProb = %v, want 0.5", l.FailProb)
+		}
+	}
+	if _, err := n.WithFailProbs(probs[:2]); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown topology")
+	}
+}
+
+func TestDescribeAndString(t *testing.T) {
+	n := Toy()
+	if !strings.Contains(n.String(), "Toy4") {
+		t.Fatalf("String() = %q", n.String())
+	}
+	d := n.Describe()
+	if !strings.Contains(d, "DC1 -> DC2") || !strings.Contains(d, "pfail") {
+		t.Fatalf("Describe() missing link lines:\n%s", d)
+	}
+}

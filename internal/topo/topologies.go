@@ -1,0 +1,197 @@
+package topo
+
+import "fmt"
+
+// Built-in topologies used by the paper's evaluation (§2.2, §5, Table 4).
+//
+// B4 matches the published 12-site map of Google's B4; IBM, ATT and
+// FITI are reconstructed at the node/link counts reported in Table 4
+// (see DESIGN.md substitution 6). Failure probabilities follow the
+// heavy-tailed pattern of Fig. 1(b): most links are very reliable and
+// a small fraction contributes most failures.
+
+// Toy returns the 4-DC motivating topology of Fig. 2: two disjoint
+// DC1→DC4 paths, one through DC2 (4% failure on the first hop) and one
+// through DC3 (0.1% on the first hop). Capacities are 10 Gbps.
+func Toy() *Network {
+	const g = 10000 // 10 Gbps in Mbps
+	return NewBuilder("Toy4").
+		Bidi("DC1", "DC2", g, 0.04).
+		Bidi("DC2", "DC4", g, 0.000001).
+		Bidi("DC1", "DC3", g, 0.001).
+		Bidi("DC3", "DC4", g, 0.000001).
+		MustBuild()
+}
+
+// Testbed returns the 6-DC testbed topology of Fig. 6 with the eight
+// labelled links L1..L8. Link capacities are 1 Gbps, failure
+// probabilities as annotated in the figure; L4 (the direct DC1–DC4
+// link) carries the highest probability, 1%, matching the Fig. 10
+// observation that L4 fails most frequently.
+func Testbed() *Network {
+	const g = 1000 // 1 Gbps in Mbps
+	return NewBuilder("Testbed6").
+		Bidi("DC1", "DC2", g, 0.00001). // L1
+		Bidi("DC2", "DC3", g, 0.00002). // L2
+		Bidi("DC3", "DC4", g, 0.00001). // L3
+		Bidi("DC1", "DC4", g, 0.01).    // L4
+		Bidi("DC2", "DC5", g, 0.0001).  // L5
+		Bidi("DC4", "DC5", g, 0.0002).  // L6
+		Bidi("DC5", "DC6", g, 0.0002).  // L7
+		Bidi("DC1", "DC6", g, 0.0001).  // L8
+		MustBuild()
+}
+
+// TestbedLinkName returns the paper's L1..L8 label for a testbed link
+// id (each label covers both directions of the bidirectional fiber).
+func TestbedLinkName(id LinkID) string {
+	return fmt.Sprintf("L%d", int(id)/2+1)
+}
+
+// heavyTailedProbs returns n failure probabilities following the
+// Fig. 1(b) pattern: ~70% of links near 1e-5..1e-4, ~25% around
+// 1e-4..1e-3, and ~5% "bad" links at 5e-3..1e-2. Deterministic.
+func heavyTailedProbs(n int, seed uint64) []float64 {
+	probs := make([]float64, n)
+	x := seed
+	next := func() uint64 { // xorshift64
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for i := range probs {
+		r := next() % 100
+		u := float64(next()%1000) / 1000 // [0,1)
+		switch {
+		case r < 70:
+			probs[i] = 1e-5 + u*9e-5
+		case r < 95:
+			probs[i] = 1e-4 + u*9e-4
+		default:
+			probs[i] = 5e-3 + u*5e-3
+		}
+	}
+	return probs
+}
+
+// meshBuilder builds a name-indexed ring-plus-chords graph with the
+// requested number of nodes and bidirectional edges. The ring
+// guarantees strong connectivity; chords are spread deterministically.
+func meshBuilder(name string, nodes, edges int, caps []float64, seed uint64) *Network {
+	b := NewBuilder(name)
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", name, i+1)
+		b.Node(names[i])
+	}
+	probs := heavyTailedProbs(edges, seed)
+	type pair struct{ a, c int }
+	var chosen []pair
+	seen := make(map[pair]bool)
+	add := func(a, c int) bool {
+		if a == c {
+			return false
+		}
+		if a > c {
+			a, c = c, a
+		}
+		p := pair{a, c}
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		chosen = append(chosen, p)
+		return true
+	}
+	for i := 0; i < nodes; i++ { // ring
+		add(i, (i+1)%nodes)
+	}
+	// Chords: widening strides keep the graph mesh-like and give
+	// multiple disjoint paths between most pairs.
+	stride := 2
+	for len(chosen) < edges {
+		added := false
+		for i := 0; i < nodes && len(chosen) < edges; i++ {
+			if add(i, (i+stride)%nodes) {
+				added = true
+			}
+		}
+		stride++
+		if !added && stride > nodes {
+			break
+		}
+	}
+	for i, p := range chosen {
+		b.Bidi(names[p.a], names[p.c], caps[i%len(caps)], probs[i])
+	}
+	return b.MustBuild()
+}
+
+// B4 returns the 12-node, 38-directed-link Google B4 topology
+// (Table 4). The 19 bidirectional edges follow the published B4 site
+// map; capacities model mixed 10/20 Gbps WAN trunks.
+func B4() *Network {
+	b := NewBuilder("B4")
+	// Sites numbered 1..12 (North America 1-6, Europe 7-9, Asia 10-12).
+	edges := []struct {
+		a, c string
+		cap  float64
+	}{
+		{"B4-1", "B4-2", 10000}, {"B4-1", "B4-3", 10000},
+		{"B4-2", "B4-3", 10000}, {"B4-2", "B4-4", 20000},
+		{"B4-3", "B4-5", 10000}, {"B4-4", "B4-5", 10000},
+		{"B4-4", "B4-6", 20000}, {"B4-5", "B4-6", 10000},
+		{"B4-5", "B4-7", 10000}, {"B4-6", "B4-8", 20000},
+		{"B4-7", "B4-8", 10000}, {"B4-7", "B4-9", 10000},
+		{"B4-8", "B4-9", 10000}, {"B4-8", "B4-10", 10000},
+		{"B4-9", "B4-11", 10000}, {"B4-10", "B4-11", 10000},
+		{"B4-10", "B4-12", 10000}, {"B4-11", "B4-12", 10000},
+		{"B4-6", "B4-10", 10000},
+	}
+	probs := heavyTailedProbs(len(edges), 0xB4B4B4B4)
+	for i, e := range edges {
+		b.Bidi(e.a, e.c, e.cap, probs[i])
+	}
+	return b.MustBuild()
+}
+
+// IBM returns the 18-node, 48-directed-link IBM backbone of Table 4.
+func IBM() *Network {
+	return meshBuilder("IBM", 18, 24, []float64{10000, 10000, 20000}, 0x1B3C5D7E)
+}
+
+// ATT returns the 25-node, 112-directed-link AT&T backbone of Table 4.
+func ATT() *Network {
+	return meshBuilder("ATT", 25, 56, []float64{10000, 20000, 40000}, 0xA77A77A7)
+}
+
+// FITI returns the 14-node, 32-directed-link FITI (Future Internet
+// Technology Infrastructure) topology of Table 4.
+func FITI() *Network {
+	return meshBuilder("FITI", 14, 16, []float64{10000, 10000, 20000}, 0xF171F171)
+}
+
+// ByName returns a built-in topology by its Table 4 name.
+func ByName(name string) (*Network, error) {
+	switch name {
+	case "Toy4", "toy":
+		return Toy(), nil
+	case "Testbed6", "testbed":
+		return Testbed(), nil
+	case "B4", "b4":
+		return B4(), nil
+	case "IBM", "ibm":
+		return IBM(), nil
+	case "ATT", "att":
+		return ATT(), nil
+	case "FITI", "fiti":
+		return FITI(), nil
+	}
+	return nil, fmt.Errorf("topo: unknown topology %q", name)
+}
+
+// Names lists the built-in topology names accepted by ByName.
+func Names() []string {
+	return []string{"Toy4", "Testbed6", "B4", "IBM", "ATT", "FITI"}
+}

@@ -1,0 +1,257 @@
+// Package wire implements the communication channel of §4: length-
+// prefixed JSON messages over long-lived TCP connections between the
+// central controller, the per-DC brokers, and user clients.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds a single message frame (1 MiB); larger frames are
+// rejected to protect against corrupt peers.
+const MaxFrame = 1 << 20
+
+// Type discriminates messages.
+type Type string
+
+// Message types.
+const (
+	TypeHello       Type = "hello"        // broker/client -> controller
+	TypeSubmit      Type = "submit"       // client -> controller: BA demand
+	TypeAdmitResult Type = "admit-result" // controller -> client
+	TypeAllocUpdate Type = "alloc-update" // controller -> broker
+	TypeLinkEvent   Type = "link-event"   // broker -> controller
+	TypeWithdraw    Type = "withdraw"     // client -> controller: demand done
+	TypeStats       Type = "stats"        // broker -> controller
+	TypePing        Type = "ping"
+	TypePong        Type = "pong"
+	TypeError       Type = "error"
+	TypePaxos       Type = "paxos"  // controller-replica election traffic
+	TypeStatus      Type = "status" // client -> controller: demand status query
+	TypeStatusReply Type = "status-reply"
+)
+
+// Hello announces a peer. Role is "broker" or "client"; DC names the
+// broker's datacenter.
+type Hello struct {
+	Role string `json:"role"`
+	DC   string `json:"dc,omitempty"`
+}
+
+// Submit carries a BA demand request: bandwidth (Mbps) between two
+// DCs with an availability target, a charge and a refund fraction.
+type Submit struct {
+	DemandID   int     `json:"demand_id"`
+	Src        string  `json:"src_dc"`
+	Dst        string  `json:"dst_dc"`
+	Bandwidth  float64 `json:"bandwidth_mbps"`
+	Target     float64 `json:"target"`
+	Charge     float64 `json:"charge"`
+	RefundFrac float64 `json:"refund_frac"`
+}
+
+// AdmitResult answers a Submit.
+type AdmitResult struct {
+	DemandID int    `json:"demand_id"`
+	Admitted bool   `json:"admitted"`
+	Method   string `json:"method"`
+	// DelayMs is the controller-side admission latency.
+	DelayMs float64 `json:"delay_ms"`
+}
+
+// TunnelAlloc is one tunnel's share of a demand's bandwidth. Label is
+// the 24-bit forwarding label (12-bit demand, 12-bit tunnel; §4).
+type TunnelAlloc struct {
+	Label uint32   `json:"label"`
+	Hops  []string `json:"hops"` // DC names, source first
+	Rate  float64  `json:"rate_mbps"`
+}
+
+// AllocUpdate pushes the current allocations relevant to one broker.
+type AllocUpdate struct {
+	Epoch   uint64        `json:"epoch"`
+	Tunnels []TunnelAlloc `json:"tunnels"`
+	// Backup indicates this is a precomputed failure backup being
+	// activated rather than a scheduled allocation.
+	Backup bool `json:"backup,omitempty"`
+}
+
+// LinkEvent reports a link state change observed by a broker's
+// network agent.
+type LinkEvent struct {
+	SrcDC    string  `json:"src_dc"`
+	DstDC    string  `json:"dst_dc"`
+	Up       bool    `json:"up"`
+	AtUnixMs int64   `json:"at_unix_ms"`
+	RateMbps float64 `json:"rate_mbps,omitempty"`
+}
+
+// Stats carries a broker's periodic rate observations.
+type Stats struct {
+	DC    string             `json:"dc"`
+	Rates map[string]float64 `json:"rates_mbps"`
+}
+
+// DemandStatus is one demand's line in a status reply.
+type DemandStatus struct {
+	DemandID  int     `json:"demand_id"`
+	Src       string  `json:"src_dc"`
+	Dst       string  `json:"dst_dc"`
+	Bandwidth float64 `json:"bandwidth_mbps"`
+	Target    float64 `json:"target"`
+	// Achieved is the controller's current availability estimate for
+	// the installed allocation (post-processing over failure
+	// scenarios).
+	Achieved float64 `json:"achieved"`
+	// Allocated is the bandwidth currently reserved across tunnels.
+	Allocated float64 `json:"allocated_mbps"`
+}
+
+// StatusReply answers a TypeStatus query.
+type StatusReply struct {
+	Demands []DemandStatus `json:"demands"`
+	Epoch   uint64         `json:"epoch"`
+}
+
+// PaxosMsg carries one Paxos protocol message between controller
+// replicas (§4: master election).
+type PaxosMsg struct {
+	Kind           int8   `json:"kind"`
+	From           int    `json:"from"`
+	To             int    `json:"to"`
+	BallotRound    uint64 `json:"ballot_round"`
+	BallotNode     int    `json:"ballot_node"`
+	AccBallotRound uint64 `json:"acc_ballot_round,omitempty"`
+	AccBallotNode  int    `json:"acc_ballot_node,omitempty"`
+	AccValue       string `json:"acc_value,omitempty"`
+	HasAccepted    bool   `json:"has_accepted,omitempty"`
+	Value          string `json:"value,omitempty"`
+}
+
+// Message is the frame envelope; exactly one payload field matching
+// Type is set.
+type Message struct {
+	Type        Type         `json:"type"`
+	Seq         uint64       `json:"seq,omitempty"`
+	Hello       *Hello       `json:"hello,omitempty"`
+	Submit      *Submit      `json:"submit,omitempty"`
+	AdmitResult *AdmitResult `json:"admit_result,omitempty"`
+	Alloc       *AllocUpdate `json:"alloc,omitempty"`
+	LinkEvent   *LinkEvent   `json:"link_event,omitempty"`
+	Stats       *Stats       `json:"stats,omitempty"`
+	Paxos       *PaxosMsg    `json:"paxos,omitempty"`
+	Status      *StatusReply `json:"status,omitempty"`
+	WithdrawID  int          `json:"withdraw_id,omitempty"`
+	Error       string       `json:"error,omitempty"`
+}
+
+// Conn is a framed, concurrency-safe message connection. Reads and
+// writes may proceed concurrently; writes are serialized internally.
+type Conn struct {
+	nc   net.Conn
+	r    *bufio.Reader
+	wmu  sync.Mutex
+	w    *bufio.Writer
+	once sync.Once
+}
+
+// New wraps an established net.Conn.
+func New(nc net.Conn) *Conn {
+	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
+}
+
+// Dial connects to addr with a sane timeout and wraps the connection.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// Long-lived control channel: keep-alives detect dead peers.
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+		tc.SetNoDelay(true)
+	}
+	return New(nc), nil
+}
+
+// Send writes one message frame.
+func (c *Conn) Send(m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(data), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := c.w.Write(data); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Recv reads the next message frame, blocking until one arrives or
+// the connection fails.
+func (c *Conn) Recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// SetDeadline bounds the next read/write.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// Close shuts the connection down (idempotent).
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.nc.Close() })
+	return err
+}
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Label packs a demand id and tunnel id into the 24-bit VxLAN-style
+// forwarding label of §4 (first 12 bits demand, last 12 bits tunnel).
+func Label(demandID, tunnelID int) (uint32, error) {
+	if demandID < 0 || demandID >= 1<<12 {
+		return 0, fmt.Errorf("wire: demand id %d outside 12 bits", demandID)
+	}
+	if tunnelID < 0 || tunnelID >= 1<<12 {
+		return 0, fmt.Errorf("wire: tunnel id %d outside 12 bits", tunnelID)
+	}
+	return uint32(demandID)<<12 | uint32(tunnelID), nil
+}
+
+// SplitLabel unpacks a forwarding label.
+func SplitLabel(label uint32) (demandID, tunnelID int) {
+	return int(label >> 12 & 0xfff), int(label & 0xfff)
+}
