@@ -17,6 +17,7 @@ import (
 	"bate/internal/experiments"
 	"bate/internal/lp"
 	"bate/internal/routing"
+	"bate/internal/scenario"
 	"bate/internal/sim"
 	"bate/internal/topo"
 )
@@ -205,6 +206,84 @@ func BenchmarkBackupPrecompute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bate.Backups(in); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel engine benches ---
+
+// benchBatchWorkload builds a batch of concurrent arrivals on the
+// testbed for the batch-admission benches.
+func benchBatchWorkload() (*alloc.Input, []*demand.Demand) {
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	rng := rand.New(rand.NewSource(11))
+	gen := demand.NewGenerator(n, demand.GeneratorConfig{
+		ArrivalsPerMinute: 0.05, MeanDurationSec: 1e9,
+		MinBandwidth: 20, MaxBandwidth: 60,
+		Targets: []float64{0.9, 0.99, 0.999},
+	}, rng)
+	batch := gen.Generate(600)
+	return &alloc.Input{Net: n, Tunnels: ts}, batch
+}
+
+// Batch admission with parallel speculation (AdmitBatch) vs the serial
+// per-demand loop it must be decision-identical to. Run with
+// `-cpu 1,4,8` to see the speculation speedup.
+func BenchmarkAdmitBatch(b *testing.B) {
+	in, batch := benchBatchWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bate.AdmitBatch(in, alloc.New(in), nil, batch, bate.BatchOptions{MaxFail: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdmitSerialLoop(b *testing.B) {
+	in, batch := benchBatchWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := alloc.New(in)
+		var adm []*demand.Demand
+		for _, d := range batch {
+			live := &alloc.Input{Net: in.Net, Tunnels: in.Tunnels, Demands: adm}
+			res, err := bate.Admit(live, cur, adm, d, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Admitted {
+				cur[d.ID] = res.NewAlloc
+				adm = append(adm, d)
+			}
+		}
+	}
+}
+
+// Scenario-class cache: the exponential subset enumeration on a cold
+// cache vs the memoized lookup every later round pays.
+func BenchmarkClassesCold(b *testing.B) {
+	in := benchScheduleInput()
+	tunnels := in.AllTunnelsFor(in.Demands[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scenario.DefaultClassCache.Reset()
+		if _, _, err := scenario.CachedClassesFor(in.Net, nil, tunnels, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassesWarm(b *testing.B) {
+	in := benchScheduleInput()
+	tunnels := in.AllTunnelsFor(in.Demands[0])
+	if _, _, err := scenario.CachedClassesFor(in.Net, nil, tunnels, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := scenario.CachedClassesFor(in.Net, nil, tunnels, 2); err != nil || !hit {
+			b.Fatalf("want warm cache hit, got hit=%v err=%v", hit, err)
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bate/internal/controller"
+	"bate/internal/parallel"
 	"bate/internal/paxos"
 	"bate/internal/routing"
 	"bate/internal/topo"
@@ -34,7 +35,13 @@ func main() {
 	replicaID := flag.Int("replica", 0, "replica id for master election (0 = standalone)")
 	electPeers := flag.String("peers", "", "election peers as id=host:port,... (includes self)")
 	electListen := flag.String("election-listen", "", "election listen address (required with -replica)")
+	procs := flag.Int("procs", 0, "worker pool size for parallel admission/scheduling (0 = all cores)")
 	flag.Parse()
+
+	if *procs < 0 {
+		log.Fatal("bate-controller: -procs must be >= 0")
+	}
+	parallel.SetDefaultSize(*procs)
 
 	net0, err := topo.Resolve(*topoName)
 	if err != nil {
@@ -51,7 +58,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("bate-controller: %s on %s, scheduling every %v", net0, ln.Addr(), *period)
+	log.Printf("bate-controller: %s on %s, scheduling every %v, %d workers",
+		net0, ln.Addr(), *period, parallel.Default().Size())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -20,6 +20,7 @@ import (
 	"bate/internal/bate"
 	"bate/internal/demand"
 	"bate/internal/metrics"
+	"bate/internal/parallel"
 	"bate/internal/routing"
 	"bate/internal/sim"
 	"bate/internal/topo"
@@ -60,10 +61,16 @@ func main() {
 	bwMax := flag.Float64("bwmax", 50, "max demand bandwidth (Mbps)")
 	maxFail := flag.Int("maxfail", 2, "scenario pruning depth y")
 	seed := flag.Int64("seed", 1, "random seed")
+	procs := flag.Int("procs", 0, "worker pool size for parallel admission/scheduling (0 = all cores)")
 	workloadIn := flag.String("workload", "", "load the workload from a JSON file instead of generating")
 	traceIn := flag.String("trace", "", "replay a link failure trace file (time mode)")
 	workloadOut := flag.String("save-workload", "", "write the generated workload to a JSON file")
 	flag.Parse()
+
+	if *procs < 0 {
+		log.Fatal("batesim: -procs must be >= 0")
+	}
+	parallel.SetDefaultSize(*procs)
 
 	net0, err := topo.Resolve(*topoName)
 	if err != nil {

@@ -205,7 +205,7 @@ func AchievedAvailability(in *Input, a Allocation, d *demand.Demand, maxFail int
 // scenario.RiskGroup). Nil groups reduce to the independent model.
 func AchievedAvailabilityGroups(in *Input, a Allocation, d *demand.Demand, maxFail int, groups []scenario.RiskGroup) (float64, error) {
 	tunnels := in.AllTunnelsFor(d)
-	classes, err := scenario.ClassesForCorrelated(in.Net, groups, tunnels, maxFail)
+	classes, _, err := scenario.CachedClassesFor(in.Net, groups, tunnels, maxFail)
 	if err != nil {
 		return 0, err
 	}

@@ -316,7 +316,7 @@ func addQualifiedScenarioConstraints(p *lp.Problem, in *alloc.Input, fv alloc.Fl
 	if d.Target <= 0 {
 		return nil
 	}
-	classes, err := scenario.ClassesFor(in.Net, in.AllTunnelsFor(d), maxFail)
+	classes, _, err := scenario.CachedClassesFor(in.Net, nil, in.AllTunnelsFor(d), maxFail)
 	if err != nil {
 		return err
 	}

@@ -86,7 +86,7 @@ func scheduleHardened(in *alloc.Input, opts ScheduleOptions, hard map[int]bool) 
 			soft.Demands = append(soft.Demands, d)
 		}
 	}
-	if err := addAvailabilityGrouped(p, soft, fv, opts.MaxFail, opts.Groups); err != nil {
+	if err := addAvailabilityGroupedStats(p, soft, fv, opts.MaxFail, opts.Groups, nil); err != nil {
 		return nil, err
 	}
 	for _, d := range in.Demands {
@@ -109,10 +109,12 @@ func scheduleHardened(in *alloc.Input, opts ScheduleOptions, hard map[int]bool) 
 // demand's target. Returns lp.ErrInfeasible if even the total class
 // mass under the pruning depth cannot reach the target.
 func addHardGuarantee(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, d *demand.Demand, maxFail int, groups []scenario.RiskGroup) error {
-	classes, err := scenario.ClassesForCorrelated(in.Net, groups, in.AllTunnelsFor(d), maxFail)
+	cached, _, err := scenario.CachedClassesFor(in.Net, groups, in.AllTunnelsFor(d), maxFail)
 	if err != nil {
 		return err
 	}
+	// The cached slice is shared and read-only; copy before sorting.
+	classes := append([]scenario.Class(nil), cached...)
 	sort.Slice(classes, func(i, j int) bool {
 		if classes[i].Prob != classes[j].Prob {
 			return classes[i].Prob > classes[j].Prob

@@ -7,15 +7,23 @@
 package bate
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"bate/internal/alloc"
 	"bate/internal/demand"
 	"bate/internal/lp"
+	"bate/internal/metrics"
+	"bate/internal/parallel"
 	"bate/internal/scenario"
 	"bate/internal/topo"
 )
+
+// schedules counts scheduling-LP solves process-wide; paired with the
+// scenario cache counters it shows how much class work each round
+// amortized.
+var schedules = metrics.NewCounter("bate.schedules")
 
 // ScheduleMode selects how the scheduling LP represents failure
 // scenarios.
@@ -50,6 +58,13 @@ type ScheduleStats struct {
 	Constraints int
 	Iterations  int
 	Elapsed     time.Duration
+	// ClassCacheHits/Misses count the scenario-class lookups this
+	// solve served from the memoizing cache vs computed fresh.
+	ClassCacheHits   int
+	ClassCacheMisses int
+	// PoolWorkers is the parallel worker bound constraint assembly ran
+	// under (1 = serial).
+	PoolWorkers int
 }
 
 // Schedule solves the traffic-scheduling LP of Eq. 7: it finds the
@@ -89,10 +104,11 @@ func Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *Schedul
 			})
 		}
 	}
+	stats := &ScheduleStats{PoolWorkers: parallel.Default().Size()}
 	var err error
 	switch {
 	case opts.Mode == Aggregated:
-		err = addAvailabilityGrouped(p, in, fv, opts.MaxFail, opts.Groups)
+		err = addAvailabilityGroupedStats(p, in, fv, opts.MaxFail, opts.Groups, stats)
 	case opts.Mode == Enumerated && len(opts.Groups) > 0:
 		err = fmt.Errorf("bate: risk groups require the Aggregated mode")
 	case opts.Mode == Enumerated:
@@ -103,7 +119,8 @@ func Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *Schedul
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &ScheduleStats{Variables: p.NumVariables(), Constraints: p.NumConstraints()}
+	schedules.Inc()
+	stats.Variables, stats.Constraints = p.NumVariables(), p.NumConstraints()
 	sol, err := p.Solve()
 	stats.Elapsed = time.Since(start)
 	if sol != nil {
@@ -139,87 +156,187 @@ func availabilityBonus(d *demand.Demand) float64 {
 // classes: one B variable per (demand, class), B ∈ [0,1],
 // delivered_{k,class} ≥ b_k·B, and Σ p_class·B ≥ β_d.
 func addAvailabilityAggregated(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, maxFail int) error {
-	return addAvailabilityGrouped(p, in, fv, maxFail, nil)
+	return addAvailabilityGroupedStats(p, in, fv, maxFail, nil, nil)
 }
 
-// addAvailabilityGrouped is the aggregated formulation under the
-// correlated (SRLG) failure model; nil groups are the independent case.
-func addAvailabilityGrouped(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, maxFail int, groups []scenario.RiskGroup) error {
+// addAvailabilityGroupedStats is the aggregated formulation under the
+// correlated (SRLG) failure model; nil groups are the independent
+// case. The expensive pieces — scenario-class computation (memoized)
+// and constraint-row construction — fan out over demands on the
+// parallel pool; variables and constraints are then installed
+// serially in the exact order the serial assembly used, so the LP
+// (and therefore the simplex pivot sequence and the solution bytes)
+// is identical at any worker count. stats may be nil.
+func addAvailabilityGroupedStats(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, maxFail int, groups []scenario.RiskGroup, stats *ScheduleStats) error {
+	targeted := make([]*demand.Demand, 0, len(in.Demands))
 	for _, d := range in.Demands {
-		if d.Target <= 0 {
-			continue
+		if d.Target > 0 {
+			targeted = append(targeted, d)
 		}
-		classes, err := scenario.ClassesForCorrelated(in.Net, groups, in.AllTunnelsFor(d), maxFail)
+	}
+	if len(targeted) == 0 {
+		return nil
+	}
+	type assembly struct {
+		classes []scenario.Class
+		hit     bool
+		bv      []lp.VarID
+		rows    []lp.Constraint
+	}
+	jobs := make([]assembly, len(targeted))
+	pool := parallel.Default()
+	ctx := context.Background()
+
+	// Phase 1: scenario classes per demand, concurrent and memoized.
+	err := pool.ForEach(ctx, len(targeted), func(i int) error {
+		classes, hit, err := scenario.CachedClassesFor(in.Net, groups, in.AllTunnelsFor(targeted[i]), maxFail)
 		if err != nil {
-			return fmt.Errorf("bate: classes for demand %d: %w", d.ID, err)
+			return fmt.Errorf("bate: classes for demand %d: %w", targeted[i].ID, err)
 		}
+		jobs[i].classes, jobs[i].hit = classes, hit
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 (serial): allocate the B variables in (demand, class)
+	// order — the same VarID sequence the serial assembly produces.
+	for i, d := range targeted {
 		bonus := availabilityBonus(d)
-		availTerms := make([]lp.Term, 0, len(classes))
-		for ci, cls := range classes {
-			bv := p.AddVariable(fmt.Sprintf("B[d%d,c%d]", d.ID, ci), 0, 1, -bonus*cls.Prob)
-			availTerms = append(availTerms, lp.Term{Var: bv, Coef: cls.Prob})
-			bit := 0
-			for pi, pr := range d.Pairs {
-				tunnels := in.TunnelsFor(d, pi)
-				if pr.Bandwidth <= 0 {
-					bit += len(tunnels)
-					continue
-				}
-				terms := make([]lp.Term, 0, len(tunnels)+1)
-				for ti := range tunnels {
-					if cls.TunnelUp(bit) {
-						terms = append(terms, lp.Term{Var: fv[d.ID][pi][ti], Coef: 1})
-					}
-					bit++
-				}
-				terms = append(terms, lp.Term{Var: bv, Coef: -pr.Bandwidth})
-				p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
+		jobs[i].bv = make([]lp.VarID, len(jobs[i].classes))
+		for ci, cls := range jobs[i].classes {
+			jobs[i].bv[ci] = p.AddVariable(fmt.Sprintf("B[d%d,c%d]", d.ID, ci), 0, 1, -bonus*cls.Prob)
+		}
+		if stats != nil {
+			if jobs[i].hit {
+				stats.ClassCacheHits++
+			} else {
+				stats.ClassCacheMisses++
 			}
 		}
-		p.AddConstraint(lp.Constraint{
-			Name:  fmt.Sprintf("avail[d%d]", d.ID),
-			Terms: availTerms, Op: lp.GE, RHS: d.Target,
-		})
+	}
+
+	// Phase 3: build the constraint rows concurrently; rows are pure
+	// data referencing the pre-allocated variable ids.
+	err = pool.ForEach(ctx, len(targeted), func(i int) error {
+		jobs[i].rows = availabilityRows(in, targeted[i], jobs[i].classes, jobs[i].bv, fv)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 4 (serial): install the rows in demand order.
+	for i := range jobs {
+		for _, c := range jobs[i].rows {
+			p.AddConstraint(c)
+		}
 	}
 	return nil
+}
+
+// availabilityRows builds demand d's Eq. 3-4 constraint rows: per
+// class, one delivered ≥ b·B row per pair; then the Σ p·B ≥ β row.
+// The returned rows are pure data, safe to build concurrently.
+func availabilityRows(in *alloc.Input, d *demand.Demand, classes []scenario.Class, bv []lp.VarID, fv alloc.FlowVars) []lp.Constraint {
+	rows := make([]lp.Constraint, 0, len(classes)*len(d.Pairs)+1)
+	availTerms := make([]lp.Term, 0, len(classes))
+	for ci, cls := range classes {
+		availTerms = append(availTerms, lp.Term{Var: bv[ci], Coef: cls.Prob})
+		bit := 0
+		for pi, pr := range d.Pairs {
+			tunnels := in.TunnelsFor(d, pi)
+			if pr.Bandwidth <= 0 {
+				bit += len(tunnels)
+				continue
+			}
+			terms := make([]lp.Term, 0, len(tunnels)+1)
+			for ti := range tunnels {
+				if cls.TunnelUp(bit) {
+					terms = append(terms, lp.Term{Var: fv[d.ID][pi][ti], Coef: 1})
+				}
+				bit++
+			}
+			terms = append(terms, lp.Term{Var: bv[ci], Coef: -pr.Bandwidth})
+			rows = append(rows, lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
+		}
+	}
+	rows = append(rows, lp.Constraint{
+		Name:  fmt.Sprintf("avail[d%d]", d.ID),
+		Terms: availTerms, Op: lp.GE, RHS: d.Target,
+	})
+	return rows
 }
 
 // addAvailabilityEnumerated adds Eq. 3-4 with one B variable per
 // explicit pruned scenario, following the paper's formulation
 // verbatim. Exponentially larger but numerically identical to the
-// aggregated form.
+// aggregated form. Like the aggregated path, row construction fans
+// out over demands while variables and rows are installed serially in
+// the original order.
 func addAvailabilityEnumerated(p *lp.Problem, in *alloc.Input, fv alloc.FlowVars, maxFail int) error {
 	set, err := scenario.Enumerate(in.Net, maxFail)
 	if err != nil {
 		return err
 	}
+	targeted := make([]*demand.Demand, 0, len(in.Demands))
 	for _, d := range in.Demands {
-		if d.Target <= 0 {
-			continue
+		if d.Target > 0 {
+			targeted = append(targeted, d)
 		}
+	}
+	if len(targeted) == 0 {
+		return nil
+	}
+	bvs := make([][]lp.VarID, len(targeted))
+	for i, d := range targeted {
 		bonus := availabilityBonus(d)
-		availTerms := make([]lp.Term, 0, len(set.Scenarios))
+		bvs[i] = make([]lp.VarID, len(set.Scenarios))
 		for zi, z := range set.Scenarios {
-			bv := p.AddVariable(fmt.Sprintf("B[d%d,z%d]", d.ID, zi), 0, 1, -bonus*z.Prob)
-			availTerms = append(availTerms, lp.Term{Var: bv, Coef: z.Prob})
-			for pi, pr := range d.Pairs {
-				if pr.Bandwidth <= 0 {
-					continue
-				}
-				tunnels := in.TunnelsFor(d, pi)
-				terms := make([]lp.Term, 0, len(tunnels)+1)
-				for ti, t := range tunnels {
-					if z.TunnelUp(t) {
-						terms = append(terms, lp.Term{Var: fv[d.ID][pi][ti], Coef: 1})
-					}
-				}
-				terms = append(terms, lp.Term{Var: bv, Coef: -pr.Bandwidth})
-				p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
-			}
+			bvs[i][zi] = p.AddVariable(fmt.Sprintf("B[d%d,z%d]", d.ID, zi), 0, 1, -bonus*z.Prob)
 		}
-		p.AddConstraint(lp.Constraint{Terms: availTerms, Op: lp.GE, RHS: d.Target})
+	}
+	rowsPer := make([][]lp.Constraint, len(targeted))
+	err = parallel.Default().ForEach(context.Background(), len(targeted), func(i int) error {
+		rowsPer[i] = enumeratedRows(in, targeted[i], set, bvs[i], fv)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i := range rowsPer {
+		for _, c := range rowsPer[i] {
+			p.AddConstraint(c)
+		}
 	}
 	return nil
+}
+
+// enumeratedRows builds demand d's per-scenario Eq. 3-4 rows plus the
+// availability row, as pure data.
+func enumeratedRows(in *alloc.Input, d *demand.Demand, set *scenario.Set, bv []lp.VarID, fv alloc.FlowVars) []lp.Constraint {
+	rows := make([]lp.Constraint, 0, len(set.Scenarios)*len(d.Pairs)+1)
+	availTerms := make([]lp.Term, 0, len(set.Scenarios))
+	for zi, z := range set.Scenarios {
+		availTerms = append(availTerms, lp.Term{Var: bv[zi], Coef: z.Prob})
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth <= 0 {
+				continue
+			}
+			tunnels := in.TunnelsFor(d, pi)
+			terms := make([]lp.Term, 0, len(tunnels)+1)
+			for ti, t := range tunnels {
+				if z.TunnelUp(t) {
+					terms = append(terms, lp.Term{Var: fv[d.ID][pi][ti], Coef: 1})
+				}
+			}
+			terms = append(terms, lp.Term{Var: bv[zi], Coef: -pr.Bandwidth})
+			rows = append(rows, lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
+		}
+	}
+	rows = append(rows, lp.Constraint{Terms: availTerms, Op: lp.GE, RHS: d.Target})
+	return rows
 }
 
 // LinkPrices solves the scheduling LP and returns each link's shadow

@@ -18,6 +18,7 @@ import (
 	"bate/internal/alloc"
 	"bate/internal/bate"
 	"bate/internal/demand"
+	"bate/internal/metrics"
 	"bate/internal/routing"
 	"bate/internal/topo"
 	"bate/internal/wire"
@@ -185,6 +186,9 @@ func (c *Controller) serveClient(conn *wire.Conn) {
 			// clients correlate via Seq.
 			res := c.submit(m.Submit)
 			conn.Send(&wire.Message{Type: wire.TypeAdmitResult, Seq: m.Seq, AdmitResult: res})
+		case wire.TypeSubmitBatch:
+			res := c.submitBatch(m.SubmitBatch)
+			conn.Send(&wire.Message{Type: wire.TypeAdmitBatchResult, Seq: m.Seq, AdmitBatchResult: res})
 		case wire.TypeWithdraw:
 			c.withdraw(m.WithdrawID)
 			conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
@@ -242,6 +246,84 @@ func (c *Controller) submit(s *wire.Submit) *wire.AdmitResult {
 	return out
 }
 
+// submitBatch admits several demands as one batch: candidates are
+// speculated in parallel and committed with decisions identical to
+// submitting them one at a time in order (see bate.AdmitBatch).
+// Results are index-aligned with the request. Allocations are pushed
+// to brokers once, after the whole batch.
+func (c *Controller) submitBatch(subs []wire.Submit) []wire.AdmitResult {
+	out := make([]wire.AdmitResult, len(subs))
+	if len(subs) == 0 {
+		return out
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Validate and assign ids up front; invalid entries get an answer
+	// but never reach admission.
+	batch := make([]*demand.Demand, 0, len(subs))
+	slot := make([]int, 0, len(subs)) // batch index -> reply index
+	taken := make(map[int]bool, len(subs))
+	for i, s := range subs {
+		src, ok1 := c.cfg.Net.NodeByName(s.Src)
+		dst, ok2 := c.cfg.Net.NodeByName(s.Dst)
+		if !ok1 || !ok2 || src == dst || s.Bandwidth <= 0 {
+			out[i] = wire.AdmitResult{Admitted: false, Method: "invalid"}
+			continue
+		}
+		id := c.allocateIDLocked()
+		for id >= 0 && taken[id] {
+			id = c.allocateIDLocked()
+		}
+		if id < 0 {
+			out[i] = wire.AdmitResult{Admitted: false, Method: "id-space-full"}
+			continue
+		}
+		taken[id] = true
+		batch = append(batch, &demand.Demand{
+			ID:     id,
+			Pairs:  []demand.PairDemand{{Src: src, Dst: dst, Bandwidth: s.Bandwidth}},
+			Target: s.Target, Charge: s.Charge, RefundFrac: s.RefundFrac,
+		})
+		slot = append(slot, i)
+	}
+	if len(batch) == 0 {
+		return out
+	}
+	in, active := c.inputLocked()
+	br, err := bate.AdmitBatch(in, c.current, active, batch, bate.BatchOptions{MaxFail: c.cfg.MaxFail})
+	if err != nil {
+		c.logf("controller: admit batch: %v", err)
+		for _, i := range slot {
+			out[i] = wire.AdmitResult{Admitted: false, Method: "error"}
+		}
+		return out
+	}
+	admitted := 0
+	for bi, dec := range br.Decisions {
+		i := slot[bi]
+		out[i] = wire.AdmitResult{
+			Admitted: dec.Result.Admitted,
+			Method:   string(dec.Result.Method),
+			DelayMs:  float64(dec.Result.Elapsed.Microseconds()) / 1000,
+		}
+		if !dec.Result.Admitted {
+			continue
+		}
+		d := dec.Demand
+		out[i].DemandID = d.ID
+		c.demands[d.ID] = d
+		if dec.Result.NewAlloc != nil {
+			c.current[d.ID] = dec.Result.NewAlloc
+		}
+		admitted++
+	}
+	c.logf("controller: batch of %d: %d admitted, %d speculative, %d serial fallback",
+		len(batch), admitted, br.SpecReused, br.SerialFallbacks)
+	c.pushAllLocked(false)
+	return out
+}
+
 func (c *Controller) withdraw(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -287,10 +369,13 @@ func (c *Controller) reschedule() error {
 		c.pushAllLocked(false)
 		return nil
 	}
-	a, _, err := bate.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail})
+	a, stats, err := bate.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail})
 	if err != nil {
 		return err
 	}
+	c.logf("controller: scheduled %d demands: %d vars, %d constraints, %d iterations in %v (class cache %d hit/%d miss, %d workers)",
+		len(in.Demands), stats.Variables, stats.Constraints, stats.Iterations, stats.Elapsed,
+		stats.ClassCacheHits, stats.ClassCacheMisses, stats.PoolWorkers)
 	if hardened, herr := bate.Harden(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail}, a); herr == nil {
 		a = hardened
 	}
@@ -433,7 +518,7 @@ func (c *Controller) status() *wire.StatusReply {
 	current := c.current
 	epoch := c.epoch
 	c.mu.Unlock()
-	reply := &wire.StatusReply{Epoch: epoch}
+	reply := &wire.StatusReply{Epoch: epoch, Counters: metrics.Snapshot()}
 	for _, d := range active {
 		achieved, err := alloc.AchievedAvailability(in, current, d, c.cfg.MaxFail)
 		if err != nil {

@@ -369,3 +369,60 @@ func TestStatusQuery(t *testing.T) {
 		t.Fatalf("allocated %v", d.Allocated)
 	}
 }
+
+func TestEndToEndBatchSubmit(t *testing.T) {
+	ctrl, _, client := startSystem(t)
+	batch := []wire.Submit{
+		{Src: "DC1", Dst: "DC3", Bandwidth: 300, Target: 0.99, Charge: 300, RefundFrac: 0.1},
+		{Src: "DC2", Dst: "DC5", Bandwidth: 300, Target: 0.9, Charge: 300, RefundFrac: 0.1},
+		{Src: "bogus", Dst: "DC2", Bandwidth: 10},
+		{Src: "DC1", Dst: "DC3", Bandwidth: 99999, Target: 0.99},
+	}
+	if err := client.Send(&wire.Message{Type: wire.TypeSubmitBatch, SubmitBatch: batch}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != wire.TypeAdmitBatchResult || len(reply.AdmitBatchResult) != len(batch) {
+		t.Fatalf("reply %+v", reply)
+	}
+	r := reply.AdmitBatchResult
+	if !r[0].Admitted || !r[1].Admitted {
+		t.Fatalf("feasible demands refused: %+v", r[:2])
+	}
+	if r[0].DemandID == r[1].DemandID {
+		t.Fatalf("duplicate ids assigned in one batch: %+v", r[:2])
+	}
+	if r[2].Admitted || r[2].Method != "invalid" {
+		t.Fatalf("invalid entry: %+v", r[2])
+	}
+	if r[3].Admitted {
+		t.Fatalf("oversized demand admitted: %+v", r[3])
+	}
+	nd, _ := ctrl.Snapshot()
+	if nd != 2 {
+		t.Fatalf("controller has %d demands, want 2", nd)
+	}
+}
+
+func TestStatusCountersExposed(t *testing.T) {
+	_, _, client := startSystem(t)
+	if res := submit(t, client, "DC1", "DC3", 200, 0.99); !res.Admitted {
+		t.Fatalf("admission refused: %+v", res)
+	}
+	if err := client.Send(&wire.Message{Type: wire.TypeStatus}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Status == nil || reply.Status.Counters == nil {
+		t.Fatalf("status reply carries no counters: %+v", reply)
+	}
+	if reply.Status.Counters["scenario.class_cache.misses"] == 0 {
+		t.Fatal("admission ran but the class cache counted no misses")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"bate/internal/bate"
 	"bate/internal/demand"
 	"bate/internal/metrics"
+	"bate/internal/parallel"
 	"bate/internal/routing"
 	"bate/internal/scenario"
 	"bate/internal/sim"
@@ -122,15 +124,23 @@ func Table3(w io.Writer) error {
 	demands := env.table3Demands()
 	in := env.input(demands)
 
-	allocs := make(map[string]alloc.Allocation, 3)
-	var names []string
-	for _, kind := range schemesForTestbed() {
-		cfg := sim.TEConfig{Kind: kind, TEAVARBeta: 0.999}
+	// The three schemes are independent; allocate them concurrently.
+	kinds := schemesForTestbed()
+	perKind, err := parallel.Map(context.Background(), parallel.Default(), len(kinds), func(i int) (alloc.Allocation, error) {
+		cfg := sim.TEConfig{Kind: kinds[i], TEAVARBeta: 0.999}
 		a, err := cfg.Allocate(in)
 		if err != nil {
-			return fmt.Errorf("%v: %w", kind, err)
+			return nil, fmt.Errorf("%v: %w", kinds[i], err)
 		}
-		allocs[kind.String()] = a
+		return a, nil
+	})
+	if err != nil {
+		return err
+	}
+	allocs := make(map[string]alloc.Allocation, len(kinds))
+	var names []string
+	for i, kind := range kinds {
+		allocs[kind.String()] = perKind[i]
 		names = append(names, kind.String())
 	}
 	t := metrics.NewTable(append([]string{"service", "path"}, names...)...)
@@ -146,7 +156,7 @@ func Table3(w io.Writer) error {
 			t.AddRow(row...)
 		}
 	}
-	_, err := fmt.Fprint(w, t.String())
+	_, err = fmt.Fprint(w, t.String())
 	return err
 }
 
@@ -166,20 +176,31 @@ func runTestbedMatrix(opts Options, kinds []sim.TEKind, admissions []sim.Admissi
 	// Paper: 2 arrivals/min/pair, 5 min mean duration; scaled down so
 	// the active set stays within the LP solver's comfortable range.
 	workload := env.workload(rng, opts.scale(0.2, 0.1), 300, horizon, bwMin, bwMax)
-	var out []fig7Run
+	// Each (scheme, admission) cell is an independent, seeded
+	// simulation over an immutable workload; run the matrix
+	// concurrently and keep the output in matrix order.
+	out := make([]fig7Run, 0, len(kinds)*len(admissions))
 	for _, kind := range kinds {
 		for _, adm := range admissions {
-			res, err := sim.RunTimeSim(sim.TimeSimConfig{
-				Net: env.net, Tunnels: env.tunnels, Workload: workload,
-				HorizonSec: horizon, ScheduleEverySec: 60,
-				TE:        sim.TEConfig{Kind: kind, TEAVARBeta: 0.999},
-				Admission: adm, Seed: opts.Seed + int64(kind)*31 + int64(adm),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%v/%v: %w", kind, adm, err)
-			}
-			out = append(out, fig7Run{te: kind, admission: adm, result: res})
+			out = append(out, fig7Run{te: kind, admission: adm})
 		}
+	}
+	err := parallel.Default().ForEach(context.Background(), len(out), func(i int) error {
+		kind, adm := out[i].te, out[i].admission
+		res, err := sim.RunTimeSim(sim.TimeSimConfig{
+			Net: env.net, Tunnels: env.tunnels, Workload: workload,
+			HorizonSec: horizon, ScheduleEverySec: 60,
+			TE:        sim.TEConfig{Kind: kind, TEAVARBeta: 0.999},
+			Admission: adm, Seed: opts.Seed + int64(kind)*31 + int64(adm),
+		})
+		if err != nil {
+			return fmt.Errorf("%v/%v: %w", kind, adm, err)
+		}
+		out[i].result = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -195,20 +216,27 @@ func Fig7(w io.Writer, opts Options) error {
 	fprintHeader(w, "Fig 7(a)", "Admission rejection ratio vs demand size")
 	ta := metrics.NewTable("bandwidth (Mbps)", "Fixed", "BATE", "OPT")
 	horizon := opts.scale(600, 300)
-	for _, bw := range []float64{20, 30, 40, 50} {
+	bws := []float64{20, 30, 40, 50}
+	// Each bandwidth point is an independent seeded event simulation;
+	// run them concurrently and render rows in bandwidth order.
+	panelRuns, err := parallel.Map(context.Background(), parallel.Default(), len(bws), func(i int) (*sim.EventSimResult, error) {
+		bw := bws[i]
 		rng := rand.New(rand.NewSource(opts.Seed + int64(bw)))
 		// High per-demand load (8-12x the nominal size) provokes
 		// rejections on the 1 Gbps testbed links.
 		workload := env.workload(rng, opts.scale(0.3, 0.25), 240, horizon, bw*8, bw*12)
-		res, err := sim.RunEventSim(sim.EventSimConfig{
+		return sim.RunEventSim(sim.EventSimConfig{
 			Net: env.net, Tunnels: env.tunnels, Workload: workload,
 			HorizonSec: horizon, ScheduleEverySec: 120,
 			TE:        sim.TEConfig{Kind: sim.KindBATE},
 			Admission: sim.AdmitBATE, Shadow: true, MaxFail: 1, Seed: opts.Seed,
 		})
-		if err != nil {
-			return err
-		}
+	})
+	if err != nil {
+		return err
+	}
+	for i, bw := range bws {
+		res := panelRuns[i]
 		row := []string{fmt.Sprintf("%.0f", bw)}
 		for _, adm := range []sim.AdmissionMode{sim.AdmitFixedOnly, sim.AdmitBATE, sim.AdmitOptimal} {
 			rej := 0.0
@@ -339,28 +367,41 @@ func fig9Runs(opts Options, disableRecovery bool, repairSec float64, kinds []sim
 	env := newTestbedEnv()
 	demands := env.table3Demands()
 	repeats := opts.repeats(30, 6)
-	out := make(map[sim.TEKind][]*sim.TimeSimResult)
+	// Flatten the kinds × repeats matrix into independent jobs; every
+	// repeat has its own seed and its own workload copies.
+	type job struct {
+		kind sim.TEKind
+		rep  int
+	}
+	jobs := make([]job, 0, len(kinds)*repeats)
 	for _, kind := range kinds {
 		for rep := 0; rep < repeats; rep++ {
-			workload := make([]*demand.Demand, len(demands))
-			for i, d := range demands {
-				cp := *d
-				cp.Start, cp.End = 0, 100
-				workload[i] = &cp
-			}
-			res, err := sim.RunTimeSim(sim.TimeSimConfig{
-				Net: env.net, Tunnels: env.tunnels, Workload: workload,
-				HorizonSec: 100, ScheduleEverySec: 100, RepairSec: repairSec,
-				TE:              sim.TEConfig{Kind: kind, TEAVARBeta: 0.999},
-				Admission:       sim.AdmitNone,
-				DisableRecovery: disableRecovery && kind == sim.KindBATE,
-				Seed:            opts.Seed + int64(rep)*101 + int64(kind),
-			})
-			if err != nil {
-				return nil, err
-			}
-			out[kind] = append(out[kind], res)
+			jobs = append(jobs, job{kind: kind, rep: rep})
 		}
+	}
+	results, err := parallel.Map(context.Background(), parallel.Default(), len(jobs), func(i int) (*sim.TimeSimResult, error) {
+		kind, rep := jobs[i].kind, jobs[i].rep
+		workload := make([]*demand.Demand, len(demands))
+		for j, d := range demands {
+			cp := *d
+			cp.Start, cp.End = 0, 100
+			workload[j] = &cp
+		}
+		return sim.RunTimeSim(sim.TimeSimConfig{
+			Net: env.net, Tunnels: env.tunnels, Workload: workload,
+			HorizonSec: 100, ScheduleEverySec: 100, RepairSec: repairSec,
+			TE:              sim.TEConfig{Kind: kind, TEAVARBeta: 0.999},
+			Admission:       sim.AdmitNone,
+			DisableRecovery: disableRecovery && kind == sim.KindBATE,
+			Seed:            opts.Seed + int64(rep)*101 + int64(kind),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[sim.TEKind][]*sim.TimeSimResult)
+	for i, j := range jobs {
+		out[j.kind] = append(out[j.kind], results[i])
 	}
 	return out, nil
 }

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. Counters are
+// cheap enough for hot paths (a single atomic add) and safe for
+// concurrent use; the parallel solve engine, the scenario class cache
+// and the admission batcher all report through them.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauge-style corrections, though
+// counters are conventionally monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// MaxGauge tracks the maximum value ever observed (e.g. the
+// high-water mark of concurrently busy pool workers).
+type MaxGauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registry name.
+func (g *MaxGauge) Name() string { return g.name }
+
+// Observe records v if it exceeds the current maximum.
+func (g *MaxGauge) Observe(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }
+
+// registry holds every named counter and gauge created through
+// NewCounter/NewMaxGauge so operators can snapshot the whole process.
+var registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*MaxGauge
+}
+
+// NewCounter returns the process-wide counter with the given name,
+// creating it on first use. Names are conventionally dotted paths,
+// e.g. "scenario.class_cache.hits".
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = make(map[string]*Counter)
+	}
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// NewMaxGauge returns the process-wide max gauge with the given name,
+// creating it on first use.
+func NewMaxGauge(name string) *MaxGauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = make(map[string]*MaxGauge)
+	}
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &MaxGauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// Snapshot returns the current value of every registered counter and
+// gauge, keyed by name. The map is a copy; mutating it has no effect.
+func Snapshot() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.counters)+len(registry.gauges))
+	for name, c := range registry.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range registry.gauges {
+		out[name] = g.Load()
+	}
+	return out
+}
+
+// SnapshotNames returns the registered metric names in sorted order,
+// for stable diagnostic output.
+func SnapshotNames() []string {
+	snap := Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter("test.counter.basics")
+	if c.Load() != 0 {
+		t.Fatalf("fresh counter = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	if NewCounter("test.counter.basics") != c {
+		t.Fatal("NewCounter did not return the registered instance")
+	}
+	if c.Name() != "test.counter.basics" {
+		t.Fatalf("name %q", c.Name())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter("test.counter.concurrent")
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 16000 {
+		t.Fatalf("got %d, want 16000", got)
+	}
+}
+
+func TestMaxGauge(t *testing.T) {
+	g := NewMaxGauge("test.gauge.max")
+	g.Observe(5)
+	g.Observe(3)
+	g.Observe(9)
+	g.Observe(7)
+	if got := g.Load(); got != 9 {
+		t.Fatalf("got %d, want 9", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g.Observe(int64(w*100 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Load(); got != 799 {
+		t.Fatalf("after concurrent observes: got %d, want 799", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	NewCounter("test.snapshot.a").Add(7)
+	NewMaxGauge("test.snapshot.b").Observe(3)
+	snap := Snapshot()
+	if snap["test.snapshot.a"] != 7 {
+		t.Fatalf("snapshot a = %d", snap["test.snapshot.a"])
+	}
+	if snap["test.snapshot.b"] != 3 {
+		t.Fatalf("snapshot b = %d", snap["test.snapshot.b"])
+	}
+	names := SnapshotNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package parallel provides the bounded worker pool behind BATE's
+// concurrent hot paths: batch admission speculation, scenario-class
+// prefetching, constraint-row assembly and experiment fan-out.
+//
+// The pool is deliberately simple: ForEach partitions n index-addressed
+// tasks over at most Size workers, results land in caller-owned slots
+// keyed by index (so output ordering is deterministic regardless of
+// scheduling), and the first error — by lowest task index — wins.
+// Cancellation is cooperative via context: no new task starts once the
+// context is done or an error is recorded.
+//
+// A Pool with size 0 resolves min(runtime.GOMAXPROCS, runtime.NumCPU)
+// at each call, so one process-wide Default() pool behaves correctly
+// under `go test -cpu 1,4,8` and under runtime GOMAXPROCS changes,
+// while never oversubscribing a machine whose GOMAXPROCS exceeds its
+// usable CPUs (the hot paths are CPU-bound; extra workers only add
+// contention there).
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bate/internal/metrics"
+)
+
+var (
+	tasksRun    = metrics.NewCounter("parallel.tasks")
+	batchesRun  = metrics.NewCounter("parallel.batches")
+	serialRuns  = metrics.NewCounter("parallel.serial_batches")
+	busyWorkers atomic.Int64
+	maxBusy     = metrics.NewMaxGauge("parallel.max_busy_workers")
+)
+
+// Pool is a bounded worker pool. The zero value is ready to use and
+// sizes itself by runtime.GOMAXPROCS at each call.
+type Pool struct {
+	size int
+}
+
+// NewPool returns a pool running at most size concurrent tasks.
+// size <= 0 means "resolve runtime.GOMAXPROCS(0) at each call".
+func NewPool(size int) *Pool {
+	if size < 0 {
+		size = 0
+	}
+	return &Pool{size: size}
+}
+
+// Size returns the worker bound the pool would use right now.
+// Auto-sized pools never exceed the machine's usable CPUs: the tasks
+// they run are CPU-bound, so workers beyond NumCPU only contend.
+// Explicit sizes are honoured as given.
+func (p *Pool) Size() int {
+	if p == nil || p.size <= 0 {
+		n := runtime.GOMAXPROCS(0)
+		if c := runtime.NumCPU(); c < n {
+			n = c
+		}
+		return n
+	}
+	return p.size
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most Size()
+// concurrent workers and blocks until all started tasks finish. Task
+// results must be written by fn into caller-owned, index-addressed
+// slots; because slots are keyed by index, output ordering is
+// deterministic no matter how tasks interleave.
+//
+// On error, no further tasks are started and the error with the lowest
+// task index is returned (tasks already running complete first). When
+// ctx is cancelled, ForEach stops starting tasks and returns ctx.Err()
+// unless a task error takes precedence.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := p.Size()
+	if workers > n {
+		workers = n
+	}
+	batchesRun.Inc()
+	if workers <= 1 {
+		// Serial fast path: no goroutines, byte-identical semantics.
+		serialRuns.Inc()
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			tasksRun.Inc()
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				tasksRun.Inc()
+				maxBusy.Observe(busyWorkers.Add(1))
+				err := fn(i)
+				busyWorkers.Add(-1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) on pool p and returns the
+// results in index order. It is ForEach with the result slots managed
+// for the caller.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(ctx, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// defaultPool is the process-wide pool. Its size is configurable once
+// from main via SetDefaultSize (flag plumbing); 0 tracks GOMAXPROCS.
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the process-wide pool, sized by GOMAXPROCS unless
+// SetDefaultSize overrode it.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := NewPool(0)
+	if defaultPool.CompareAndSwap(nil, p) {
+		return p
+	}
+	return defaultPool.Load()
+}
+
+// SetDefaultSize bounds the process-wide pool at size workers
+// (0 = track GOMAXPROCS). Intended for main-package flag plumbing.
+func SetDefaultSize(size int) {
+	defaultPool.Store(NewPool(size))
+}
+
+// Stats reports pool activity for diagnostics: total tasks executed,
+// ForEach batches, and the high-water mark of concurrently busy
+// workers across every pool in the process.
+func Stats() (tasks, batches, maxBusyWorkers int64) {
+	return tasksRun.Load(), batchesRun.Load(), maxBusy.Load()
+}

@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	for _, size := range []int{0, 1, 2, 7, 64} {
+		p := NewPool(size)
+		n := 137
+		hits := make([]int32, n)
+		if err := p.ForEach(context.Background(), n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("size %d: task %d ran %d times", size, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicOrdering(t *testing.T) {
+	// Results keyed by index must land in their slots regardless of
+	// scheduling; run several times to shake interleavings.
+	p := NewPool(8)
+	for round := 0; round < 20; round++ {
+		out, err := Map(context.Background(), p, 64, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("round %d: out[%d] = %d", round, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	p := NewPool(8)
+	errAt := func(bad map[int]bool) error {
+		return p.ForEach(context.Background(), 50, func(i int) error {
+			if bad[i] {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+	}
+	err := errAt(map[int]bool{3: true, 40: true, 41: true})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The reported error must be the lowest-index one that was
+	// recorded; with 8 workers task 3 always starts before 40.
+	if got := err.Error(); got != "task 3 failed" {
+		t.Fatalf("got %q, want task 3 failure", got)
+	}
+}
+
+func TestForEachStopsAfterError(t *testing.T) {
+	p := NewPool(2)
+	var started atomic.Int64
+	err := p.ForEach(context.Background(), 1000, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if s := started.Load(); s > 100 {
+		t.Fatalf("started %d tasks after early error", s)
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	p := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := p.ForEach(ctx, 10000, func(i int) error {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s > 1000 {
+		t.Fatalf("started %d tasks after cancel", s)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	p := NewPool(4)
+	_, err := Map(context.Background(), p, 10, func(i int) (string, error) {
+		if i == 2 {
+			return "", errors.New("nope")
+		}
+		return "ok", nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// autoSize is what a GOMAXPROCS-tracking pool should resolve to:
+// GOMAXPROCS capped at the machine's usable CPUs.
+func autoSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
+	return n
+}
+
+func TestPoolSizeResolution(t *testing.T) {
+	if got := NewPool(5).Size(); got != 5 {
+		t.Fatalf("explicit size: got %d", got)
+	}
+	if got, want := NewPool(0).Size(), autoSize(); got != want {
+		t.Fatalf("auto size: got %d, want %d", got, want)
+	}
+	if got, want := NewPool(-3).Size(), autoSize(); got != want {
+		t.Fatalf("negative size: got %d, want %d", got, want)
+	}
+}
+
+func TestDefaultPoolOverride(t *testing.T) {
+	defer SetDefaultSize(0)
+	SetDefaultSize(3)
+	if got := Default().Size(); got != 3 {
+		t.Fatalf("override: got %d", got)
+	}
+	SetDefaultSize(0)
+	if got, want := Default().Size(), autoSize(); got != want {
+		t.Fatalf("reset: got %d, want %d", got, want)
+	}
+}
+
+// TestForEachRaceStress hammers the pool with overlapping ForEach
+// batches touching shared counters through atomics; `go test -race`
+// flags any synchronization hole in the pool itself.
+func TestForEachRaceStress(t *testing.T) {
+	p := NewPool(8)
+	var total atomic.Int64
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed int) {
+			var local int64
+			err := p.ForEach(context.Background(), 500, func(i int) error {
+				atomic.AddInt64(&local, int64(i))
+				total.Add(1)
+				return nil
+			})
+			if err == nil && local != 500*499/2 {
+				err = fmt.Errorf("seed %d: partial sum %d", seed, local)
+			}
+			done <- err
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := total.Load(); got != 8*500 {
+		t.Fatalf("total tasks %d, want %d", got, 8*500)
+	}
+}

@@ -12,11 +12,13 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
+	"bate/internal/parallel"
 	"bate/internal/routing"
 	"bate/internal/topo"
 )
@@ -61,6 +63,13 @@ const MaxEnumerated = 2_000_000
 
 // Enumerate returns the pruned scenario set with at most maxFail
 // concurrent link failures. Scenario 0 is always the all-up scenario.
+//
+// Large sets are enumerated in parallel, fanned out over the subtrees
+// rooted at each first-failed link. The decomposition is exact: the
+// serial depth-first order emits the all-up scenario followed by the
+// subtree of scenarios whose smallest down link is e, for e ascending,
+// and every scenario's probability is the same product chain either
+// way — so the output is byte-identical at any worker count.
 func Enumerate(net *topo.Network, maxFail int) (*Set, error) {
 	if maxFail < 0 {
 		return nil, fmt.Errorf("scenario: negative maxFail %d", maxFail)
@@ -77,27 +86,63 @@ func Enumerate(net *topo.Network, maxFail int) (*Set, error) {
 		allUp *= 1 - l.FailProb
 		odds[i] = l.FailProb / (1 - l.FailProb)
 	}
-	set := &Set{Net: net, MaxFail: maxFail}
-	var down []topo.LinkID
-	total := 0.0
-	var rec func(start int, prob float64)
-	rec = func(start int, prob float64) {
-		sc := Scenario{Down: append([]topo.LinkID(nil), down...), Prob: prob}
-		set.Scenarios = append(set.Scenarios, sc)
-		total += prob
-		if len(down) == maxFail {
-			return
+
+	// subtree enumerates every scenario whose down set starts with
+	// prefix (depth-first, ascending link ids), appending to out.
+	subtree := func(prefix []topo.LinkID, prob float64, out *[]Scenario) {
+		var down []topo.LinkID
+		down = append(down, prefix...)
+		var rec func(start int, prob float64)
+		rec = func(start int, prob float64) {
+			*out = append(*out, Scenario{Down: append([]topo.LinkID(nil), down...), Prob: prob})
+			if len(down) == maxFail {
+				return
+			}
+			for i := start; i < len(links); i++ {
+				down = append(down, topo.LinkID(i))
+				rec(i+1, prob*odds[i])
+				down = down[:len(down)-1]
+			}
 		}
-		for i := start; i < len(links); i++ {
-			down = append(down, topo.LinkID(i))
-			rec(i+1, prob*odds[i])
-			down = down[:len(down)-1]
+		start := 0
+		if len(prefix) > 0 {
+			start = int(prefix[len(prefix)-1]) + 1
+		}
+		rec(start, prob)
+	}
+
+	set := &Set{Net: net, MaxFail: maxFail}
+	pool := parallel.Default()
+	if maxFail == 0 || count < parallelEnumerateThreshold || pool.Size() <= 1 {
+		subtree(nil, allUp, &set.Scenarios)
+	} else {
+		// Root scenario first, then one fan-out task per first link.
+		set.Scenarios = append(set.Scenarios, Scenario{Prob: allUp})
+		buckets := make([][]Scenario, len(links))
+		err := pool.ForEach(context.Background(), len(links), func(i int) error {
+			subtree([]topo.LinkID{topo.LinkID(i)}, allUp*odds[i], &buckets[i])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range buckets {
+			set.Scenarios = append(set.Scenarios, b...)
 		}
 	}
-	rec(0, allUp)
+	// Sum serially over the final slice so Residual is bit-identical
+	// to the serial enumeration regardless of worker count.
+	total := 0.0
+	for _, sc := range set.Scenarios {
+		total += sc.Prob
+	}
 	set.Residual = math.Max(0, 1-total)
 	return set, nil
 }
+
+// parallelEnumerateThreshold is the scenario count below which the
+// fan-out overhead exceeds the enumeration cost.
+const parallelEnumerateThreshold = 4096
 
 // Count returns the number of scenarios with at most maxFail failures
 // among nLinks links: sum_{i=0}^{y} C(n, i). Saturates at MaxInt64.

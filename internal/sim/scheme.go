@@ -132,7 +132,7 @@ func bestEffortBATE(in *alloc.Input, maxFail int) (alloc.Allocation, error) {
 		var bvars []lp.VarID
 		if d.Target > 0 {
 			var err error
-			classes, err = scenario.ClassesFor(in.Net, in.AllTunnelsFor(d), maxFail)
+			classes, _, err = scenario.CachedClassesFor(in.Net, nil, in.AllTunnelsFor(d), maxFail)
 			if err != nil {
 				return nil, fmt.Errorf("sim: best-effort classes: %w", err)
 			}

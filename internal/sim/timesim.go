@@ -263,22 +263,17 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 		}
 		active = kept
 
-		// Arrivals.
-		for nextArrival < len(workload) && workload[nextArrival].Start <= now {
-			d := workload[nextArrival]
-			nextArrival++
+		// Arrivals. The bookkeeping for one decision is shared between
+		// the serial and batched paths.
+		applyDecision := func(d *demand.Demand, adRes *bate.AdmissionResult) {
 			res.Arrived++
 			out := &DemandOutcome{ID: d.ID, Target: d.Target, Charge: d.Charge, RefundFrac: d.RefundFrac}
 			outcomes[d.ID] = out
-			adRes, err := admitOne(cfg, input(), current, active, d)
-			if err != nil {
-				return nil, err
-			}
 			res.AdmissionDelaysSec = append(res.AdmissionDelaysSec, adRes.Elapsed.Seconds())
 			res.ByMethod[adRes.Method]++
 			if !adRes.Admitted {
 				res.Rejected++
-				continue
+				return
 			}
 			res.Admitted++
 			out.Admitted = true
@@ -288,15 +283,56 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 				current[d.ID] = adRes.NewAlloc
 				rates[d.ID] = adRes.NewAlloc
 			}
-			// A conjecture admit may carry only a partial temporary
-			// allocation (§3.2 footnote 5); reschedule right away so
-			// the demand is not left under-served until the next
-			// periodic epoch.
-			if adRes.Method == bate.MethodConjecture {
-				if err := reschedule(); err != nil {
+		}
+		var arrivals []*demand.Demand
+		for nextArrival < len(workload) && workload[nextArrival].Start <= now {
+			arrivals = append(arrivals, workload[nextArrival])
+			nextArrival++
+		}
+		if cfg.Admission == AdmitBATE && len(arrivals) > 1 {
+			// Same-second arrivals are admitted as one batch: candidates
+			// are speculated in parallel and committed with the exact
+			// decisions of the one-at-a-time loop. A conjecture admit
+			// stops the batch (its temporary allocation demands an
+			// immediate reschedule, §3.2 footnote 5); the remainder is
+			// re-batched against the rescheduled state, exactly as the
+			// serial loop would see it.
+			for len(arrivals) > 0 {
+				br, err := bate.AdmitBatch(input(), current, active, arrivals,
+					bate.BatchOptions{MaxFail: cfg.MaxFail, StopAfterConjecture: true})
+				if err != nil {
 					return nil, err
 				}
-				lastSchedule = now
+				conjectured := false
+				for _, dec := range br.Decisions {
+					applyDecision(dec.Demand, dec.Result)
+					conjectured = conjectured || dec.Result.Method == bate.MethodConjecture
+				}
+				if conjectured {
+					if err := reschedule(); err != nil {
+						return nil, err
+					}
+					lastSchedule = now
+				}
+				arrivals = br.Deferred
+			}
+		} else {
+			for _, d := range arrivals {
+				adRes, err := admitOne(cfg, input(), current, active, d)
+				if err != nil {
+					return nil, err
+				}
+				applyDecision(d, adRes)
+				// A conjecture admit may carry only a partial temporary
+				// allocation (§3.2 footnote 5); reschedule right away so
+				// the demand is not left under-served until the next
+				// periodic epoch.
+				if adRes.Method == bate.MethodConjecture {
+					if err := reschedule(); err != nil {
+						return nil, err
+					}
+					lastSchedule = now
+				}
 			}
 		}
 

@@ -155,7 +155,7 @@ func FFC(in *alloc.Input, k int) (alloc.Allocation, error) {
 func demandClasses(in *alloc.Input, k int) (map[int][]scenario.Class, error) {
 	out := make(map[int][]scenario.Class, len(in.Demands))
 	for _, d := range in.Demands {
-		cls, err := scenario.ClassesFor(in.Net, in.AllTunnelsFor(d), k)
+		cls, _, err := scenario.CachedClassesFor(in.Net, nil, in.AllTunnelsFor(d), k)
 		if err != nil {
 			return nil, fmt.Errorf("te: classes for demand %d: %w", d.ID, err)
 		}

@@ -26,16 +26,21 @@ const (
 	TypeHello       Type = "hello"        // broker/client -> controller
 	TypeSubmit      Type = "submit"       // client -> controller: BA demand
 	TypeAdmitResult Type = "admit-result" // controller -> client
-	TypeAllocUpdate Type = "alloc-update" // controller -> broker
-	TypeLinkEvent   Type = "link-event"   // broker -> controller
-	TypeWithdraw    Type = "withdraw"     // client -> controller: demand done
-	TypeStats       Type = "stats"        // broker -> controller
-	TypePing        Type = "ping"
-	TypePong        Type = "pong"
-	TypeError       Type = "error"
-	TypePaxos       Type = "paxos"  // controller-replica election traffic
-	TypeStatus      Type = "status" // client -> controller: demand status query
-	TypeStatusReply Type = "status-reply"
+	// TypeSubmitBatch submits several demands at once; the controller
+	// admits them as one batch (parallel speculation, serial-equivalent
+	// decisions) and answers with TypeAdmitBatchResult.
+	TypeSubmitBatch      Type = "submit-batch"       // client -> controller
+	TypeAdmitBatchResult Type = "admit-batch-result" // controller -> client
+	TypeAllocUpdate      Type = "alloc-update"       // controller -> broker
+	TypeLinkEvent        Type = "link-event"         // broker -> controller
+	TypeWithdraw         Type = "withdraw"           // client -> controller: demand done
+	TypeStats            Type = "stats"              // broker -> controller
+	TypePing             Type = "ping"
+	TypePong             Type = "pong"
+	TypeError            Type = "error"
+	TypePaxos            Type = "paxos"  // controller-replica election traffic
+	TypeStatus           Type = "status" // client -> controller: demand status query
+	TypeStatusReply      Type = "status-reply"
 )
 
 // Hello announces a peer. Role is "broker" or "client"; DC names the
@@ -118,6 +123,10 @@ type DemandStatus struct {
 type StatusReply struct {
 	Demands []DemandStatus `json:"demands"`
 	Epoch   uint64         `json:"epoch"`
+	// Counters is a snapshot of the controller's internal metrics
+	// (admissions, scheduling solves, scenario-cache hit rates, worker
+	// pool usage).
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // PaxosMsg carries one Paxos protocol message between controller
@@ -143,13 +152,17 @@ type Message struct {
 	Hello       *Hello       `json:"hello,omitempty"`
 	Submit      *Submit      `json:"submit,omitempty"`
 	AdmitResult *AdmitResult `json:"admit_result,omitempty"`
-	Alloc       *AllocUpdate `json:"alloc,omitempty"`
-	LinkEvent   *LinkEvent   `json:"link_event,omitempty"`
-	Stats       *Stats       `json:"stats,omitempty"`
-	Paxos       *PaxosMsg    `json:"paxos,omitempty"`
-	Status      *StatusReply `json:"status,omitempty"`
-	WithdrawID  int          `json:"withdraw_id,omitempty"`
-	Error       string       `json:"error,omitempty"`
+	// SubmitBatch/AdmitBatchResult carry TypeSubmitBatch requests and
+	// their per-demand answers, index-aligned with the request.
+	SubmitBatch      []Submit      `json:"submit_batch,omitempty"`
+	AdmitBatchResult []AdmitResult `json:"admit_batch_result,omitempty"`
+	Alloc            *AllocUpdate  `json:"alloc,omitempty"`
+	LinkEvent        *LinkEvent    `json:"link_event,omitempty"`
+	Stats            *Stats        `json:"stats,omitempty"`
+	Paxos            *PaxosMsg     `json:"paxos,omitempty"`
+	Status           *StatusReply  `json:"status,omitempty"`
+	WithdrawID       int           `json:"withdraw_id,omitempty"`
+	Error            string        `json:"error,omitempty"`
 }
 
 // Conn is a framed, concurrency-safe message connection. Reads and
