@@ -137,6 +137,92 @@ func BenchmarkScheduleEnumerated(b *testing.B) {
 	}
 }
 
+// benchB4Input builds a B4-sized scheduling instance: the 12-node
+// Google WAN with a workload large enough that the LP's sparsity (and
+// the dense tableau's per-bound rows) dominate solve time.
+func benchB4Input() *alloc.Input {
+	n := topo.B4()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	rng := rand.New(rand.NewSource(9))
+	gen := demand.NewGenerator(n, demand.GeneratorConfig{
+		ArrivalsPerMinute: 0.05, MeanDurationSec: 1e9, // all demands concurrent
+		MinBandwidth: 20, MaxBandwidth: 60,
+		Targets: []float64{0.95, 0.99, 0.999},
+	}, rng)
+	demands := gen.Generate(3600)
+	return &alloc.Input{Net: n, Tunnels: ts, Demands: demands}
+}
+
+// BenchmarkScheduleLP compares the dense tableau against the sparse
+// revised simplex on the same B4-sized scheduling LP (ISSUE 2
+// acceptance: revised ≥ 2x fewer ns/op).
+func BenchmarkScheduleLP(b *testing.B) {
+	in := benchB4Input()
+	for _, bc := range []struct {
+		name   string
+		engine lp.Engine
+	}{{"dense", lp.EngineDense}, {"revised", lp.EngineRevised}} {
+		b.Run(bc.name, func(b *testing.B) {
+			pivots := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := bate.Schedule(in, bate.ScheduleOptions{MaxFail: 2, Engine: bc.engine})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots += stats.Iterations
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+		})
+	}
+}
+
+// benchB4RecoveryInput builds a contended B4 recovery instance: fewer
+// but much larger demands than benchB4Input, so failing a well-loaded
+// link leaves a fractional root relaxation and branch & bound actually
+// explores a tree (the light scheduling workload is root-integral).
+func benchB4RecoveryInput() *alloc.Input {
+	n := topo.B4()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	rng := rand.New(rand.NewSource(9))
+	gen := demand.NewGenerator(n, demand.GeneratorConfig{
+		ArrivalsPerMinute: 0.02, MeanDurationSec: 1e9, // all demands concurrent
+		MinBandwidth: 200, MaxBandwidth: 800,
+		Targets: []float64{0.95, 0.99, 0.999},
+	}, rng)
+	return &alloc.Input{Net: n, Tunnels: ts, Demands: gen.Generate(3600)}
+}
+
+// BenchmarkMILPRecovery compares cold vs parent-basis warm-started
+// branch & bound on the Eq. 12 recovery MILP over B4 (ISSUE 2
+// acceptance: warm reports fewer total pivots). The node budget bounds
+// the tree; both variants explore the same 64 nodes, so the pivot
+// counts isolate the warm-start effect.
+func BenchmarkMILPRecovery(b *testing.B) {
+	in := benchB4RecoveryInput()
+	failed := []topo.LinkID{6}
+	for _, bc := range []struct {
+		name string
+		opts lp.Options
+	}{
+		{"cold", lp.Options{Engine: lp.EngineRevised, ColdStart: true, MaxNodes: 64}},
+		{"warm", lp.Options{Engine: lp.EngineRevised, MaxNodes: 64}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			pivots := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := bate.RecoverOptimalOpts(in, failed, bc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots += res.Iterations
+			}
+			b.ReportMetric(float64(pivots)/float64(b.N), "pivots/op")
+		})
+	}
+}
+
 // Admission-strategy ablation: decision latency of the three §3.2
 // strategies on the same state.
 func benchAdmission(b *testing.B, decide func(*alloc.Input, []*demand.Demand, *demand.Demand) error) {

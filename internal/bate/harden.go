@@ -97,7 +97,7 @@ func scheduleHardened(in *alloc.Input, opts ScheduleOptions, hard map[int]bool) 
 			return nil, err
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine})
 	if err != nil {
 		return nil, fmt.Errorf("bate: hardened schedule: %w", err)
 	}

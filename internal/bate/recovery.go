@@ -66,6 +66,13 @@ func tunnelUsable(failed map[topo.LinkID]bool) func(routing.Tunnel) bool {
 // total profit after refunding, rerouting traffic onto surviving
 // tunnels under the failed-scenario capacities (Eq. 11).
 func RecoverOptimal(in *alloc.Input, failed []topo.LinkID) (*RecoveryResult, error) {
+	return RecoverOptimalOpts(in, failed, lp.Options{})
+}
+
+// RecoverOptimalOpts is RecoverOptimal with explicit solver options:
+// lp.EngineRevised makes every branch-and-bound node warm-start from
+// its parent's basis (ColdStart disables that, for ablation).
+func RecoverOptimalOpts(in *alloc.Input, failed []topo.LinkID, opts lp.Options) (*RecoveryResult, error) {
 	start := time.Now()
 	down := downSet(failed)
 	usable := tunnelUsable(down)
@@ -101,8 +108,14 @@ func RecoverOptimal(in *alloc.Input, failed []topo.LinkID) (*RecoveryResult, err
 			p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: 0})
 		}
 	}
-	sol, err := p.Solve()
-	if err != nil {
+	sol, err := p.SolveOpts(opts)
+	switch {
+	case err == nil:
+	case sol != nil && sol.Status == lp.IterLimit && len(sol.Values()) > 0:
+		// Node budget exhausted: keep the best incumbent found so
+		// far, the same best-effort degradation optimal admission
+		// uses under its MaxNodes cap.
+	default:
 		return nil, fmt.Errorf("bate: optimal recovery: %w", err)
 	}
 	res := &RecoveryResult{

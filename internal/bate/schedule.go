@@ -50,6 +50,10 @@ type ScheduleOptions struct {
 	// extension beyond the paper's independence assumption (§3.1
 	// footnote 3). Only the Aggregated mode supports them.
 	Groups []scenario.RiskGroup
+	// Engine selects the LP engine. The zero value (lp.EngineAuto)
+	// keeps the dense reference tableau; lp.EngineRevised opts into the
+	// sparse revised simplex (required for warm starts).
+	Engine lp.Engine
 }
 
 // ScheduleStats reports the size and cost of a scheduling solve.
@@ -65,6 +69,10 @@ type ScheduleStats struct {
 	// PoolWorkers is the parallel worker bound constraint assembly ran
 	// under (1 = serial).
 	PoolWorkers int
+	// WarmStarted reports whether the solve reused a cached basis from
+	// a previous round (revised engine only) instead of a cold two-phase
+	// start.
+	WarmStarted bool
 }
 
 // Schedule solves the traffic-scheduling LP of Eq. 7: it finds the
@@ -74,6 +82,35 @@ type ScheduleStats struct {
 // link capacities (Eq. 6). It returns lp.ErrInfeasible when the
 // admitted set cannot be satisfied.
 func Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *ScheduleStats, error) {
+	return scheduleWarm(in, opts, nil, nil)
+}
+
+// Scheduler runs successive scheduling solves with the revised LP
+// engine, warm-starting each round from the previous round's optimal
+// basis. The time simulator re-solves a near-identical LP every
+// scheduling epoch — the admitted set changes incrementally — where a
+// reused basis typically needs a short dual-simplex cleanup instead of
+// a cold two-phase solve. When the admitted set changes shape
+// (different variable or constraint counts) the stale basis is ignored
+// and the solve cold-starts automatically. A Scheduler is not safe for
+// concurrent use.
+type Scheduler struct {
+	basis *lp.Basis
+}
+
+// NewScheduler returns a Scheduler with no cached basis.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Schedule is Schedule with cross-call basis reuse.
+func (s *Scheduler) Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *ScheduleStats, error) {
+	opts.Engine = lp.EngineRevised
+	return scheduleWarm(in, opts, s.basis, &s.basis)
+}
+
+// scheduleWarm builds and solves the scheduling LP, optionally seeding
+// the revised engine with a warm basis; basisOut, when non-nil,
+// receives the new optimal basis for the caller to cache.
+func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOut **lp.Basis) (alloc.Allocation, *ScheduleStats, error) {
 	if opts.MaxFail <= 0 {
 		opts.MaxFail = 2
 	}
@@ -121,13 +158,17 @@ func Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *Schedul
 	}
 	schedules.Inc()
 	stats.Variables, stats.Constraints = p.NumVariables(), p.NumConstraints()
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine, Warm: warm})
 	stats.Elapsed = time.Since(start)
 	if sol != nil {
 		stats.Iterations = sol.Iterations
+		stats.WarmStarted = sol.WarmStarted
 	}
 	if err != nil {
 		return nil, stats, fmt.Errorf("bate: schedule: %w", err)
+	}
+	if basisOut != nil {
+		*basisOut = sol.Basis()
 	}
 	return fv.Extract(sol), stats, nil
 }
@@ -373,7 +414,7 @@ func LinkPrices(in *alloc.Input, opts ScheduleOptions) (map[topo.LinkID]float64,
 	if err := addAvailabilityAggregated(p, in, fv, opts.MaxFail); err != nil {
 		return nil, err
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine})
 	if err != nil {
 		return nil, fmt.Errorf("bate: link prices: %w", err)
 	}

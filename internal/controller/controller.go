@@ -49,6 +49,10 @@ type Controller struct {
 	cfg  Config
 	logf func(string, ...interface{})
 
+	// scheduler carries the revised-simplex basis across rounds so a
+	// reschedule over an unchanged demand set warm-starts.
+	scheduler *bate.Scheduler
+
 	mu       sync.Mutex
 	demands  map[int]*demand.Demand
 	current  alloc.Allocation
@@ -75,12 +79,13 @@ func New(cfg Config) (*Controller, error) {
 		logf = log.Printf
 	}
 	return &Controller{
-		cfg:      cfg,
-		logf:     logf,
-		demands:  make(map[int]*demand.Demand),
-		current:  alloc.Allocation{},
-		brokers:  make(map[string]*wire.Conn),
-		linkDown: make(map[topo.LinkID]bool),
+		cfg:       cfg,
+		logf:      logf,
+		scheduler: bate.NewScheduler(),
+		demands:   make(map[int]*demand.Demand),
+		current:   alloc.Allocation{},
+		brokers:   make(map[string]*wire.Conn),
+		linkDown:  make(map[topo.LinkID]bool),
 	}, nil
 }
 
@@ -369,12 +374,16 @@ func (c *Controller) reschedule() error {
 		c.pushAllLocked(false)
 		return nil
 	}
-	a, stats, err := bate.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail})
+	a, stats, err := c.scheduler.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail})
 	if err != nil {
 		return err
 	}
-	c.logf("controller: scheduled %d demands: %d vars, %d constraints, %d iterations in %v (class cache %d hit/%d miss, %d workers)",
-		len(in.Demands), stats.Variables, stats.Constraints, stats.Iterations, stats.Elapsed,
+	start := "cold"
+	if stats.WarmStarted {
+		start = "warm"
+	}
+	c.logf("controller: scheduled %d demands: %d vars, %d constraints, %d iterations (%s start) in %v (class cache %d hit/%d miss, %d workers)",
+		len(in.Demands), stats.Variables, stats.Constraints, stats.Iterations, start, stats.Elapsed,
 		stats.ClassCacheHits, stats.ClassCacheMisses, stats.PoolWorkers)
 	if hardened, herr := bate.Harden(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail}, a); herr == nil {
 		a = hardened

@@ -1,0 +1,189 @@
+package lp
+
+// Basis factorization for the revised simplex: the basis inverse is
+// held in product form (PFI) as a sequence of eta matrices. Each pivot
+// appends one eta; FTRAN applies the file forward, BTRAN applies the
+// transposes in reverse. The file is rebuilt (refactorized) from the
+// current basic columns once it grows past refactorEvery etas, which
+// both bounds FTRAN/BTRAN cost and flushes accumulated roundoff.
+
+// etaDropTol discards eta entries below this magnitude.
+const etaDropTol = 1e-12
+
+// singularTol is the minimum acceptable pivot magnitude during
+// refactorization; below it the candidate basis is declared singular.
+const singularTol = 1e-8
+
+// eta is one product-form update: an identity matrix whose column
+// `pivot` is replaced by the vector with pivotVal at the pivot row and
+// val[k] at row ind[k] elsewhere.
+type eta struct {
+	pivot    int32
+	pivotVal float64
+	ind      []int32
+	val      []float64
+}
+
+// factorization is the eta-file representation of B⁻¹.
+type factorization struct {
+	m    int
+	etas []eta
+}
+
+// reset empties the eta file.
+func (f *factorization) reset(m int) {
+	f.m = m
+	f.etas = f.etas[:0]
+}
+
+// ftran solves B z = a in place: v holds a on entry, B⁻¹a on exit.
+func (f *factorization) ftran(v []float64) {
+	for k := range f.etas {
+		e := &f.etas[k]
+		t := v[e.pivot]
+		if t == 0 {
+			continue
+		}
+		v[e.pivot] = t * e.pivotVal
+		for i, r := range e.ind {
+			v[r] += t * e.val[i]
+		}
+	}
+}
+
+// btran solves Bᵀ y = c in place: v holds c on entry, B⁻ᵀc on exit.
+func (f *factorization) btran(v []float64) {
+	for k := len(f.etas) - 1; k >= 0; k-- {
+		e := &f.etas[k]
+		s := e.pivotVal * v[e.pivot]
+		for i, r := range e.ind {
+			s += e.val[i] * v[r]
+		}
+		v[e.pivot] = s
+	}
+}
+
+// push appends the eta for a pivot on row r of the FTRAN'd entering
+// column w (w = B⁻¹ a_enter). w is left dirty.
+func (f *factorization) push(w []float64, r int32) {
+	pv := 1 / w[r]
+	var ind []int32
+	var val []float64
+	for i, x := range w {
+		if int32(i) == r || x == 0 {
+			continue
+		}
+		if x < etaDropTol && x > -etaDropTol {
+			continue
+		}
+		ind = append(ind, int32(i))
+		val = append(val, -x*pv)
+	}
+	f.etas = append(f.etas, eta{pivot: r, pivotVal: pv, ind: ind, val: val})
+}
+
+// refactor rebuilds the eta file from the basic column set. basic
+// lists one column per row (any order); colOf materializes a column's
+// nonzeros. On success it returns the row each basic column pivoted on
+// (rowVar[row] = column) and true; on a singular basis it returns
+// false with the factorization left unusable.
+func (f *factorization) refactor(m int, basic []int32, colOf func(j int32) ([]int32, []float64), work []float64) ([]int32, bool) {
+	f.reset(m)
+	factorizations.Inc()
+	// Process sparsest columns first: unit slack/artificial columns
+	// pivot trivially and keep the etas of later, denser columns short.
+	order := make([]int32, len(basic))
+	copy(order, basic)
+	nnzOf := func(j int32) int {
+		ind, _ := colOf(j)
+		return len(ind)
+	}
+	// Insertion sort by nnz (m is moderate; basic is mostly unit cols).
+	for i := 1; i < len(order); i++ {
+		j, nj := order[i], nnzOf(order[i])
+		k := i - 1
+		for k >= 0 && nnzOf(order[k]) > nj {
+			order[k+1] = order[k]
+			k--
+		}
+		order[k+1] = j
+	}
+	rowUsed := make([]bool, m)
+	rowVar := make([]int32, m)
+	for i := range rowVar {
+		rowVar[i] = -1
+	}
+	for _, j := range order {
+		ind, val := colOf(j)
+		for i := range work {
+			work[i] = 0
+		}
+		for k, r := range ind {
+			work[r] = val[k]
+		}
+		f.ftran(work)
+		// Pivot on the largest-magnitude entry in an unused row.
+		best, bestAbs := int32(-1), singularTol
+		for r := 0; r < m; r++ {
+			if rowUsed[r] {
+				continue
+			}
+			a := work[r]
+			if a < 0 {
+				a = -a
+			}
+			if a > bestAbs {
+				bestAbs = a
+				best = int32(r)
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		// Identity columns (slack already pivoting its own untouched
+		// row with coefficient 1) need no eta.
+		if !(work[best] == 1 && isUnitVector(work, best)) {
+			f.push(work, best)
+		}
+		rowUsed[best] = true
+		rowVar[best] = j
+	}
+	return rowVar, true
+}
+
+// isUnitVector reports whether w is exactly e_r (value checked by the
+// caller); used to skip identity etas during refactorization.
+func isUnitVector(w []float64, r int32) bool {
+	for i, x := range w {
+		if int32(i) != r && x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Basis is an opaque snapshot of an optimal revised-simplex basis,
+// reusable to warm-start a later solve of a structurally identical
+// problem (same variable and constraint counts, same constraint
+// operators). Obtain one from Solution.Basis after a revised-engine
+// solve and pass it back via Options.Warm.
+type Basis struct {
+	ns, m   int
+	ops     []Op
+	status  []int8  // per structural+slack column
+	rowVar  []int32 // basic column per row (may include artificials)
+	artSign []int8  // per-row artificial column sign
+}
+
+// matches reports whether the snapshot fits problem p's shape.
+func (b *Basis) matches(p *Problem) bool {
+	if b == nil || b.ns != len(p.vars) || b.m != len(p.cons) {
+		return false
+	}
+	for i, c := range p.cons {
+		if b.ops[i] != c.Op {
+			return false
+		}
+	}
+	return true
+}

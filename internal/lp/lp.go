@@ -134,13 +134,21 @@ func (p *Problem) HasIntegers() bool {
 }
 
 // AddConstraint appends a constraint. Terms referring to out-of-range
-// variables panic; duplicate variables within one constraint are
-// summed.
+// variables, non-finite coefficients, and non-finite RHS values panic
+// (like AddVariable) so modelling bugs surface at the call site rather
+// than as mysterious pivot behaviour. Duplicate variables within one
+// constraint are summed.
 func (p *Problem) AddConstraint(c Constraint) {
 	for _, t := range c.Terms {
 		if t.Var < 0 || int(t.Var) >= len(p.vars) {
 			panic(fmt.Sprintf("lp: constraint %s: unknown variable %d", c.Name, t.Var))
 		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			panic(fmt.Sprintf("lp: constraint %s: invalid coefficient %v for variable %d", c.Name, t.Coef, t.Var))
+		}
+	}
+	if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+		panic(fmt.Sprintf("lp: constraint %s: invalid RHS %v", c.Name, c.RHS))
 	}
 	p.cons = append(p.cons, c)
 }
@@ -181,7 +189,17 @@ type Solution struct {
 	Iterations int
 	// Nodes counts branch-and-bound nodes explored (1 for pure LPs).
 	Nodes int
+	// WarmStarted reports whether the solve reused a supplied warm
+	// basis (revised engine only).
+	WarmStarted bool
+	basis       *Basis
 }
+
+// Basis returns the optimal simplex basis when the solve used the
+// revised engine and reached optimality, or nil otherwise. Pass it back
+// via Options.Warm to warm-start a later solve of a structurally
+// identical problem.
+func (s *Solution) Basis() *Basis { return s.basis }
 
 // Value returns the optimal value of variable v.
 func (s *Solution) Value(v VarID) float64 { return s.values[v] }
@@ -212,33 +230,5 @@ func (p *Problem) Solve() (*Solution, error) {
 	if p.HasIntegers() {
 		return p.solveMILP()
 	}
-	return p.solveLP(nil, nil)
-}
-
-// solveLP solves the LP relaxation with optional bound overrides
-// (used by branch & bound). overrideLo/overrideHi may be nil.
-func (p *Problem) solveLP(overrideLo, overrideHi []float64) (*Solution, error) {
-	t, err := newTableau(p, overrideLo, overrideHi)
-	if err != nil {
-		// Bound-infeasible (lo > hi after branching).
-		return &Solution{Status: Infeasible}, ErrInfeasible
-	}
-	st := t.run()
-	sol := &Solution{Status: st, Iterations: t.pivots, Nodes: 1}
-	switch st {
-	case Infeasible:
-		return sol, ErrInfeasible
-	case Unbounded:
-		return sol, ErrUnbounded
-	case IterLimit:
-		return sol, ErrIterLimit
-	}
-	sol.values = t.extract()
-	sol.duals = t.extractDuals(len(p.cons))
-	obj := 0.0
-	for j, v := range p.vars {
-		obj += v.cost * sol.values[j]
-	}
-	sol.Objective = obj
-	return sol, nil
+	return p.solveLPWith(nil, nil, Options{})
 }

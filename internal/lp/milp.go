@@ -20,6 +20,11 @@ func (p *Problem) solveMILP() (*Solution, error) {
 
 type bbNode struct {
 	lo, hi []float64
+	// warm is the parent relaxation's optimal basis; a child's LP
+	// differs only in one variable bound, so the revised engine can
+	// usually restore feasibility in a few dual pivots instead of a
+	// cold two-phase solve.
+	warm *Basis
 }
 
 func (p *Problem) solveMILPOpts(opts Options) (*Solution, error) {
@@ -50,7 +55,9 @@ func (p *Problem) solveMILPOpts(opts Options) (*Solution, error) {
 		anyFeasible  bool
 		hitLimit     bool
 	)
-	stack := []bbNode{{lo: rootLo, hi: rootHi}}
+	eng := opts.Engine.resolve(opts.Warm)
+	nodeOpts := Options{Pivot: opts.Pivot, Engine: eng}
+	stack := []bbNode{{lo: rootLo, hi: rootHi, warm: opts.Warm}}
 	for len(stack) > 0 {
 		if nodes >= maxNodes {
 			hitLimit = true
@@ -60,7 +67,8 @@ func (p *Problem) solveMILPOpts(opts Options) (*Solution, error) {
 		stack = stack[:len(stack)-1]
 		nodes++
 
-		relax, err := p.solveLP(nd.lo, nd.hi)
+		nodeOpts.Warm = nd.warm
+		relax, err := p.solveLPWith(nd.lo, nd.hi, nodeOpts)
 		pivots += relax.Iterations
 		if err != nil {
 			if relax.Status == Unbounded {
@@ -114,9 +122,13 @@ func (p *Problem) solveMILPOpts(opts Options) (*Solution, error) {
 		// last so it is explored first (DFS dives toward 0 first,
 		// which empirically prunes well for BATE's accept/reject
 		// binaries when maximizing acceptance).
-		up := bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		var childWarm *Basis
+		if eng == EngineRevised && !opts.ColdStart {
+			childWarm = relax.basis
+		}
+		up := bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), warm: childWarm}
 		up.lo[branch] = math.Ceil(x - intTol)
-		down := bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		down := bbNode{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...), warm: childWarm}
 		down.hi[branch] = math.Floor(x + intTol)
 		if p.maximize {
 			// Explore the up branch first when maximizing: binaries in

@@ -1,0 +1,718 @@
+package lp
+
+import "math"
+
+// The sparse revised simplex engine. Unlike the dense tableau, it
+// (1) keeps the constraint matrix in CSC form and touches only
+// nonzeros, (2) handles variable bounds natively — nonbasic variables
+// sit at a bound and may "bound-flip" without a basis change — so no
+// explicit upper-bound rows are materialized, and (3) maintains the
+// basis inverse in product form (basis.go) with periodic
+// refactorization. A bounded dual simplex restores primal feasibility
+// from a warm-start basis after RHS or bound changes (branch & bound
+// children, re-scheduling rounds), avoiding a cold Phase 1.
+
+// Nonbasic/basic variable states.
+const (
+	atLower int8 = iota
+	atUpper
+	isBasic
+)
+
+const (
+	// pivotTol is the minimum |pivot| accepted in ratio tests.
+	pivotTol = 1e-9
+	// stablePivotTol triggers a refactorization retry when the FTRAN'd
+	// pivot element is suspiciously small.
+	stablePivotTol = 1e-7
+	// feasTol is the primal/dual feasibility tolerance for warm starts.
+	feasTol = 1e-7
+)
+
+// revised is the working state of one revised-simplex solve.
+type revised struct {
+	p        *Problem
+	ns       int // structural variables
+	m        int // constraint rows
+	artLo    int // first artificial column (== csc.n)
+	ncols    int // csc.n + m artificials
+	csc      *cscMatrix
+	slackCol []int32
+	rhs      []float64
+	artSign  []float64 // per-row artificial coefficient (±1)
+
+	lo, hi []float64 // per column, artificials included
+	cost   []float64 // current-phase cost per column
+	status []int8
+	rowVar []int32   // basic column per row
+	xB     []float64 // basic value per row
+
+	fac           factorization
+	sinceRefactor int
+	rule          PivotRule
+	pivots        int
+
+	// dense scratch vectors, all length m
+	work, work2, y []float64
+	artInd         [1]int32
+	artVal         [1]float64
+}
+
+// newRevisedBase builds the problem-shaped state (bounds, CSC, scratch)
+// without choosing a starting basis. It returns ErrInfeasible when a
+// bound override leaves lo > hi, matching newTableau.
+func newRevisedBase(p *Problem, overrideLo, overrideHi []float64) (*revised, error) {
+	ns := len(p.vars)
+	m := len(p.cons)
+	csc, slackCol := buildCSC(p)
+	r := &revised{
+		p: p, ns: ns, m: m,
+		artLo: csc.n, ncols: csc.n + m,
+		csc: csc, slackCol: slackCol,
+	}
+	r.lo = make([]float64, r.ncols)
+	r.hi = make([]float64, r.ncols)
+	r.cost = make([]float64, r.ncols)
+	r.status = make([]int8, r.ncols)
+	r.rowVar = make([]int32, m)
+	r.xB = make([]float64, m)
+	r.rhs = make([]float64, m)
+	r.artSign = make([]float64, m)
+	r.work = make([]float64, m)
+	r.work2 = make([]float64, m)
+	r.y = make([]float64, m)
+
+	for j, v := range p.vars {
+		r.lo[j], r.hi[j] = v.lower, v.upper
+	}
+	if overrideLo != nil {
+		copy(r.lo[:ns], overrideLo)
+	}
+	if overrideHi != nil {
+		copy(r.hi[:ns], overrideHi)
+	}
+	for j := 0; j < ns; j++ {
+		if r.lo[j] > r.hi[j]+eps {
+			return nil, ErrInfeasible
+		}
+	}
+	for j := ns; j < r.artLo; j++ {
+		r.hi[j] = math.Inf(1) // slacks/surpluses in [0, +inf)
+	}
+	for i, c := range p.cons {
+		r.rhs[i] = c.RHS
+		r.artSign[i] = 1
+	}
+	r.fac.reset(m)
+	return r, nil
+}
+
+// colOf materializes column j (CSC column or implicit artificial).
+func (r *revised) colOf(j int32) ([]int32, []float64) {
+	if int(j) < r.artLo {
+		return r.csc.col(int(j))
+	}
+	row := int32(int(j) - r.artLo)
+	r.artInd[0] = row
+	r.artVal[0] = r.artSign[row]
+	return r.artInd[:], r.artVal[:]
+}
+
+// boundValue returns the resting value of a nonbasic column.
+func (r *revised) boundValue(j int) float64 {
+	if r.status[j] == atUpper {
+		return r.hi[j]
+	}
+	return r.lo[j]
+}
+
+// initCold installs the textbook starting basis: structural variables
+// at their lower bound, each row's slack basic where it can absorb the
+// residual, an artificial (with matching sign) elsewhere. Artificials
+// not needed by any row start fixed at zero.
+func (r *revised) initCold() {
+	for j := 0; j < r.artLo; j++ {
+		r.status[j] = atLower
+	}
+	// Residual r_i = b_i - A·x_nonbasic with structurals at lower.
+	res := r.work
+	copy(res, r.rhs)
+	for j := 0; j < r.ns; j++ {
+		if x := r.lo[j]; x != 0 {
+			ind, val := r.csc.col(j)
+			for k, row := range ind {
+				res[row] -= val[k] * x
+			}
+		}
+	}
+	for i, c := range r.p.cons {
+		aj := r.artLo + i
+		r.lo[aj], r.hi[aj] = 0, 0 // fixed unless it becomes basic below
+		basic := -1
+		switch {
+		case c.Op == LE && res[i] >= 0:
+			basic = int(r.slackCol[i])
+		case c.Op == GE && res[i] <= 0:
+			basic = int(r.slackCol[i])
+		default:
+			if res[i] < 0 {
+				r.artSign[i] = -1
+			}
+			r.hi[aj] = math.Inf(1)
+			basic = aj
+		}
+		r.status[basic] = isBasic
+		r.rowVar[i] = int32(basic)
+	}
+	r.refactorNow()
+}
+
+// initWarm installs a snapshotted basis. It reports false (leaving the
+// state unusable) when the factorization is singular.
+func (r *revised) initWarm(b *Basis) bool {
+	copy(r.status[:r.artLo], b.status)
+	for i := range b.artSign {
+		r.artSign[i] = float64(b.artSign[i])
+	}
+	// Artificials are fixed at zero in a warm solve even when basic.
+	for i := 0; i < r.m; i++ {
+		aj := r.artLo + i
+		r.lo[aj], r.hi[aj] = 0, 0
+		r.status[aj] = atLower
+	}
+	for j := 0; j < r.artLo; j++ {
+		if r.status[j] == atUpper && math.IsInf(r.hi[j], 1) {
+			r.status[j] = atLower
+		}
+	}
+	copy(r.rowVar, b.rowVar)
+	for _, j := range r.rowVar {
+		r.status[j] = isBasic
+	}
+	if !r.refactorNow() {
+		return false
+	}
+	return true
+}
+
+// snapshot captures the current basis for warm-starting later solves.
+func (r *revised) snapshot() *Basis {
+	b := &Basis{
+		ns: r.ns, m: r.m,
+		ops:     make([]Op, r.m),
+		status:  make([]int8, r.artLo),
+		rowVar:  make([]int32, r.m),
+		artSign: make([]int8, r.m),
+	}
+	for i, c := range r.p.cons {
+		b.ops[i] = c.Op
+	}
+	copy(b.status, r.status[:r.artLo])
+	copy(b.rowVar, r.rowVar)
+	for i, s := range r.artSign {
+		b.artSign[i] = int8(s)
+	}
+	return b
+}
+
+// refactorNow rebuilds the eta file from the current basic columns and
+// recomputes the basic values from scratch (flushing drift).
+func (r *revised) refactorNow() bool {
+	rowVar, ok := r.fac.refactor(r.m, r.rowVar, r.colOf, r.work2)
+	if !ok {
+		return false
+	}
+	r.rowVar = rowVar
+	r.sinceRefactor = 0
+	r.computeXB()
+	return true
+}
+
+// refactorEvery bounds the eta-file length before a rebuild.
+func (r *revised) refactorEvery() int {
+	n := r.m / 4
+	if n < 32 {
+		n = 32
+	}
+	if n > 120 {
+		n = 120
+	}
+	return n
+}
+
+// computeXB recomputes x_B = B⁻¹(b - N·x_N) into xB.
+func (r *revised) computeXB() {
+	v := r.work
+	copy(v, r.rhs)
+	for j := 0; j < r.artLo; j++ {
+		if r.status[j] == isBasic {
+			continue
+		}
+		if x := r.boundValue(j); x != 0 {
+			ind, val := r.csc.col(j)
+			for k, row := range ind {
+				v[row] -= val[k] * x
+			}
+		}
+	}
+	// Nonbasic artificials are fixed at zero: no contribution.
+	r.fac.ftran(v)
+	copy(r.xB, v)
+}
+
+// computeY computes the simplex multipliers y = c_B B⁻¹ into r.y.
+func (r *revised) computeY() {
+	for i, j := range r.rowVar {
+		r.y[i] = r.cost[j]
+	}
+	r.fac.btran(r.y)
+}
+
+// reducedCost returns d_j = c_j - y·a_j for a CSC column.
+func (r *revised) reducedCost(j int) float64 {
+	d := r.cost[j]
+	ind, val := r.csc.col(j)
+	for k, row := range ind {
+		d -= r.y[row] * val[k]
+	}
+	return d
+}
+
+// ftranCol scatters column j into work and FTRANs it: work = B⁻¹ a_j.
+func (r *revised) ftranCol(j int) []float64 {
+	w := r.work
+	for i := range w {
+		w[i] = 0
+	}
+	ind, val := r.colOf(int32(j))
+	for k, row := range ind {
+		w[row] = val[k]
+	}
+	r.fac.ftran(w)
+	return w
+}
+
+// price selects the entering column and its direction (+1 from lower,
+// -1 from upper). Artificial columns never price in: once nonbasic
+// they are fixed at zero. Returns -1 at optimality.
+func (r *revised) price(bland bool) (int, float64) {
+	enter := -1
+	sigma := 1.0
+	best := -eps
+	for j := 0; j < r.artLo; j++ {
+		st := r.status[j]
+		if st == isBasic || r.hi[j]-r.lo[j] <= 0 {
+			continue
+		}
+		d := r.reducedCost(j)
+		var score float64
+		if st == atLower {
+			score = d // want d < -eps
+		} else {
+			score = -d // at upper: want d > eps
+		}
+		if score < -eps {
+			if bland {
+				enter = j
+				if st == atUpper {
+					sigma = -1
+				}
+				return enter, sigma
+			}
+			if score < best {
+				best = score
+				enter = j
+				if st == atUpper {
+					sigma = -1
+				} else {
+					sigma = 1
+				}
+			}
+		}
+	}
+	return enter, sigma
+}
+
+// primal runs bounded primal simplex iterations to optimality.
+func (r *revised) primal(phase1 bool) Status {
+	for {
+		if r.pivots >= maxPivots {
+			return IterLimit
+		}
+		bland := r.rule == Bland || (r.rule != Dantzig && r.pivots >= blandThreshold)
+		r.computeY()
+		enter, sigma := r.price(bland)
+		if enter < 0 {
+			return Optimal
+		}
+		w := r.ftranCol(enter)
+
+		// Ratio test: the entering variable moves by sigma·t from its
+		// bound; basic i changes at rate -sigma·w_i. Blockers are basic
+		// variables hitting a bound, or the entering variable reaching
+		// its opposite bound (a bound flip, no basis change).
+		tMax := r.hi[enter] - r.lo[enter]
+		leave := -1
+		leaveToUpper := false
+		bestT := math.Inf(1)
+		for i := 0; i < r.m; i++ {
+			delta := sigma * w[i]
+			bi := r.rowVar[i]
+			if delta > pivotTol {
+				t := (r.xB[i] - r.lo[bi]) / delta
+				if t < 0 {
+					t = 0
+				}
+				if t < bestT-eps || (t < bestT+eps && (leave < 0 || bi < r.rowVar[leave])) {
+					bestT = t
+					leave = i
+					leaveToUpper = false
+				}
+			} else if delta < -pivotTol {
+				if hb := r.hi[bi]; !math.IsInf(hb, 1) {
+					t := (hb - r.xB[i]) / (-delta)
+					if t < 0 {
+						t = 0
+					}
+					if t < bestT-eps || (t < bestT+eps && (leave < 0 || bi < r.rowVar[leave])) {
+						bestT = t
+						leave = i
+						leaveToUpper = true
+					}
+				}
+			}
+		}
+		if leave < 0 && math.IsInf(tMax, 1) {
+			if phase1 {
+				// Phase-1 objective is bounded below by 0; a free ray
+				// means numerical trouble. Mirror the dense engine.
+				return Infeasible
+			}
+			return Unbounded
+		}
+		if leave < 0 || tMax <= bestT {
+			// Bound flip: the entering variable crosses to its other
+			// bound; the basis is unchanged.
+			r.pivots++
+			for i := 0; i < r.m; i++ {
+				r.xB[i] -= sigma * tMax * w[i]
+			}
+			if r.status[enter] == atLower {
+				r.status[enter] = atUpper
+			} else {
+				r.status[enter] = atLower
+			}
+			continue
+		}
+		// A suspiciously small pivot right after a long eta file is
+		// usually drift: refactorize and retry the iteration.
+		if pv := math.Abs(w[leave]); pv < stablePivotTol && r.sinceRefactor > 0 {
+			if !r.refactorNow() {
+				return IterLimit
+			}
+			continue
+		}
+		r.pivotStep(leave, enter, sigma, bestT, leaveToUpper, w)
+	}
+}
+
+// pivotStep applies one basis exchange: entering column `enter` moves
+// by sigma·t, basic row `leave` leaves at the bound it hit.
+func (r *revised) pivotStep(leave, enter int, sigma, t float64, leaveToUpper bool, w []float64) {
+	r.pivots++
+	for i := 0; i < r.m; i++ {
+		if i == leave {
+			continue
+		}
+		r.xB[i] -= sigma * t * w[i]
+	}
+	lv := r.rowVar[leave]
+	if leaveToUpper {
+		r.status[lv] = atUpper
+	} else {
+		r.status[lv] = atLower
+	}
+	if int(lv) >= r.artLo {
+		// An artificial that leaves the basis never returns.
+		r.lo[lv], r.hi[lv] = 0, 0
+		r.status[lv] = atLower
+	}
+	var entVal float64
+	if sigma > 0 {
+		entVal = r.lo[enter] + t
+	} else {
+		entVal = r.hi[enter] - t
+	}
+	r.xB[leave] = entVal
+	r.status[enter] = isBasic
+	r.rowVar[leave] = int32(enter)
+	r.fac.push(w, int32(leave))
+	r.sinceRefactor++
+	if r.sinceRefactor >= r.refactorEvery() {
+		r.refactorNow()
+	}
+}
+
+// infeasSum returns the total residual infeasibility (the phase-1
+// objective): the mass still carried by basic artificials.
+func (r *revised) infeasSum() float64 {
+	s := 0.0
+	for i, j := range r.rowVar {
+		if int(j) >= r.artLo && r.xB[i] > 0 {
+			s += r.xB[i]
+		}
+	}
+	return s
+}
+
+// setPhase1Costs prices only the artificials.
+func (r *revised) setPhase1Costs() {
+	for j := range r.cost {
+		if j >= r.artLo {
+			r.cost[j] = 1
+		} else {
+			r.cost[j] = 0
+		}
+	}
+}
+
+// setPhase2Costs installs the real objective (negated for
+// maximization, matching the dense engine's internal minimization).
+func (r *revised) setPhase2Costs() {
+	for j := range r.cost {
+		r.cost[j] = 0
+	}
+	for j, v := range r.p.vars {
+		c := v.cost
+		if r.p.maximize {
+			c = -c
+		}
+		r.cost[j] = c
+	}
+}
+
+// fixArtificials pins every artificial to zero after phase 1.
+func (r *revised) fixArtificials() {
+	for i := 0; i < r.m; i++ {
+		aj := r.artLo + i
+		r.lo[aj], r.hi[aj] = 0, 0
+	}
+}
+
+// run executes the cold two-phase solve.
+func (r *revised) run() Status {
+	needPhase1 := false
+	for _, j := range r.rowVar {
+		if int(j) >= r.artLo {
+			needPhase1 = true
+			break
+		}
+	}
+	if needPhase1 {
+		r.setPhase1Costs()
+		if st := r.primal(true); st != Optimal {
+			return st
+		}
+		if r.infeasSum() > 1e-7 {
+			return Infeasible
+		}
+		r.fixArtificials()
+	}
+	r.setPhase2Costs()
+	return r.primal(false)
+}
+
+// runWarm attempts to solve from an installed warm basis. The second
+// return is false when the basis is neither primal- nor dual-feasible
+// under the current bounds and costs — the caller should cold start.
+func (r *revised) runWarm() (Status, bool) {
+	r.setPhase2Costs()
+	if r.primalFeasible() {
+		return r.primal(false), true
+	}
+	if r.dualFeasible() {
+		st := r.dualSimplex()
+		if st == Optimal {
+			// Polish: degenerate dual exits can leave slightly negative
+			// reduced costs; finish with primal iterations.
+			return r.primal(false), true
+		}
+		return st, true
+	}
+	return IterLimit, false
+}
+
+// primalFeasible reports whether every basic value is within bounds.
+func (r *revised) primalFeasible() bool {
+	for i, j := range r.rowVar {
+		if r.xB[i] < r.lo[j]-feasTol || r.xB[i] > r.hi[j]+feasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// dualFeasible reports whether the reduced costs are consistent with
+// every nonbasic resting position under the phase-2 costs.
+func (r *revised) dualFeasible() bool {
+	r.computeY()
+	for j := 0; j < r.artLo; j++ {
+		st := r.status[j]
+		if st == isBasic || r.hi[j]-r.lo[j] <= 0 {
+			continue
+		}
+		d := r.reducedCost(j)
+		if st == atLower && d < -feasTol {
+			return false
+		}
+		if st == atUpper && d > feasTol {
+			return false
+		}
+	}
+	return true
+}
+
+// dualSimplex restores primal feasibility from a dual-feasible basis:
+// the standard bounded-variable dual iteration (leaving row by largest
+// bound violation, entering column by the dual ratio test). Returns
+// Optimal once primal feasible, Infeasible when dual-unbounded (the
+// problem has no feasible point), IterLimit on the pivot cap.
+func (r *revised) dualSimplex() Status {
+	for {
+		if r.pivots >= maxPivots {
+			return IterLimit
+		}
+		leave := -1
+		worst := feasTol
+		below := false
+		for i, j := range r.rowVar {
+			if v := r.lo[j] - r.xB[i]; v > worst {
+				worst = v
+				leave = i
+				below = true
+			}
+			if v := r.xB[i] - r.hi[j]; v > worst {
+				worst = v
+				leave = i
+				below = false
+			}
+		}
+		if leave < 0 {
+			return Optimal
+		}
+		// rho = row `leave` of B⁻¹; alpha_j = rho·a_j.
+		rho := r.work2
+		for i := range rho {
+			rho[i] = 0
+		}
+		rho[leave] = 1
+		r.fac.btran(rho)
+		r.computeY()
+
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAlpha := 0.0
+		for j := 0; j < r.artLo; j++ {
+			st := r.status[j]
+			if st == isBasic || r.hi[j]-r.lo[j] <= 0 {
+				continue
+			}
+			alpha := 0.0
+			ind, val := r.csc.col(j)
+			for k, row := range ind {
+				alpha += rho[row] * val[k]
+			}
+			// Eligibility: moving j in its feasible direction must push
+			// the leaving basic toward its violated bound.
+			ok := false
+			if below {
+				ok = (st == atLower && alpha < -pivotTol) || (st == atUpper && alpha > pivotTol)
+			} else {
+				ok = (st == atLower && alpha > pivotTol) || (st == atUpper && alpha < -pivotTol)
+			}
+			if !ok {
+				continue
+			}
+			d := r.reducedCost(j)
+			mag := d
+			if st == atUpper {
+				mag = -d
+			}
+			if mag < 0 {
+				mag = 0 // tolerance noise; treat as degenerate
+			}
+			ratio := mag / math.Abs(alpha)
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				bestRatio = ratio
+				bestAlpha = alpha
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Infeasible // dual unbounded
+		}
+		w := r.ftranCol(enter)
+		if pv := math.Abs(w[leave]); pv < stablePivotTol && r.sinceRefactor > 0 {
+			if !r.refactorNow() {
+				return IterLimit
+			}
+			continue
+		}
+		sigma := 1.0
+		if r.status[enter] == atUpper {
+			sigma = -1
+		}
+		lv := r.rowVar[leave]
+		target := r.lo[lv]
+		if !below {
+			target = r.hi[lv]
+		}
+		t := (r.xB[leave] - target) / (sigma * w[leave])
+		if t < 0 {
+			t = 0
+		}
+		r.pivotStep(leave, enter, sigma, t, !below, w)
+	}
+}
+
+// extract recovers structural values, clamping tolerance noise at the
+// bounds exactly as the dense engine does for zero.
+func (r *revised) extract() []float64 {
+	vals := make([]float64, r.ns)
+	for j := 0; j < r.ns; j++ {
+		if r.status[j] != isBasic {
+			vals[j] = r.boundValue(j)
+		}
+	}
+	for i, j := range r.rowVar {
+		if int(j) < r.ns {
+			vals[j] = r.xB[i]
+		}
+	}
+	for j := range vals {
+		if vals[j] < 0 && vals[j] > -1e-7 {
+			vals[j] = 0
+		}
+		if hb := r.hi[j]; vals[j] > hb && vals[j] < hb+1e-7 {
+			vals[j] = hb
+		}
+	}
+	return vals
+}
+
+// extractDuals returns the user-constraint duals in the problem's own
+// sense. With rows stored unnegated, the multiplier of row i is
+// exactly the derivative of the internal (minimization) objective with
+// respect to b_i; maximization flips the sign back to the user sense.
+func (r *revised) extractDuals() []float64 {
+	r.setPhase2Costs()
+	r.computeY()
+	duals := make([]float64, r.m)
+	copy(duals, r.y)
+	if r.p.maximize {
+		for i := range duals {
+			duals[i] = -duals[i]
+		}
+	}
+	return duals
+}

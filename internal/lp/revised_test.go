@@ -1,0 +1,375 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomLP generates a small random LP with a mix of operators, bound
+// patterns and objective senses. Continuous random data keeps the
+// instances generic (unique optima almost surely), so dense and
+// revised must agree on values and duals, not just the objective.
+func randomLP(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	if rng.Intn(2) == 0 {
+		p.SetMaximize()
+	}
+	n := 1 + rng.Intn(7)
+	m := 1 + rng.Intn(7)
+	for j := 0; j < n; j++ {
+		up := math.Inf(1)
+		if rng.Intn(2) == 0 {
+			up = 0.5 + 4*rng.Float64()
+		}
+		p.AddVariable(fmt.Sprintf("x%d", j), 0, up, -5+10*rng.Float64())
+	}
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.6 {
+				terms = append(terms, Term{Var: VarID(j), Coef: -3 + 6*rng.Float64()})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{Var: VarID(rng.Intn(n)), Coef: 1 + rng.Float64()})
+		}
+		p.AddConstraint(Constraint{
+			Name:  fmt.Sprintf("c%d", i),
+			Terms: terms, Op: Op(rng.Intn(3)), RHS: -5 + 10*rng.Float64(),
+		})
+	}
+	return p
+}
+
+// compareEngines solves p with both engines and fails on any
+// disagreement. Duals are compared only when checkDuals is set
+// (degenerate instances have non-unique duals).
+func compareEngines(t *testing.T, p *Problem, checkDuals bool, label string) {
+	t.Helper()
+	ds, _ := p.solveLPDense(nil, nil, Auto)
+	rs, _ := p.solveLPRevised(nil, nil, Options{})
+	if ds.Status != rs.Status {
+		t.Fatalf("%s: status dense=%v revised=%v", label, ds.Status, rs.Status)
+	}
+	if ds.Status != Optimal {
+		return
+	}
+	tol := 1e-6 * (1 + math.Abs(ds.Objective))
+	if diff := math.Abs(ds.Objective - rs.Objective); diff > tol {
+		t.Fatalf("%s: objective dense=%.12g revised=%.12g (diff %g)", label, ds.Objective, rs.Objective, diff)
+	}
+	if !checkDuals {
+		return
+	}
+	for i := range ds.duals {
+		if d := math.Abs(ds.duals[i] - rs.duals[i]); d > 1e-6*(1+math.Abs(ds.duals[i])) {
+			t.Fatalf("%s: dual[%d] dense=%g revised=%g", label, i, ds.duals[i], rs.duals[i])
+		}
+	}
+}
+
+// TestEngineEquivalenceRandom is the property-based equivalence suite:
+// 200 seeded random LPs spanning feasible, infeasible and unbounded
+// instances with upper-bounded variables and every operator.
+func TestEngineEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	statuses := make(map[Status]int)
+	for k := 0; k < 200; k++ {
+		p := randomLP(rng)
+		ds, _ := p.solveLPDense(nil, nil, Auto)
+		statuses[ds.Status]++
+		compareEngines(t, p, true, fmt.Sprintf("case %d", k))
+	}
+	// The generator must actually exercise all three outcomes.
+	for _, st := range []Status{Optimal, Infeasible, Unbounded} {
+		if statuses[st] == 0 {
+			t.Fatalf("generator produced no %v instances: %v", st, statuses)
+		}
+	}
+}
+
+// TestEngineEquivalenceDegenerate covers crafted degenerate and
+// boundary instances where pivoting is most fragile. Duals are not
+// compared (non-unique at degenerate optima).
+func TestEngineEquivalenceDegenerate(t *testing.T) {
+	cases := map[string]func() *Problem{
+		"beale-cycling": func() *Problem {
+			// Beale's classic cycling example for Dantzig pivoting.
+			p := NewProblem()
+			x1 := p.AddVariable("x1", 0, math.Inf(1), -0.75)
+			x2 := p.AddVariable("x2", 0, math.Inf(1), 150)
+			x3 := p.AddVariable("x3", 0, math.Inf(1), -0.02)
+			x4 := p.AddVariable("x4", 0, math.Inf(1), 6)
+			p.AddConstraint(Constraint{Terms: []Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, Op: LE, RHS: 0})
+			p.AddConstraint(Constraint{Terms: []Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, Op: LE, RHS: 0})
+			p.AddConstraint(Constraint{Terms: []Term{{x3, 1}}, Op: LE, RHS: 1})
+			return p
+		},
+		"degenerate-vertex": func() *Problem {
+			// Three constraints meet at (1,1): multiple optimal bases.
+			p := NewProblem()
+			x := p.AddVariable("x", 0, math.Inf(1), -1)
+			y := p.AddVariable("y", 0, math.Inf(1), -1)
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: LE, RHS: 2})
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: LE, RHS: 1})
+			p.AddConstraint(Constraint{Terms: []Term{{y, 1}}, Op: LE, RHS: 1})
+			p.AddConstraint(Constraint{Terms: []Term{{x, 2}, {y, 1}}, Op: LE, RHS: 3})
+			return p
+		},
+		"fixed-variable": func() *Problem {
+			// A variable fixed by equal bounds plus binding equalities.
+			p := NewProblem()
+			x := p.AddVariable("x", 2, 2, 1)
+			y := p.AddVariable("y", 0, 5, 1)
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: EQ, RHS: 4})
+			return p
+		},
+		"all-upper-bounded": func() *Problem {
+			// Optimum rests on upper bounds, not constraint rows.
+			p := NewProblem()
+			p.SetMaximize()
+			x := p.AddVariable("x", 0, 1, 3)
+			y := p.AddVariable("y", 0, 2, 2)
+			z := p.AddVariable("z", 0, 3, 1)
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}, {z, 1}}, Op: LE, RHS: 10})
+			return p
+		},
+		"redundant-rows": func() *Problem {
+			p := NewProblem()
+			x := p.AddVariable("x", 0, math.Inf(1), 1)
+			y := p.AddVariable("y", 0, math.Inf(1), 2)
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: EQ, RHS: 3})
+			p.AddConstraint(Constraint{Terms: []Term{{x, 2}, {y, 2}}, Op: EQ, RHS: 6})
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: GE, RHS: 1})
+			return p
+		},
+		"zero-rhs-degenerate": func() *Problem {
+			p := NewProblem()
+			x := p.AddVariable("x", 0, math.Inf(1), -1)
+			y := p.AddVariable("y", 0, math.Inf(1), -2)
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, -1}}, Op: LE, RHS: 0})
+			p.AddConstraint(Constraint{Terms: []Term{{x, -1}, {y, 1}}, Op: LE, RHS: 0})
+			p.AddConstraint(Constraint{Terms: []Term{{x, 1}, {y, 1}}, Op: LE, RHS: 4})
+			return p
+		},
+	}
+	for name, build := range cases {
+		compareEngines(t, build(), false, name)
+	}
+}
+
+func TestAddConstraintRejectsNonFinite(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1, 1)
+	mustPanic("nan-coef", func() {
+		p.AddConstraint(Constraint{Terms: []Term{{x, math.NaN()}}, Op: LE, RHS: 1})
+	})
+	mustPanic("inf-coef", func() {
+		p.AddConstraint(Constraint{Terms: []Term{{x, math.Inf(-1)}}, Op: LE, RHS: 1})
+	})
+	mustPanic("nan-rhs", func() {
+		p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: LE, RHS: math.NaN()})
+	})
+	mustPanic("inf-rhs", func() {
+		p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: GE, RHS: math.Inf(1)})
+	})
+	// A finite constraint still goes through.
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: LE, RHS: 1})
+	if p.NumConstraints() != 1 {
+		t.Fatalf("valid constraint rejected")
+	}
+}
+
+func TestWarmStartReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k < 50; k++ {
+		p := randomLP(rng)
+		first, err := p.SolveOpts(Options{Engine: EngineRevised})
+		if err != nil {
+			continue // warm starts only apply after an optimal solve
+		}
+		if first.Basis() == nil {
+			t.Fatalf("case %d: optimal revised solve returned nil basis", k)
+		}
+		if first.WarmStarted {
+			t.Fatalf("case %d: cold solve flagged as warm", k)
+		}
+		second, err := p.SolveOpts(Options{Engine: EngineRevised, Warm: first.Basis()})
+		if err != nil {
+			t.Fatalf("case %d: warm re-solve failed: %v", k, err)
+		}
+		if !second.WarmStarted {
+			t.Fatalf("case %d: identical re-solve did not warm-start", k)
+		}
+		if second.Iterations > first.Iterations {
+			t.Fatalf("case %d: warm solve used more pivots (%d) than cold (%d)",
+				k, second.Iterations, first.Iterations)
+		}
+		tol := 1e-6 * (1 + math.Abs(first.Objective))
+		if math.Abs(second.Objective-first.Objective) > tol {
+			t.Fatalf("case %d: warm objective %g != cold %g", k, second.Objective, first.Objective)
+		}
+	}
+}
+
+// TestWarmStartAfterBoundChange mimics a branch-and-bound child: the
+// parent's basis warm-starts a problem whose only change is one
+// tightened variable bound, and the result must match a cold dense
+// solve of the modified problem.
+func TestWarmStartAfterBoundChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for k := 0; k < 80; k++ {
+		p := randomLP(rng)
+		parent, err := p.SolveOpts(Options{Engine: EngineRevised})
+		if err != nil {
+			continue
+		}
+		j := rng.Intn(p.NumVariables())
+		v := parent.Value(VarID(j))
+		// Tighten around (or away from) the parent's optimal value.
+		if rng.Intn(2) == 0 {
+			p.SetBounds(VarID(j), math.Ceil(v-1e-6), math.Inf(1))
+		} else {
+			p.SetBounds(VarID(j), 0, math.Max(0, math.Floor(v+1e-6)))
+		}
+		warm, werr := p.SolveOpts(Options{Engine: EngineRevised, Warm: parent.Basis()})
+		cold, cerr := p.solveLPDense(nil, nil, Auto)
+		if warm.Status != cold.Status {
+			t.Fatalf("case %d: status warm=%v dense=%v (warm err %v, cold err %v)",
+				k, warm.Status, cold.Status, werr, cerr)
+		}
+		if cold.Status == Optimal {
+			tol := 1e-6 * (1 + math.Abs(cold.Objective))
+			if math.Abs(warm.Objective-cold.Objective) > tol {
+				t.Fatalf("case %d: warm objective %g != dense %g", k, warm.Objective, cold.Objective)
+			}
+		}
+	}
+}
+
+// TestWarmStartShapeMismatch verifies a stale basis from a different
+// problem shape is ignored, not misapplied.
+func TestWarmStartShapeMismatch(t *testing.T) {
+	p1 := NewProblem()
+	x := p1.AddVariable("x", 0, 10, 1)
+	p1.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: GE, RHS: 2})
+	s1, err := p1.SolveOpts(Options{Engine: EngineRevised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewProblem()
+	a := p2.AddVariable("a", 0, 10, 1)
+	b := p2.AddVariable("b", 0, 10, 2)
+	p2.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Op: GE, RHS: 3})
+	p2.AddConstraint(Constraint{Terms: []Term{{b, 1}}, Op: LE, RHS: 1})
+	s2, err := p2.SolveOpts(Options{Engine: EngineRevised, Warm: s1.Basis()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.WarmStarted {
+		t.Fatal("mismatched basis should not warm-start")
+	}
+	if math.Abs(s2.Objective-3) > 1e-6 {
+		t.Fatalf("objective %g, want 3", s2.Objective)
+	}
+	// Same-shape but different-operator problems must also miss.
+	p3 := NewProblem()
+	y := p3.AddVariable("y", 0, 10, 1)
+	p3.AddConstraint(Constraint{Terms: []Term{{y, 1}}, Op: LE, RHS: 2})
+	s3, err := p3.SolveOpts(Options{Engine: EngineRevised, Warm: s1.Basis()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.WarmStarted {
+		t.Fatal("operator-mismatched basis should not warm-start")
+	}
+}
+
+// TestBasisNilForDense: the dense engine does not produce a basis.
+func TestBasisNilForDense(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1, 1)
+	p.AddConstraint(Constraint{Terms: []Term{{x, 1}}, Op: GE, RHS: 0.5})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Basis() != nil {
+		t.Fatal("dense solve returned a basis")
+	}
+}
+
+// randomMILP generates a small mixed LP/binary problem.
+func randomMILP(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	if rng.Intn(2) == 0 {
+		p.SetMaximize()
+	}
+	n := 2 + rng.Intn(4)
+	for j := 0; j < n; j++ {
+		if rng.Intn(2) == 0 {
+			p.AddBinary(fmt.Sprintf("b%d", j), -4+8*rng.Float64())
+		} else {
+			p.AddVariable(fmt.Sprintf("x%d", j), 0, 3+2*rng.Float64(), -4+8*rng.Float64())
+		}
+	}
+	m := 1 + rng.Intn(4)
+	for i := 0; i < m; i++ {
+		var terms []Term
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.7 {
+				terms = append(terms, Term{Var: VarID(j), Coef: -3 + 6*rng.Float64()})
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{Var: VarID(rng.Intn(n)), Coef: 1})
+		}
+		p.AddConstraint(Constraint{Terms: terms, Op: Op(rng.Intn(2)), RHS: 1 + 5*rng.Float64()})
+	}
+	return p
+}
+
+// TestMILPWarmMatchesCold: warm-started branch & bound (children reuse
+// the parent basis) reaches the same optimum as cold revised and dense
+// runs, without using more pivots in total.
+func TestMILPWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	warmPivots, coldPivots := 0, 0
+	for k := 0; k < 60; k++ {
+		p := randomMILP(rng)
+		warm, werr := p.SolveOpts(Options{Engine: EngineRevised})
+		cold, cerr := p.SolveOpts(Options{Engine: EngineRevised, ColdStart: true})
+		dense, derr := p.SolveOpts(Options{Engine: EngineDense})
+		if (werr == nil) != (derr == nil) || (cerr == nil) != (derr == nil) {
+			t.Fatalf("case %d: err warm=%v cold=%v dense=%v", k, werr, cerr, derr)
+		}
+		if warm.Status != dense.Status || cold.Status != dense.Status {
+			t.Fatalf("case %d: status warm=%v cold=%v dense=%v", k, warm.Status, cold.Status, dense.Status)
+		}
+		if derr == nil {
+			tol := 1e-6 * (1 + math.Abs(dense.Objective))
+			if math.Abs(warm.Objective-dense.Objective) > tol {
+				t.Fatalf("case %d: warm MILP objective %g != dense %g", k, warm.Objective, dense.Objective)
+			}
+			if math.Abs(cold.Objective-dense.Objective) > tol {
+				t.Fatalf("case %d: cold MILP objective %g != dense %g", k, cold.Objective, dense.Objective)
+			}
+		}
+		warmPivots += warm.Iterations
+		coldPivots += cold.Iterations
+	}
+	if warmPivots > coldPivots {
+		t.Fatalf("warm-started B&B used more pivots (%d) than cold (%d)", warmPivots, coldPivots)
+	}
+}

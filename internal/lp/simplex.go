@@ -23,6 +23,15 @@ type Options struct {
 	// solution instead of proving optimality — the feasibility-check
 	// mode used by admission control.
 	FirstIncumbent bool
+	// Engine selects the simplex implementation; EngineAuto uses the
+	// dense tableau unless Warm is supplied.
+	Engine Engine
+	// Warm seeds the revised engine with a previously optimal basis of
+	// a structurally identical problem; ignored by the dense engine.
+	Warm *Basis
+	// ColdStart disables parent-basis warm-starting inside branch &
+	// bound (benchmark/ablation control).
+	ColdStart bool
 }
 
 // SolveOpts is Solve with explicit Options.
@@ -30,27 +39,7 @@ func (p *Problem) SolveOpts(opts Options) (*Solution, error) {
 	if p.HasIntegers() {
 		return p.solveMILPOpts(opts)
 	}
-	t, err := newTableau(p, nil, nil)
-	if err != nil {
-		return &Solution{Status: Infeasible}, ErrInfeasible
-	}
-	t.rule = opts.Pivot
-	st := t.run()
-	sol := &Solution{Status: st, Iterations: t.pivots, Nodes: 1}
-	switch st {
-	case Infeasible:
-		return sol, ErrInfeasible
-	case Unbounded:
-		return sol, ErrUnbounded
-	case IterLimit:
-		return sol, ErrIterLimit
-	}
-	sol.values = t.extract()
-	sol.duals = t.extractDuals(len(p.cons))
-	for j, v := range p.vars {
-		sol.Objective += v.cost * sol.values[j]
-	}
-	return sol, nil
+	return p.solveLPWith(nil, nil, opts)
 }
 
 // tableau is a dense two-phase primal simplex working state.

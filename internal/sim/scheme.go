@@ -64,6 +64,12 @@ type TEConfig struct {
 	TEAVARBeta float64
 	// Mode selects BATE's scheduling formulation.
 	Mode bate.ScheduleMode
+	// Scheduler, when set, runs BATE's scheduling solves through the
+	// sparse revised simplex and warm-starts each epoch from the
+	// previous epoch's optimal basis (the admitted set usually changes
+	// by a few demands per round). Share one Scheduler across the
+	// rounds of a single simulation; it is not safe for concurrent use.
+	Scheduler *bate.Scheduler
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -93,7 +99,15 @@ func (c TEConfig) Allocate(in *alloc.Input) (alloc.Allocation, error) {
 	switch c.Kind {
 	case KindBATE:
 		opts := bate.ScheduleOptions{MaxFail: c.MaxFail, Mode: c.Mode}
-		a, _, err := bate.Schedule(in, opts)
+		var a alloc.Allocation
+		var err error
+		if c.Scheduler != nil {
+			// Keep the follow-up hardening solves on the same engine.
+			opts.Engine = lp.EngineRevised
+			a, _, err = c.Scheduler.Schedule(in, opts)
+		} else {
+			a, _, err = bate.Schedule(in, opts)
+		}
 		if err == nil {
 			// Upgrade the relaxation to the hard guarantee where
 			// possible; keep the relaxed allocation if hardening has

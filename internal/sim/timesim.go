@@ -162,6 +162,13 @@ func (r *TimeSimResult) SatisfactionRatio() float64 {
 // RunTimeSim executes the per-second simulation.
 func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 	cfg = cfg.defaults()
+	if cfg.TE.Kind == KindBATE && cfg.TE.Scheduler == nil {
+		// One basis cache for the whole run: consecutive scheduling
+		// epochs differ by a handful of arrivals/departures, so each
+		// epoch warm-starts from the previous optimal basis whenever the
+		// LP shape is unchanged.
+		cfg.TE.Scheduler = bate.NewScheduler()
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	injector := NewFailureInjector(cfg.Net, cfg.RepairSec, rng)
 	if len(cfg.Trace) > 0 {
