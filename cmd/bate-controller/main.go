@@ -23,6 +23,7 @@ import (
 	"bate/internal/parallel"
 	"bate/internal/paxos"
 	"bate/internal/routing"
+	"bate/internal/store"
 	"bate/internal/topo"
 )
 
@@ -36,6 +37,9 @@ func main() {
 	electPeers := flag.String("peers", "", "election peers as id=host:port,... (includes self)")
 	electListen := flag.String("election-listen", "", "election listen address (required with -replica)")
 	procs := flag.Int("procs", 0, "worker pool size for parallel admission/scheduling (0 = all cores)")
+	storeDir := flag.String("store", "", "durable state store directory (WAL + snapshots; empty = in-memory only)")
+	compactEvery := flag.Duration("compact-every", 5*time.Minute, "store compaction cadence (with -store)")
+	noSync := flag.Bool("store-nosync", false, "skip fsync per WAL append (throughput over durability)")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -48,12 +52,6 @@ func main() {
 		log.Fatal(err)
 	}
 	tunnels := routing.Compute(net0, routing.KShortest, *k)
-	ctrl, err := controller.New(controller.Config{
-		Net: net0, Tunnels: tunnels, MaxFail: *maxFail, SchedulePeriod: *period,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +88,28 @@ func main() {
 			return
 		}
 		log.Printf("bate-controller: replica %d elected master", *replicaID)
+	}
+
+	// Only the election winner opens the store (single writer): a
+	// promoted standby replays the dead master's WAL and takes over
+	// with the full demand book instead of an empty one.
+	cfg := controller.Config{
+		Net: net0, Tunnels: tunnels, MaxFail: *maxFail, SchedulePeriod: *period,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, net0, store.Options{NoSync: *noSync})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		cfg.CompactEvery = *compactEvery
+		log.Printf("bate-controller: durable store at %s (%d WAL records replayed)",
+			*storeDir, st.WALRecords())
+	}
+	ctrl, err := controller.New(cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if err := ctrl.Serve(ctx, ln); err != nil {

@@ -1,10 +1,12 @@
 // Command batectl submits BA demands to a running controller and
-// withdraws them.
+// withdraws them, and inspects/compacts a controller's durable state
+// store offline.
 //
 // Usage:
 //
 //	batectl -controller localhost:7001 submit -src DC1 -dst DC4 -bw 500 -target 0.999
 //	batectl -controller localhost:7001 withdraw -id 3
+//	batectl store inspect -dir /var/lib/bate -topology Testbed6
 package main
 
 import (
@@ -12,7 +14,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
+	"bate/internal/store"
+	"bate/internal/topo"
 	"bate/internal/wire"
 )
 
@@ -22,6 +27,11 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+	if args[0] == "store" {
+		// Offline store tooling: no controller connection.
+		storeCmd(args[1:])
+		return
 	}
 	conn, err := wire.Dial(*addr)
 	if err != nil {
@@ -105,10 +115,82 @@ func main() {
 	}
 }
 
+// storeCmd implements the offline store subcommands. Run these
+// against a stopped controller's store directory (the store is
+// single-writer; compacting under a live master would race it).
+func storeCmd(args []string) {
+	if len(args) == 0 {
+		usage()
+	}
+	fs := flag.NewFlagSet("store "+args[0], flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory")
+	topoName := fs.String("topology", "Testbed6", "built-in topology name or topology file path")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		log.Fatal("batectl: -dir is required")
+	}
+	net0, err := topo.Resolve(*topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch args[0] {
+	case "inspect":
+		sum, err := store.Inspect(*dir, net0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSummary(sum)
+	case "compact":
+		st, err := store.Open(*dir, net0, store.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		before := st.WALRecords()
+		if err := st.Compact(st.Restored()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("compacted: %d WAL records folded into snapshot\n", before)
+		sum, err := store.Inspect(*dir, net0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSummary(sum)
+	default:
+		usage()
+	}
+}
+
+func printSummary(sum *store.Summary) {
+	fmt.Printf("store %s\n", sum.Dir)
+	if sum.SnapshotBytes < 0 {
+		fmt.Println("  snapshot: none")
+	} else {
+		fmt.Printf("  snapshot: %d bytes, %d demands\n", sum.SnapshotBytes, sum.SnapshotDemands)
+	}
+	fmt.Printf("  wal: %d bytes, %d records", sum.WALBytes, sum.WALRecords)
+	if sum.TornTail {
+		fmt.Printf(" (torn tail: crash mid-append, truncated on next open)")
+	}
+	fmt.Println()
+	types := make([]store.RecordType, 0, len(sum.RecordsByType))
+	for t := range sum.RecordsByType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		fmt.Printf("    %-9s %d\n", t, sum.RecordsByType[t])
+	}
+	fmt.Printf("  replayed state: %d demands (%d with allocations), epoch %d, %d links down, next id %d\n",
+		sum.Demands, sum.AllocatedDemands, sum.Epoch, sum.LinksDown, sum.NextID)
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   batectl [-controller addr] submit -src DC1 -dst DC4 -bw 500 [-target 0.999] [-charge N] [-refund 0.1]
   batectl [-controller addr] status
-  batectl [-controller addr] withdraw -id N`)
+  batectl [-controller addr] withdraw -id N
+  batectl store inspect -dir DIR [-topology NAME]
+  batectl store compact -dir DIR [-topology NAME]`)
 	os.Exit(2)
 }

@@ -20,6 +20,7 @@ import (
 	"bate/internal/demand"
 	"bate/internal/metrics"
 	"bate/internal/routing"
+	"bate/internal/store"
 	"bate/internal/topo"
 	"bate/internal/wire"
 )
@@ -39,6 +40,21 @@ type Config struct {
 	// ~10 minutes in production; examples use seconds). Zero disables
 	// the periodic loop (scheduling still runs after each admission).
 	SchedulePeriod time.Duration
+	// Store, when non-nil, makes the controller durable: New restores
+	// the full demand book, allocation, link-down set, epoch and id
+	// allocator from it, and every mutating transition is appended to
+	// its WAL before the client is acked.
+	Store *store.Store
+	// CompactEvery is the store compaction cadence: the controller
+	// snapshots its state and trims the WAL on this period (0 disables;
+	// ignored without a Store). Admissions pause briefly during a
+	// compaction.
+	CompactEvery time.Duration
+	// FrameTimeout bounds how long a peer may take to finish sending a
+	// message frame once its first byte arrives (a half-written frame
+	// would otherwise block the reader goroutine forever). Zero means
+	// the 30s default; negative disables the deadline.
+	FrameTimeout time.Duration
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...interface{})
 }
@@ -61,6 +77,7 @@ type Controller struct {
 	linkDown map[topo.LinkID]bool
 	epoch    uint64
 	nextID   int
+	restored bool // state came from the store; reschedule once on Serve
 }
 
 // New creates a controller.
@@ -78,7 +95,7 @@ func New(cfg Config) (*Controller, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:       cfg,
 		logf:      logf,
 		scheduler: bate.NewScheduler(),
@@ -86,7 +103,24 @@ func New(cfg Config) (*Controller, error) {
 		current:   alloc.Allocation{},
 		brokers:   make(map[string]*wire.Conn),
 		linkDown:  make(map[topo.LinkID]bool),
-	}, nil
+	}
+	if cfg.Store != nil {
+		// Durable restart / warm failover: resume with the replayed
+		// demand book, allocation, link state and id allocator exactly as
+		// the dead master acked them.
+		st := cfg.Store.Restored()
+		c.demands = st.Demands
+		c.current = st.Current
+		c.linkDown = st.LinkDown
+		c.epoch = st.Epoch
+		c.nextID = st.NextID
+		c.restored = len(st.Demands) > 0
+		if c.restored {
+			logf("controller: restored %d demands, epoch %d, %d links down, next id %d from %s",
+				len(st.Demands), st.Epoch, len(st.LinkDown), st.NextID, cfg.Store.Dir())
+		}
+	}
+	return c, nil
 }
 
 // Serve accepts controller connections on ln until ctx is cancelled
@@ -96,8 +130,20 @@ func (c *Controller) Serve(ctx context.Context, ln net.Listener) error {
 		<-ctx.Done()
 		ln.Close()
 	}()
+	if c.restored {
+		// Re-prime the scheduler over the restored demand book so backups
+		// exist and the warm-start basis is seeded before traffic arrives.
+		go func() {
+			if err := c.reschedule(); err != nil {
+				c.logf("controller: post-restore reschedule: %v", err)
+			}
+		}()
+	}
 	if c.cfg.SchedulePeriod > 0 {
 		go c.scheduleLoop(ctx)
+	}
+	if c.cfg.Store != nil && c.cfg.CompactEvery > 0 {
+		go c.compactLoop(ctx)
 	}
 	for {
 		nc, err := ln.Accept()
@@ -126,8 +172,54 @@ func (c *Controller) scheduleLoop(ctx context.Context) {
 	}
 }
 
+func (c *Controller) compactLoop(ctx context.Context) {
+	t := time.NewTicker(c.cfg.CompactEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := c.CompactStore(); err != nil {
+				c.logf("controller: compact: %v", err)
+			}
+		}
+	}
+}
+
+// CompactStore snapshots the controller's state into the store and
+// trims the WAL. Mutations are held off for the duration so no acked
+// record can fall between the snapshot and the trim.
+func (c *Controller) CompactStore() error {
+	if c.cfg.Store == nil {
+		return fmt.Errorf("controller: no store configured")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &store.State{
+		Demands:  c.demands,
+		Current:  c.current,
+		LinkDown: c.linkDown,
+		Epoch:    c.epoch,
+		NextID:   c.nextID,
+	}
+	before := c.cfg.Store.WALRecords()
+	if err := c.cfg.Store.Compact(st); err != nil {
+		return err
+	}
+	c.logf("controller: compacted store: %d WAL records folded into snapshot (%d demands)",
+		before, len(c.demands))
+	return nil
+}
+
 func (c *Controller) handleConn(ctx context.Context, conn *wire.Conn) {
 	defer conn.Close()
+	switch {
+	case c.cfg.FrameTimeout > 0:
+		conn.SetIdleTimeout(c.cfg.FrameTimeout)
+	case c.cfg.FrameTimeout == 0:
+		conn.SetIdleTimeout(30 * time.Second)
+	}
 	hello, err := conn.Recv()
 	if err != nil || hello.Type != wire.TypeHello || hello.Hello == nil {
 		conn.Send(&wire.Message{Type: wire.TypeError, Error: "expected hello"})
@@ -195,8 +287,11 @@ func (c *Controller) serveClient(conn *wire.Conn) {
 			res := c.submitBatch(m.SubmitBatch)
 			conn.Send(&wire.Message{Type: wire.TypeAdmitBatchResult, Seq: m.Seq, AdmitBatchResult: res})
 		case wire.TypeWithdraw:
-			c.withdraw(m.WithdrawID)
-			conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
+			if err := c.withdraw(m.WithdrawID); err != nil {
+				conn.Send(&wire.Message{Type: wire.TypeError, Seq: m.Seq, Error: err.Error()})
+			} else {
+				conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
+			}
 		case wire.TypeStatus:
 			conn.Send(&wire.Message{Type: wire.TypeStatusReply, Seq: m.Seq, Status: c.status()})
 		default:
@@ -218,6 +313,16 @@ func (c *Controller) submit(s *wire.Submit) *wire.AdmitResult {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+
+	// Idempotent resubmission: a client retrying after a controller
+	// failover echoes the id it was assigned (DemandID 0 is the wire
+	// sentinel for "unassigned"). If that demand is already on the
+	// book with the same parameters, answer without double-admitting.
+	if s.DemandID != 0 {
+		if prev, ok := c.demands[s.DemandID]; ok && demandMatches(prev, src, dst, s) {
+			return &wire.AdmitResult{Admitted: true, DemandID: prev.ID, Method: "duplicate"}
+		}
+	}
 
 	id := c.allocateIDLocked()
 	if id < 0 {
@@ -242,6 +347,14 @@ func (c *Controller) submit(s *wire.Submit) *wire.AdmitResult {
 	if !res.Admitted {
 		return out
 	}
+	// Durability before the ack: the admit record must be on stable
+	// storage before the client hears "admitted".
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.AppendAdmit(d, res.NewAlloc); err != nil {
+			c.logf("controller: store admit %d: %v", id, err)
+			return &wire.AdmitResult{Admitted: false, Method: "store-error"}
+		}
+	}
 	out.DemandID = id
 	c.demands[id] = d
 	if res.NewAlloc != nil {
@@ -249,6 +362,14 @@ func (c *Controller) submit(s *wire.Submit) *wire.AdmitResult {
 	}
 	c.pushAllLocked(false)
 	return out
+}
+
+// demandMatches reports whether an existing single-pair demand is the
+// same submission (used for idempotent retries).
+func demandMatches(d *demand.Demand, src, dst topo.NodeID, s *wire.Submit) bool {
+	return len(d.Pairs) == 1 &&
+		d.Pairs[0].Src == src && d.Pairs[0].Dst == dst &&
+		d.Pairs[0].Bandwidth == s.Bandwidth && d.Target == s.Target
 }
 
 // submitBatch admits several demands as one batch: candidates are
@@ -316,6 +437,13 @@ func (c *Controller) submitBatch(subs []wire.Submit) []wire.AdmitResult {
 			continue
 		}
 		d := dec.Demand
+		if c.cfg.Store != nil {
+			if err := c.cfg.Store.AppendAdmit(d, dec.Result.NewAlloc); err != nil {
+				c.logf("controller: store admit %d: %v", d.ID, err)
+				out[i] = wire.AdmitResult{Admitted: false, Method: "store-error"}
+				continue
+			}
+		}
 		out[i].DemandID = d.ID
 		c.demands[d.ID] = d
 		if dec.Result.NewAlloc != nil {
@@ -329,19 +457,34 @@ func (c *Controller) submitBatch(subs []wire.Submit) []wire.AdmitResult {
 	return out
 }
 
-func (c *Controller) withdraw(id int) {
+func (c *Controller) withdraw(id int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.demands[id]; !ok {
+		return nil // unknown id: idempotent no-op
+	}
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.AppendWithdraw(id); err != nil {
+			c.logf("controller: store withdraw %d: %v", id, err)
+			return fmt.Errorf("withdraw not durable: %v", err)
+		}
+	}
 	delete(c.demands, id)
 	delete(c.current, id)
 	c.pushAllLocked(false)
+	return nil
 }
 
-// allocateIDLocked finds a free 12-bit demand id.
+// allocateIDLocked finds a free 12-bit demand id. Id 0 is never
+// assigned: it is the wire protocol's "unassigned" sentinel, which is
+// what makes idempotent resubmission detectable.
 func (c *Controller) allocateIDLocked() int {
 	for tries := 0; tries < 1<<12; tries++ {
 		id := c.nextID
 		c.nextID = (c.nextID + 1) % (1 << 12)
+		if id == 0 {
+			continue
+		}
 		if _, used := c.demands[id]; !used {
 			return id
 		}
@@ -388,6 +531,11 @@ func (c *Controller) reschedule() error {
 	if hardened, herr := bate.Harden(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail}, a); herr == nil {
 		a = hardened
 	}
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.AppendSchedule(a); err != nil {
+			return fmt.Errorf("schedule not durable: %w", err)
+		}
+	}
 	c.current = a
 	budget := c.cfg.BackupBudget
 	if budget <= 0 {
@@ -419,6 +567,13 @@ func (c *Controller) onLinkEvent(ev *wire.LinkEvent) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.cfg.Store != nil {
+		// Best-effort: link state is continuously re-reported by brokers,
+		// so a failed append degrades recovery freshness, not correctness.
+		if err := c.cfg.Store.AppendLink(ev.SrcDC, ev.DstDC, ev.Up); err != nil {
+			c.logf("controller: store link event: %v", err)
+		}
+	}
 	if ev.Up {
 		delete(c.linkDown, link.ID)
 		c.pushAllLocked(false)
@@ -449,6 +604,11 @@ func (c *Controller) pushAllLocked(backup bool) {
 
 func (c *Controller) pushAllocationLocked(a alloc.Allocation, backup bool) {
 	c.epoch++
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.AppendEpoch(c.epoch); err != nil {
+			c.logf("controller: store epoch: %v", err)
+		}
+	}
 	for dc, conn := range c.brokers {
 		msg := c.allocMessageLocked(dc, a, backup)
 		if err := conn.Send(msg); err != nil {

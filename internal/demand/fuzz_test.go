@@ -1,0 +1,91 @@
+package demand
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bate/internal/topo"
+)
+
+// FuzzWorkloadRoundTrip hardens the JSON workload codec that the
+// durable store's snapshots and WAL admit-records inherit: any bytes
+// Load accepts must survive Save -> Load unchanged, and everything
+// Load returns must respect the documented invariants (targets in
+// [0,1), positive bandwidth, known DCs).
+func FuzzWorkloadRoundTrip(f *testing.F) {
+	// Seed corpus: real workloads over the toy and testbed topologies.
+	for _, seed := range []struct {
+		net     *topo.Network
+		demands []*Demand
+	}{
+		{topo.Toy(), []*Demand{
+			{ID: 0, Pairs: []PairDemand{{Src: 0, Dst: 3, Bandwidth: 6000}}, Target: 0.99, Charge: 6000, RefundFrac: 0.1},
+			{ID: 1, Pairs: []PairDemand{{Src: 0, Dst: 3, Bandwidth: 12000}}, Target: 0.90, Charge: 12000, RefundFrac: 0.25, Service: "vm"},
+		}},
+		{topo.Testbed(), []*Demand{
+			{ID: 3, Pairs: []PairDemand{{Src: 0, Dst: 2, Bandwidth: 400}, {Src: 1, Dst: 5, Bandwidth: 300}},
+				Target: 0.9995, Start: 10, End: 610, Charge: 700, RefundFrac: 0.1},
+		}},
+	} {
+		var buf bytes.Buffer
+		if err := Save(&buf, seed.net, seed.demands); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"id":1,"pairs":[{"src":"DC1","dst":"DC6","bandwidth_mbps":1e308}],"target":0.999999}]`))
+
+	net := topo.Testbed() // superset of the toy's DC names
+	f.Fuzz(func(t *testing.T, data []byte) {
+		demands, err := Load(bytes.NewReader(data), net)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		for _, d := range demands {
+			if d.Target < 0 || d.Target >= 1 {
+				t.Fatalf("Load accepted target %v outside [0,1)", d.Target)
+			}
+			if len(d.Pairs) == 0 {
+				t.Fatal("Load accepted a demand with no pairs")
+			}
+			for _, p := range d.Pairs {
+				if !(p.Bandwidth > 0) || math.IsInf(p.Bandwidth, 0) {
+					t.Fatalf("Load accepted bandwidth %v", p.Bandwidth)
+				}
+				if int(p.Src) < 0 || int(p.Src) >= net.NumNodes() ||
+					int(p.Dst) < 0 || int(p.Dst) >= net.NumNodes() {
+					t.Fatalf("Load resolved out-of-range node ids %v->%v", p.Src, p.Dst)
+				}
+			}
+		}
+		// Accepted workloads must round-trip exactly.
+		var buf bytes.Buffer
+		if err := Save(&buf, net, demands); err != nil {
+			t.Fatalf("Save of loaded workload: %v", err)
+		}
+		again, err := Load(bytes.NewReader(buf.Bytes()), net)
+		if err != nil {
+			t.Fatalf("Load(Save(Load(x))): %v", err)
+		}
+		if len(again) != len(demands) {
+			t.Fatalf("round trip changed demand count %d -> %d", len(demands), len(again))
+		}
+		for i := range demands {
+			a, b := demands[i], again[i]
+			if a.ID != b.ID || a.Target != b.Target || a.Start != b.Start || a.End != b.End ||
+				a.Charge != b.Charge || a.RefundFrac != b.RefundFrac || a.Service != b.Service {
+				t.Fatalf("demand %d changed in round trip:\n %+v\n %+v", i, a, b)
+			}
+			if len(a.Pairs) != len(b.Pairs) {
+				t.Fatalf("demand %d pair count changed", i)
+			}
+			for k := range a.Pairs {
+				if a.Pairs[k] != b.Pairs[k] {
+					t.Fatalf("demand %d pair %d changed: %+v vs %+v", i, k, a.Pairs[k], b.Pairs[k])
+				}
+			}
+		}
+	})
+}

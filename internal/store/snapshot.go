@@ -1,0 +1,173 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"bate/internal/alloc"
+	"bate/internal/demand"
+	"bate/internal/topo"
+)
+
+// snapshotVersion is the snapshot.json format version.
+const snapshotVersion = 1
+
+// State is the controller state the store persists and restores: the
+// full demand book, the installed allocation, observed link failures,
+// the broker-push epoch and the next demand id to hand out.
+type State struct {
+	Demands  map[int]*demand.Demand
+	Current  alloc.Allocation
+	LinkDown map[topo.LinkID]bool
+	Epoch    uint64
+	NextID   int
+}
+
+// NewState returns an empty, non-nil state.
+func NewState() *State {
+	return &State{
+		Demands:  make(map[int]*demand.Demand),
+		Current:  alloc.Allocation{},
+		LinkDown: make(map[topo.LinkID]bool),
+	}
+}
+
+// snapshotFile is the on-disk snapshot. The demand set reuses the
+// demand.Save workload encoding (name-based node references) so a
+// snapshot stays meaningful across processes and is inspectable with
+// the same tooling as workload files; link-down entries are DC-name
+// pairs for the same reason.
+type snapshotFile struct {
+	Version    int                    `json:"version"`
+	NextID     int                    `json:"next_id"`
+	Epoch      uint64                 `json:"epoch"`
+	LinkDown   [][2]string            `json:"link_down,omitempty"`
+	Allocation map[string][][]float64 `json:"allocation,omitempty"`
+	Demands    json.RawMessage        `json:"demands"`
+}
+
+// encodeSnapshot writes st as JSON, resolving node ids via net.
+func encodeSnapshot(w io.Writer, net *topo.Network, st *State) error {
+	active := make([]*demand.Demand, 0, len(st.Demands))
+	for _, d := range st.Demands {
+		active = append(active, d)
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+	var db bytes.Buffer
+	if err := demand.Save(&db, net, active); err != nil {
+		return fmt.Errorf("store: snapshot demands: %w", err)
+	}
+	sf := snapshotFile{
+		Version: snapshotVersion,
+		NextID:  st.NextID,
+		Epoch:   st.Epoch,
+		Demands: json.RawMessage(db.Bytes()),
+	}
+	for id, down := range st.LinkDown {
+		if !down {
+			continue
+		}
+		l := net.Link(id)
+		sf.LinkDown = append(sf.LinkDown, [2]string{net.NodeName(l.Src), net.NodeName(l.Dst)})
+	}
+	sort.Slice(sf.LinkDown, func(i, j int) bool {
+		if sf.LinkDown[i][0] != sf.LinkDown[j][0] {
+			return sf.LinkDown[i][0] < sf.LinkDown[j][0]
+		}
+		return sf.LinkDown[i][1] < sf.LinkDown[j][1]
+	})
+	if len(st.Current) > 0 {
+		sf.Allocation = allocToJSON(st.Current)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&sf)
+}
+
+// decodeSnapshot reads a snapshot back into a State.
+func decodeSnapshot(r io.Reader, net *topo.Network) (*State, error) {
+	var sf snapshotFile
+	if err := json.NewDecoder(r).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d not supported", sf.Version)
+	}
+	st := NewState()
+	st.NextID = sf.NextID
+	st.Epoch = sf.Epoch
+	if len(sf.Demands) > 0 {
+		demands, err := demand.Load(bytes.NewReader(sf.Demands), net)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot demands: %w", err)
+		}
+		for _, d := range demands {
+			if _, dup := st.Demands[d.ID]; dup {
+				return nil, fmt.Errorf("store: duplicate demand id %d in snapshot", d.ID)
+			}
+			st.Demands[d.ID] = d
+		}
+	}
+	for _, pair := range sf.LinkDown {
+		src, ok1 := net.NodeByName(pair[0])
+		dst, ok2 := net.NodeByName(pair[1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("store: snapshot link %s-%s not in topology", pair[0], pair[1])
+		}
+		l, ok := net.LinkBetween(src, dst)
+		if !ok {
+			return nil, fmt.Errorf("store: snapshot link %s-%s not in topology", pair[0], pair[1])
+		}
+		st.LinkDown[l.ID] = true
+	}
+	var err error
+	st.Current, err = allocFromJSON(sf.Allocation)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func allocToJSON(a alloc.Allocation) map[string][][]float64 {
+	out := make(map[string][][]float64, len(a))
+	for id, rows := range a {
+		out[strconv.Itoa(id)] = rows
+	}
+	return out
+}
+
+func allocFromJSON(m map[string][][]float64) (alloc.Allocation, error) {
+	a := alloc.Allocation{}
+	for key, rows := range m {
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("store: bad allocation key %q", key)
+		}
+		a[id] = rows
+	}
+	return a, nil
+}
+
+// clone deep-copies the state so the store and the controller never
+// share mutable structures.
+func (st *State) clone() *State {
+	out := NewState()
+	out.Epoch = st.Epoch
+	out.NextID = st.NextID
+	for id, d := range st.Demands {
+		cp := *d
+		cp.Pairs = append([]demand.PairDemand(nil), d.Pairs...)
+		out.Demands[id] = &cp
+	}
+	out.Current = st.Current.Clone()
+	for id, down := range st.LinkDown {
+		if down {
+			out.LinkDown[id] = true
+		}
+	}
+	return out
+}

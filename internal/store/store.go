@@ -1,0 +1,493 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bate/internal/alloc"
+	"bate/internal/demand"
+	"bate/internal/metrics"
+	"bate/internal/topo"
+)
+
+// File names inside a store directory.
+const (
+	snapshotName = "snapshot.json"
+	walName      = "wal.log"
+)
+
+var (
+	mAppends   = metrics.NewCounter("store.appends")
+	mFsyncs    = metrics.NewCounter("store.fsyncs")
+	mReplayed  = metrics.NewCounter("store.replayed_records")
+	mTruncated = metrics.NewCounter("store.truncated_tails")
+	mCompacts  = metrics.NewCounter("store.compactions")
+)
+
+// Options tunes a Store.
+type Options struct {
+	// NoSync disables the fsync after every append. The default
+	// (sync-per-append) is the §4 durability contract: a record is on
+	// stable storage before the client is acked. NoSync trades that for
+	// throughput — acceptable for simulations and tests, not for a
+	// production master.
+	NoSync bool
+	// Logf receives diagnostics; nil uses the standard logger.
+	Logf func(string, ...interface{})
+}
+
+// Store is a durable controller state store: snapshot.json plus a
+// write-ahead log of every mutating transition since. Safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	net  *topo.Network
+	opts Options
+	logf func(string, ...interface{})
+
+	mu         sync.Mutex
+	wal        *os.File
+	walRecords int // records in the current WAL (replayed + appended)
+	restored   *State
+	closed     bool
+}
+
+// Open opens (creating if necessary) the store in dir, replaying
+// snapshot + WAL into the restored state. A torn final WAL record —
+// the signature of a crash mid-append — is truncated away; corrupt
+// interior records abort with a *CorruptError. Node references are
+// resolved against net, which must match the topology the records
+// were written under.
+func Open(dir string, net *topo.Network, opts Options) (*Store, error) {
+	if net == nil {
+		return nil, fmt.Errorf("store: network is required")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st := NewState()
+	if f, err := os.Open(filepath.Join(dir, snapshotName)); err == nil {
+		st, err = decodeSnapshot(f, net)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, net: net, opts: opts, logf: logf, wal: wal}
+	replayed, tail, torn, err := s.replay(st)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if torn {
+		if err := wal.Truncate(tail); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+		mTruncated.Inc()
+		logf("store: truncated torn WAL tail at offset %d", tail)
+	}
+	if _, err := wal.Seek(0, io.SeekEnd); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.walRecords = replayed
+	deriveNextID(st)
+	s.restored = st
+	mReplayed.Add(int64(replayed))
+	return s, nil
+}
+
+// replay applies every WAL record to st, returning the number of
+// records applied, the clean tail offset, and whether a torn final
+// record must be truncated.
+func (s *Store) replay(st *State) (replayed int, tail int64, torn bool, err error) {
+	info, err := s.wal.Stat()
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("store: %w", err)
+	}
+	size := info.Size()
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, false, fmt.Errorf("store: %w", err)
+	}
+	r := bufio.NewReader(s.wal)
+	offset := int64(0)
+	for {
+		t, body, err := readRecord(r, offset, size)
+		if err == io.EOF {
+			return replayed, offset, false, nil
+		}
+		if err == errTorn {
+			return replayed, offset, true, nil
+		}
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if err := applyRecord(st, s.net, t, body); err != nil {
+			return 0, 0, false, &CorruptError{Offset: offset, Reason: err.Error()}
+		}
+		offset += 8 + 2 + int64(len(body))
+		replayed++
+	}
+}
+
+// deriveNextID resumes the id allocator past every replayed demand id
+// (id 0 is the wire sentinel for "unassigned" and is never handed
+// out), so a recovered master cannot re-issue a live id.
+func deriveNextID(st *State) {
+	next := st.NextID
+	for id := range st.Demands {
+		if c := (id + 1) % (1 << 12); idDistance(next, c) > 0 {
+			next = c
+		}
+	}
+	if next <= 0 || next >= 1<<12 {
+		next = 1
+	}
+	st.NextID = next
+}
+
+// idDistance reports how far ahead b is of a in the 12-bit id ring;
+// positive means b is ahead.
+func idDistance(a, b int) int {
+	d := (b - a) % (1 << 12)
+	if d < 0 {
+		d += 1 << 12
+	}
+	if d > 1<<11 {
+		d -= 1 << 12
+	}
+	return d
+}
+
+// applyRecord mutates st with one replayed record. Unknown DC names
+// in link records are tolerated (topology drift between runs); every
+// other decoding failure is reported as corruption by the caller.
+func applyRecord(st *State, net *topo.Network, t RecordType, body []byte) error {
+	switch t {
+	case RecAdmit:
+		var b admitBody
+		if err := json.Unmarshal(body, &b); err != nil {
+			return err
+		}
+		ds, err := demand.Load(bytes.NewReader(b.Demand), net)
+		if err != nil {
+			return err
+		}
+		if len(ds) != 1 {
+			return fmt.Errorf("admit record holds %d demands, want 1", len(ds))
+		}
+		d := ds[0]
+		st.Demands[d.ID] = d
+		if b.Alloc != nil {
+			st.Current[d.ID] = b.Alloc
+		}
+	case RecWithdraw:
+		var b withdrawBody
+		if err := json.Unmarshal(body, &b); err != nil {
+			return err
+		}
+		delete(st.Demands, b.ID)
+		delete(st.Current, b.ID)
+	case RecLink:
+		var b linkBody
+		if err := json.Unmarshal(body, &b); err != nil {
+			return err
+		}
+		src, ok1 := net.NodeByName(b.Src)
+		dst, ok2 := net.NodeByName(b.Dst)
+		if !ok1 || !ok2 {
+			return nil
+		}
+		l, ok := net.LinkBetween(src, dst)
+		if !ok {
+			return nil
+		}
+		if b.Up {
+			delete(st.LinkDown, l.ID)
+		} else {
+			st.LinkDown[l.ID] = true
+		}
+	case RecEpoch:
+		var b epochBody
+		if err := json.Unmarshal(body, &b); err != nil {
+			return err
+		}
+		st.Epoch = b.Epoch
+	case RecSchedule:
+		var b scheduleBody
+		if err := json.Unmarshal(body, &b); err != nil {
+			return err
+		}
+		a, err := allocFromJSON(b.Alloc)
+		if err != nil {
+			return err
+		}
+		st.Current = a
+	default:
+		return fmt.Errorf("unknown record type %d", uint8(t))
+	}
+	return nil
+}
+
+// Restored returns a deep copy of the state recovered by Open. The
+// caller owns the copy; later appends do not update it.
+func (s *Store) Restored() *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restored.clone()
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WALRecords returns the number of records in the current WAL
+// (replayed plus appended since Open or the last Compact).
+func (s *Store) WALRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecords
+}
+
+// append frames, writes and (unless NoSync) fsyncs one record. It
+// returns only after the record is durable, which is what lets the
+// controller ack the client afterwards.
+func (s *Store) append(t RecordType, body interface{}) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("store: marshal %s: %w", t, err)
+	}
+	frame, err := encodeRecord(t, data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: append %s: %w", t, err)
+	}
+	if !s.opts.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+		mFsyncs.Inc()
+	}
+	s.walRecords++
+	mAppends.Inc()
+	return nil
+}
+
+// AppendAdmit logs an admitted demand and its admission-time
+// allocation rows (nil when the admission method produced none).
+func (s *Store) AppendAdmit(d *demand.Demand, rows [][]float64) error {
+	var db bytes.Buffer
+	if err := demand.Save(&db, s.net, []*demand.Demand{d}); err != nil {
+		return fmt.Errorf("store: encode demand %d: %w", d.ID, err)
+	}
+	return s.append(RecAdmit, &admitBody{Demand: db.Bytes(), Alloc: rows})
+}
+
+// AppendWithdraw logs a demand withdrawal.
+func (s *Store) AppendWithdraw(id int) error {
+	return s.append(RecWithdraw, &withdrawBody{ID: id})
+}
+
+// AppendLink logs an observed link state change.
+func (s *Store) AppendLink(src, dst string, up bool) error {
+	return s.append(RecLink, &linkBody{Src: src, Dst: dst, Up: up})
+}
+
+// AppendEpoch logs an allocation epoch bump.
+func (s *Store) AppendEpoch(epoch uint64) error {
+	return s.append(RecEpoch, &epochBody{Epoch: epoch})
+}
+
+// AppendSchedule logs a committed reschedule: the full allocation
+// replaces whatever replay built up so far.
+func (s *Store) AppendSchedule(a alloc.Allocation) error {
+	return s.append(RecSchedule, &scheduleBody{Alloc: allocToJSON(a)})
+}
+
+// Compact atomically replaces the snapshot with st and trims the WAL:
+// the snapshot is written to a temporary file, fsynced, renamed over
+// snapshot.json, and only then is the log truncated. A crash anywhere
+// in between recovers to either the old snapshot + full WAL or the
+// new snapshot (+ an ignorable stale WAL suffix replayed on top of
+// state it is idempotent over — records reapply the same facts).
+func (s *Store) Compact(st *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := encodeSnapshot(f, s.net, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: fsync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: trim WAL: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walRecords = 0
+	mCompacts.Inc()
+	if !s.opts.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+		mFsyncs.Inc()
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort
+// (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Close releases the WAL file handle. Appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// Summary describes a store directory without opening it for writes;
+// batectl store inspect prints it.
+type Summary struct {
+	Dir              string
+	SnapshotBytes    int64 // -1 when no snapshot exists
+	SnapshotDemands  int
+	WALBytes         int64
+	WALRecords       int
+	RecordsByType    map[RecordType]int
+	TornTail         bool
+	Demands          int // demands after full replay
+	NextID           int
+	Epoch            uint64
+	LinksDown        int
+	AllocatedDemands int // demands with allocation rows after replay
+}
+
+// Inspect reads a store directory read-only and summarizes snapshot,
+// WAL and replayed state. A torn tail is reported, not repaired.
+func Inspect(dir string, net *topo.Network) (*Summary, error) {
+	sum := &Summary{Dir: dir, SnapshotBytes: -1, RecordsByType: make(map[RecordType]int)}
+	st := NewState()
+	if f, err := os.Open(filepath.Join(dir, snapshotName)); err == nil {
+		info, _ := f.Stat()
+		sum.SnapshotBytes = info.Size()
+		st, err = decodeSnapshot(f, net)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		sum.SnapshotDemands = len(st.Demands)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.Open(filepath.Join(dir, walName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			fillSummary(sum, st)
+			return sum, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sum.WALBytes = info.Size()
+	r := bufio.NewReader(f)
+	offset := int64(0)
+	for {
+		t, body, err := readRecord(r, offset, info.Size())
+		if err == io.EOF {
+			break
+		}
+		if err == errTorn {
+			sum.TornTail = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := applyRecord(st, net, t, body); err != nil {
+			return nil, &CorruptError{Offset: offset, Reason: err.Error()}
+		}
+		offset += 8 + 2 + int64(len(body))
+		sum.WALRecords++
+		sum.RecordsByType[t]++
+	}
+	deriveNextID(st)
+	fillSummary(sum, st)
+	return sum, nil
+}
+
+func fillSummary(sum *Summary, st *State) {
+	sum.Demands = len(st.Demands)
+	sum.NextID = st.NextID
+	sum.Epoch = st.Epoch
+	for _, down := range st.LinkDown {
+		if down {
+			sum.LinksDown++
+		}
+	}
+	for id := range st.Current {
+		if _, ok := st.Demands[id]; ok {
+			sum.AllocatedDemands++
+		}
+	}
+}

@@ -173,7 +173,17 @@ type Conn struct {
 	wmu  sync.Mutex
 	w    *bufio.Writer
 	once sync.Once
+	idle time.Duration
 }
+
+// SetIdleTimeout bounds how long Recv waits for the remainder of a
+// frame once its first byte has arrived. Waiting for a frame to
+// *start* is never bounded — long-lived control channels sit idle by
+// design — but a peer that goes silent mid-frame (a half-written
+// frame from a crashed or wedged sender) fails the read instead of
+// blocking the reader goroutine forever. Zero (the default) disables
+// the bound. Set before handing the Conn to a reader goroutine.
+func (c *Conn) SetIdleTimeout(d time.Duration) { c.idle = d }
 
 // New wraps an established net.Conn.
 func New(nc net.Conn) *Conn {
@@ -218,11 +228,22 @@ func (c *Conn) Send(m *Message) error {
 }
 
 // Recv reads the next message frame, blocking until one arrives or
-// the connection fails.
+// the connection fails. With an idle timeout set (SetIdleTimeout),
+// the wait for the first byte is unbounded but the rest of the frame
+// must arrive within the timeout.
 func (c *Conn) Recv() (*Message, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+	first, err := c.r.ReadByte()
+	if err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
+	}
+	hdr[0] = first
+	if c.idle > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.idle))
+		defer c.nc.SetReadDeadline(time.Time{})
+	}
+	if _, err := io.ReadFull(c.r, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
