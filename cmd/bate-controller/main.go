@@ -40,6 +40,9 @@ func main() {
 	storeDir := flag.String("store", "", "durable state store directory (WAL + snapshots; empty = in-memory only)")
 	compactEvery := flag.Duration("compact-every", 5*time.Minute, "store compaction cadence (with -store)")
 	noSync := flag.Bool("store-nosync", false, "skip fsync per WAL append (throughput over durability)")
+	recoveryDeadline := flag.Duration("recovery-deadline", 2*time.Second, "failure-recovery deadline: backup hit, then budgeted optimal, then greedy floor within this bound")
+	electDialTimeout := flag.Duration("election-dial-timeout", time.Second, "per-peer dial timeout during master election")
+	electSendTimeout := flag.Duration("election-send-timeout", time.Second, "per-peer send deadline during master election")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -78,6 +81,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		elector.SetDialTimeout(*electDialTimeout)
+		elector.SetSendTimeout(*electSendTimeout)
 		leader, err := elector.Run(ctx, eln)
 		if err != nil {
 			log.Fatal(err)
@@ -95,6 +100,7 @@ func main() {
 	// with the full demand book instead of an empty one.
 	cfg := controller.Config{
 		Net: net0, Tunnels: tunnels, MaxFail: *maxFail, SchedulePeriod: *period,
+		RecoveryDeadline: *recoveryDeadline,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, net0, store.Options{NoSync: *noSync})

@@ -18,6 +18,7 @@ import (
 
 	"bate/internal/alloc"
 	"bate/internal/bate"
+	"bate/internal/chaos/soak"
 	"bate/internal/demand"
 	"bate/internal/metrics"
 	"bate/internal/parallel"
@@ -50,7 +51,7 @@ func parseAdmission(s string) (sim.AdmissionMode, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "time", "time (per-second §5.1), event (§5.2), or prices (link shadow prices)")
+	mode := flag.String("mode", "time", "time (per-second §5.1), event (§5.2), prices (link shadow prices), or chaos (full-stack fault-injection soak)")
 	topoName := flag.String("topology", "Testbed6", "built-in topology name or topology file path")
 	teName := flag.String("te", "BATE", "TE scheme: BATE, FFC, TEAVAR, SWAN, SMORE, B4")
 	admName := flag.String("admission", "bate", "admission: none, fixed, bate, opt")
@@ -65,12 +66,18 @@ func main() {
 	workloadIn := flag.String("workload", "", "load the workload from a JSON file instead of generating")
 	traceIn := flag.String("trace", "", "replay a link failure trace file (time mode)")
 	workloadOut := flag.String("save-workload", "", "write the generated workload to a JSON file")
+	chaosSeed := flag.Int64("chaos-seed", 0, "seeded fault injection: in time mode, generate a chaos outage trace when -trace is absent; mode 'chaos' runs the full-stack soak under this seed (0 = off)")
 	flag.Parse()
 
 	if *procs < 0 {
 		log.Fatal("batesim: -procs must be >= 0")
 	}
 	parallel.SetDefaultSize(*procs)
+
+	if *mode == "chaos" {
+		runChaosSoak(*chaosSeed, *seed)
+		return
+	}
 
 	net0, err := topo.Resolve(*topoName)
 	if err != nil {
@@ -134,6 +141,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	} else if *chaosSeed != 0 {
+		// Seed-replayable outage schedule in place of a trace file.
+		n := int(*horizon / 60)
+		if n < 4 {
+			n = 4
+		}
+		trace = sim.ChaosTrace(net0, *chaosSeed, *horizon, n)
+		fmt.Printf("batesim: chaos seed %d: %d scripted outages\n", *chaosSeed, len(trace))
 	}
 
 	switch *mode {
@@ -185,4 +200,32 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+}
+
+// runChaosSoak drives the full controller stack (election, durable
+// store, brokers, lossy client) under a seeded fault schedule and
+// prints the run report — the command-line face of the chaos soak
+// harness in internal/chaos/soak.
+func runChaosSoak(chaosSeed, fallbackSeed int64) {
+	seed := chaosSeed
+	if seed == 0 {
+		seed = fallbackSeed
+	}
+	dir, err := os.MkdirTemp("", "batesim-chaos-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rep, err := soak.Run(soak.Config{Seed: seed, Dir: dir, Logf: log.Printf})
+	if err != nil {
+		log.Fatalf("batesim: chaos soak: %v", err)
+	}
+	fmt.Printf("chaos soak seed=%d: leader %s (agreed=%v)\n", rep.Seed, rep.Leader, rep.LeaderAgreed)
+	fmt.Printf("demands: %d acked, %d rejected, %d withdrawn, %d on final book (epoch %d)\n",
+		len(rep.AckedIDs), rep.Rejected, len(rep.WithdrawnIDs), len(rep.FinalIDs), rep.FinalEpoch)
+	fmt.Printf("recovery: %d down events -> %d backup hits, %d optimal, %d greedy (%d fallbacks, max %dms)\n",
+		rep.DownEvents, rep.BackupHits, rep.Optimal, rep.Greedy, rep.Fallbacks, rep.MaxRecoveryMs)
+	fmt.Printf("degraded modes: %d solver denials, %d broker reconnects, %d WAL repairs, %d append retries\n",
+		rep.SolverDenials, rep.Reconnects, rep.StoreRepairs, rep.AppendRetries)
+	fmt.Printf("end-state digest: %s\n", rep.Digest)
 }

@@ -1,0 +1,134 @@
+package bate
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bate/internal/demand"
+	"bate/internal/topo"
+)
+
+func TestRecoverBackupHit(t *testing.T) {
+	in := testbedInput(t, nil)
+	in.Demands = []*demand.Demand{
+		testbedDemand(t, in, 1, "DC1", "DC3", 400, 0.99),
+		testbedDemand(t, in, 2, "DC2", "DC6", 300, 0.95),
+	}
+	bs, err := PrecomputeBackups(in, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := []topo.LinkID{in.Net.Links()[0].ID}
+	r, stage, err := Recover(in, down, RecoverOptions{Backups: bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stage != StageBackup {
+		t.Fatalf("stage = %v, want backup (failure set is covered)", stage)
+	}
+	want, _ := bs.For(down)
+	if r != want {
+		t.Fatal("backup hit did not return the precomputed result")
+	}
+}
+
+func TestRecoverFallsToOptimal(t *testing.T) {
+	in := testbedInput(t, nil)
+	in.Demands = []*demand.Demand{
+		testbedDemand(t, in, 1, "DC1", "DC3", 400, 0.99),
+	}
+	// Depth-1 backups cannot cover a two-link failure.
+	bs, err := PrecomputeBackups(in, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := in.Net.Links()
+	down := []topo.LinkID{links[0].ID, links[1].ID}
+	r, stage, err := Recover(in, down, RecoverOptions{Backups: bs, Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stage != StageOptimal {
+		t.Fatalf("stage = %v, want optimal", stage)
+	}
+	if r == nil || r.Alloc == nil {
+		t.Fatal("nil recovery result")
+	}
+}
+
+func TestRecoverGateForcesGreedy(t *testing.T) {
+	in := testbedInput(t, nil)
+	in.Demands = []*demand.Demand{
+		testbedDemand(t, in, 1, "DC1", "DC3", 400, 0.99),
+		testbedDemand(t, in, 2, "DC2", "DC6", 300, 0.95),
+	}
+	denied := errors.New("budget exhausted")
+	gated := 0
+	before := recFallback.Load()
+	r, stage, err := Recover(in, []topo.LinkID{in.Net.Links()[2].ID, in.Net.Links()[3].ID}, RecoverOptions{
+		Gate: func(op string) error {
+			if op != "recover" {
+				t.Fatalf("gate consulted for %q, want recover", op)
+			}
+			gated++
+			return denied
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated != 1 {
+		t.Fatalf("gate consulted %d times, want 1", gated)
+	}
+	if stage != StageGreedy {
+		t.Fatalf("stage = %v, want greedy (optimal gated)", stage)
+	}
+	if r == nil {
+		t.Fatal("greedy floor returned nil — recovery must never be absent")
+	}
+	// Two rungs down: backup miss + gated optimal.
+	if got := recFallback.Load() - before; got != 2 {
+		t.Fatalf("recovery_fallback advanced by %d, want 2", got)
+	}
+}
+
+func TestRecoverDeadlineExhaustedSkipsOptimal(t *testing.T) {
+	in := testbedInput(t, nil)
+	in.Demands = []*demand.Demand{
+		testbedDemand(t, in, 1, "DC1", "DC3", 400, 0.99),
+	}
+	// A deadline so tight that by the time the optimal stage is reached
+	// its budget is gone: the greedy floor still answers.
+	r, stage, err := Recover(in, []topo.LinkID{in.Net.Links()[0].ID, in.Net.Links()[1].ID}, RecoverOptions{
+		Deadline: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stage != StageGreedy {
+		t.Fatalf("stage = %v, want greedy", stage)
+	}
+	if r == nil {
+		t.Fatal("nil recovery result")
+	}
+}
+
+func TestScheduleGate(t *testing.T) {
+	in := fig2Input(t)
+	denied := errors.New("no solver budget")
+	_, _, err := Schedule(in, ScheduleOptions{MaxFail: 2, Gate: func(op string) error {
+		if op != "schedule" {
+			t.Fatalf("gate consulted for %q, want schedule", op)
+		}
+		return denied
+	}})
+	if !errors.Is(err, denied) {
+		t.Fatalf("gated schedule returned %v, want wrapped denial", err)
+	}
+	// A passing gate leaves the solve untouched.
+	a, _, err := Schedule(in, ScheduleOptions{MaxFail: 2, Gate: func(string) error { return nil }})
+	if err != nil || a == nil {
+		t.Fatalf("open gate: %v", err)
+	}
+}

@@ -54,6 +54,11 @@ type ScheduleOptions struct {
 	// keeps the dense reference tableau; lp.EngineRevised opts into the
 	// sparse revised simplex (required for warm starts).
 	Engine lp.Engine
+	// Gate, when non-nil, is consulted ("schedule") before the solve;
+	// an error aborts it. The chaos solver-budget front hooks in here,
+	// and callers must treat the error as "keep the current
+	// allocation", not as fatal.
+	Gate func(op string) error
 }
 
 // ScheduleStats reports the size and cost of a scheduling solve.
@@ -113,6 +118,11 @@ func (s *Scheduler) Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Alloc
 func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOut **lp.Basis) (alloc.Allocation, *ScheduleStats, error) {
 	if opts.MaxFail <= 0 {
 		opts.MaxFail = 2
+	}
+	if opts.Gate != nil {
+		if err := opts.Gate("schedule"); err != nil {
+			return nil, nil, fmt.Errorf("bate: schedule gated: %w", err)
+		}
 	}
 	start := time.Now()
 	p := lp.NewProblem()

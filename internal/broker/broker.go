@@ -4,11 +4,15 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand"
 	"sync"
 	"time"
 
+	"bate/internal/metrics"
 	"bate/internal/wire"
 )
+
+var mReconnects = metrics.NewCounter("broker.reconnects")
 
 // ForwardingEntry is one label-switched rule on the DC's edge switch:
 // traffic carrying Label leaves toward NextHop at the enforced rate.
@@ -30,6 +34,7 @@ type Broker struct {
 	epoch   uint64
 	entries map[uint32]*ForwardingEntry
 	onAlloc func(*wire.AllocUpdate)
+	dialer  func(addr string) (*wire.Conn, error)
 
 	logf func(string, ...interface{})
 }
@@ -48,6 +53,14 @@ func New(dc, addr string) *Broker {
 // SetLogf overrides the logger (tests use a silent one).
 func (b *Broker) SetLogf(f func(string, ...interface{})) { b.logf = f }
 
+// SetDialer replaces the controller dialer, e.g. with a chaos-wrapped
+// one. Set before Run.
+func (b *Broker) SetDialer(dial func(addr string) (*wire.Conn, error)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dialer = dial
+}
+
 // OnAlloc registers a callback invoked after each applied allocation
 // update (used by examples to observe pushes).
 func (b *Broker) OnAlloc(f func(*wire.AllocUpdate)) {
@@ -56,30 +69,78 @@ func (b *Broker) OnAlloc(f func(*wire.AllocUpdate)) {
 	b.onAlloc = f
 }
 
-// Run connects to the controller and processes pushes until ctx is
-// cancelled or the connection fails.
+// Run keeps a controller session alive until ctx is cancelled: it
+// connects, processes pushes, and on any connection failure redials
+// with jittered exponential backoff (capped at 5s). State survives
+// disconnects — forwarding entries keep enforcing the last applied
+// epoch while the session is down, and the controller re-pushes the
+// current allocation on hello, which re-syncs the epoch. Run returns
+// nil on ctx cancellation and an error only for failures that cannot
+// heal by reconnecting.
 func (b *Broker) Run(ctx context.Context) error {
-	conn, err := wire.Dial(b.addr)
+	backoff := 100 * time.Millisecond
+	for {
+		err := b.session(ctx)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err == nil {
+			// Session loops exit only on error or cancellation.
+			err = fmt.Errorf("broker %s: session closed", b.dc)
+		}
+		mReconnects.Inc()
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2+1)))
+		b.logf("broker %s: session lost (%v), reconnecting in %v (last epoch %d still enforced)",
+			b.dc, err, sleep, b.Epoch())
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(sleep):
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+			if backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+		}
+	}
+}
+
+// session runs one connect-hello-receive loop.
+func (b *Broker) session(ctx context.Context) error {
+	b.mu.Lock()
+	dial := b.dialer
+	b.mu.Unlock()
+	if dial == nil {
+		dial = wire.Dial
+	}
+	conn, err := dial(b.addr)
 	if err != nil {
 		return err
 	}
 	b.mu.Lock()
 	b.conn = conn
+	epoch := b.epoch
 	b.mu.Unlock()
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		b.mu.Lock()
+		if b.conn == conn {
+			b.conn = nil
+		}
+		b.mu.Unlock()
+	}()
 	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "broker", DC: b.dc}}); err != nil {
 		return err
 	}
-	go func() {
-		<-ctx.Done()
-		conn.Close()
-	}()
+	if epoch > 0 {
+		b.logf("broker %s: reconnected, awaiting re-sync from epoch %d", b.dc, epoch)
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
 	for {
 		m, err := conn.Recv()
 		if err != nil {
-			if ctx.Err() != nil {
-				return nil
-			}
 			return fmt.Errorf("broker %s: %w", b.dc, err)
 		}
 		switch m.Type {

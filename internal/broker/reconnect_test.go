@@ -1,0 +1,152 @@
+package broker
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"bate/internal/wire"
+)
+
+// fakeController accepts broker sessions, answers the hello with one
+// alloc push, then optionally kills the session.
+func fakeController(t *testing.T, ln net.Listener, epochs []uint64, killAfterPush bool, sessions chan<- struct{}) {
+	t.Helper()
+	go func() {
+		for i := 0; ; i++ {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn := wire.New(nc)
+			hello, err := conn.Recv()
+			if err != nil || hello.Type != wire.TypeHello {
+				conn.Close()
+				continue
+			}
+			epoch := epochs[len(epochs)-1]
+			if i < len(epochs) {
+				epoch = epochs[i]
+			}
+			conn.Send(&wire.Message{Type: wire.TypeAllocUpdate, Alloc: &wire.AllocUpdate{
+				Epoch: epoch,
+				Tunnels: []wire.TunnelAlloc{
+					{Label: 0x001001, Hops: []string{"DC1", "DC2"}, Rate: 100},
+				},
+			}})
+			select {
+			case sessions <- struct{}{}:
+			default:
+			}
+			if killAfterPush {
+				conn.Close()
+				continue
+			}
+			go func() {
+				for {
+					if _, err := conn.Recv(); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+func TestRunReconnectsAfterSessionLoss(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	sessions := make(chan struct{}, 16)
+	fakeController(t, ln, []uint64{3, 4, 5}, true, sessions)
+
+	b := New("DC1", ln.Addr().String())
+	b.SetLogf(func(string, ...interface{}) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	before := mReconnects.Load()
+	done := make(chan error, 1)
+	go func() { done <- b.Run(ctx) }()
+
+	// The controller kills every session right after its push; the
+	// broker must come back at least three times, re-syncing the epoch
+	// each time.
+	deadline := time.After(10 * time.Second)
+	for got := 0; got < 3; {
+		select {
+		case <-sessions:
+			got++
+		case <-deadline:
+			t.Fatalf("saw only %d sessions before timeout", got)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool { return b.Epoch() >= 3 })
+	if n := mReconnects.Load() - before; n < 2 {
+		t.Fatalf("broker.reconnects advanced by %d, want >= 2", n)
+	}
+	if _, ok := b.Lookup(0x001001); !ok {
+		t.Fatal("forwarding entry lost across reconnects")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v on cancellation, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+func TestRunRetriesInitialDial(t *testing.T) {
+	// Reserve an address with nothing listening, start the broker, then
+	// bring the controller up: the broker's dial retry must find it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	b := New("DC1", addr)
+	b.SetLogf(func(string, ...interface{}) {})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- b.Run(ctx) }()
+
+	time.Sleep(150 * time.Millisecond) // let at least one dial fail
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	sessions := make(chan struct{}, 4)
+	fakeController(t, ln2, []uint64{9}, false, sessions)
+
+	select {
+	case <-sessions:
+	case <-time.After(10 * time.Second):
+		t.Fatal("broker never reached the late controller")
+	}
+	waitFor(t, 5*time.Second, func() bool { return b.Epoch() == 9 })
+	cancel()
+	<-done
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

@@ -1,0 +1,59 @@
+package chaos
+
+// TornWALArtifacts derives corrupted WAL byte streams from a set of
+// valid record frames: the same fault shapes the disk front produces
+// at runtime (short writes, torn tails, partially-flushed pages),
+// packaged as fuzz-corpus seeds so the store's record parser is
+// exercised on exactly what the injector can leave on disk.
+//
+// The artifacts are a pure function of (seed, frames): stable corpus
+// across runs.
+func TornWALArtifacts(seed int64, frames [][]byte) [][]byte {
+	if len(frames) == 0 {
+		return nil
+	}
+	inj := New(seed)
+	stream := make([]byte, 0)
+	for _, f := range frames {
+		stream = append(stream, f...)
+	}
+	pick := func(idx uint64) []byte { return frames[inj.Intn("art/frame", idx, len(frames))] }
+	cut := func(b []byte, idx uint64, key string) []byte {
+		if len(b) == 0 {
+			return b
+		}
+		return b[:inj.Intn(key, idx, len(b))]
+	}
+	clone := func(b []byte) []byte { return append([]byte(nil), b...) }
+
+	var out [][]byte
+	// Torn tail: the full stream cut mid-record (crash mid-append).
+	out = append(out, clone(cut(stream, 0, "art/cut")))
+	// Short write followed by a successful retry of the same record —
+	// the exact layout a writer without tail repair leaves behind: a
+	// partial frame becomes interior garbage once the retry lands.
+	f := pick(1)
+	short := clone(cut(f, 1, "art/short"))
+	out = append(out, append(short, f...))
+	// Partially-flushed final page: full-length record with trailing
+	// bytes zeroed (CRC mismatch exactly at the tail).
+	f = pick(2)
+	z := clone(f)
+	for k := len(z) - 1 - inj.Intn("art/zero", 2, len(z)/2+1); k < len(z); k++ {
+		if k >= 0 {
+			z[k] = 0
+		}
+	}
+	out = append(out, z)
+	// Bit rot: a mid-stream flip (interior corruption, must be a
+	// typed CorruptError, never a truncation).
+	r := clone(stream)
+	r[inj.Intn("art/flip", 3, len(r))] ^= 0x40
+	out = append(out, r)
+	// Doubled record (duplicate append after a lost ack) with a torn
+	// final copy.
+	f = pick(4)
+	d := append(clone(f), f...)
+	out = append(out, cut(d, 4, "art/dcut"))
+	return out
+}

@@ -1,0 +1,210 @@
+// Package chaos is a deterministic, seed-replayable fault injector
+// for BATE's distributed control stack. It attacks three fronts:
+//
+//   - the wire: net.Conn wrappers injecting delays, mid-frame stalls,
+//     connection drops and directional partitions between named
+//     endpoints (conn.go), plus message-level drop/duplicate/reorder
+//     decisions for protocol state machines (msg.go);
+//   - the disk: a store.File-compatible WAL shim injecting short
+//     writes and fsync errors (fs.go), and a torn-record artifact
+//     generator feeding the WAL fuzz corpus (artifacts.go);
+//   - the solver: a budget gate forcing RecoverOptimal / the
+//     scheduling LP to "time out" on a deterministic cadence.
+//
+// Every decision derives from the seed through counter-indexed
+// hashing, never from shared mutable RNG state, so a replay with the
+// same seed makes the same calls fail — the property the chaos soak
+// harness (internal/chaos/soak) uses to assert byte-identical end
+// state across runs.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bate/internal/metrics"
+)
+
+// ErrInjected is the sentinel wrapped by every injected fault, so
+// callers (and tests) can distinguish chaos from genuine failures.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Front-wide counters; the soak harness snapshots deltas of these to
+// prove faults actually fired.
+var (
+	mConnDelays     = metrics.NewCounter("chaos.conn_delays")
+	mConnStalls     = metrics.NewCounter("chaos.conn_stalls")
+	mConnDrops      = metrics.NewCounter("chaos.conn_drops")
+	mPartitionKills = metrics.NewCounter("chaos.partition_kills")
+	mDialRefusals   = metrics.NewCounter("chaos.dial_refusals")
+	mShortWrites    = metrics.NewCounter("chaos.fs_short_writes")
+	mSyncFails      = metrics.NewCounter("chaos.fs_sync_errors")
+	mSolverDenials  = metrics.NewCounter("chaos.solver_denials")
+	mMsgDrops       = metrics.NewCounter("chaos.msg_drops")
+	mMsgDups        = metrics.NewCounter("chaos.msg_dups")
+	mMsgReorders    = metrics.NewCounter("chaos.msg_reorders")
+)
+
+// Injector derives deterministic fault decisions from a seed. Each
+// decision is a pure function of (seed, key, index): no internal
+// state, safe for concurrent use, identical across replays.
+type Injector struct {
+	seed int64
+}
+
+// New returns an injector for the given seed.
+func New(seed int64) *Injector { return &Injector{seed: seed} }
+
+// Seed returns the injector's seed.
+func (i *Injector) Seed() int64 { return i.seed }
+
+// splitmix is the SplitMix64 finalizer: a cheap, well-distributed
+// 64-bit mixer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// word hashes (seed, key, idx) to a 64-bit value.
+func (i *Injector) word(key string, idx uint64) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for k := 0; k < len(key); k++ {
+		h ^= uint64(key[k])
+		h *= 1099511628211
+	}
+	return splitmix(splitmix(uint64(i.seed)^h) ^ splitmix(idx))
+}
+
+// Roll returns a deterministic value in [0,1) for (key, idx).
+func (i *Injector) Roll(key string, idx uint64) float64 {
+	return float64(i.word(key, idx)>>11) / (1 << 53)
+}
+
+// Hit reports a Bernoulli(prob) trial for (key, idx).
+func (i *Injector) Hit(key string, idx uint64, prob float64) bool {
+	return prob > 0 && i.Roll(key, idx) < prob
+}
+
+// Intn returns a deterministic value in [0,n) for (key, idx).
+func (i *Injector) Intn(key string, idx uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(i.word(key, idx) % uint64(n))
+}
+
+// everyNth reports whether the idx-th operation (0-based) fails under
+// a fail-every-N cadence: the first failure lands on index n-1, so a
+// fresh counter always gets at least n-1 clean operations first and
+// failures are never consecutive (n >= 2). A count-based cadence —
+// unlike a time window — survives replays with different timing: the
+// k-th append fails no matter when it happens.
+func everyNth(idx uint64, n int) bool {
+	return n >= 2 && idx%uint64(n) == uint64(n-1)
+}
+
+// SolverConfig tunes the solver-budget front.
+type SolverConfig struct {
+	// EveryN fails every Nth solver call per operation kind (0 or 1
+	// disables). N >= 2 guarantees the call after a denial succeeds,
+	// which is what lets the degraded-mode ladder always terminate.
+	EveryN int
+}
+
+// SolverBudget forces solver "timeouts" on a deterministic cadence.
+// Hand its Gate method to bate.ScheduleOptions.Gate /
+// bate.RecoverOptions.Gate (via controller.Config.SolverGate).
+type SolverBudget struct {
+	cfg SolverConfig
+
+	mu    sync.Mutex
+	calls map[string]uint64
+}
+
+// NewSolverBudget returns a solver-budget injector.
+func NewSolverBudget(cfg SolverConfig) *SolverBudget {
+	return &SolverBudget{cfg: cfg, calls: make(map[string]uint64)}
+}
+
+// Gate implements the solver gate: it counts calls per operation kind
+// and denies every Nth with an ErrInjected-wrapped error.
+func (s *SolverBudget) Gate(op string) error {
+	s.mu.Lock()
+	idx := s.calls[op]
+	s.calls[op] = idx + 1
+	s.mu.Unlock()
+	if everyNth(idx, s.cfg.EveryN) {
+		mSolverDenials.Inc()
+		return fmt.Errorf("solver budget exhausted for %s (call %d): %w", op, idx, ErrInjected)
+	}
+	return nil
+}
+
+// Calls returns how many times op has been gated so far.
+func (s *SolverBudget) Calls(op string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[op]
+}
+
+// Partition is a directional connectivity cut between two named
+// endpoints, active during [Start, End) relative to Net.Start. Use two
+// mirrored entries for a full bidirectional cut.
+type Partition struct {
+	From  string        `json:"from"`
+	To    string        `json:"to"`
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+}
+
+// LinkOutage is one scheduled link failure in an adversarial failure
+// trace, identified by link index (the caller maps indices to its
+// topology's link ids).
+type LinkOutage struct {
+	Link   int     `json:"link"`
+	DownAt float64 `json:"down_at_sec"`
+	UpAt   float64 `json:"up_at_sec"`
+}
+
+// LinkOutages derives a deterministic adversarial outage schedule from
+// the seed: roughly half the outages concentrate on one "cursed" link
+// (the Fig. 1(b) heavy tail: a few links contribute most failures),
+// the rest spread across the others, and outages may overlap so
+// concurrent-failure recovery paths get exercised. Outages are sorted
+// by DownAt and repaired within the horizon.
+func LinkOutages(seed int64, numLinks int, horizon float64, n int) []LinkOutage {
+	if numLinks <= 0 || n <= 0 || horizon <= 0 {
+		return nil
+	}
+	inj := New(seed)
+	cursed := inj.Intn("outage/cursed", 0, numLinks)
+	out := make([]LinkOutage, 0, n)
+	for k := 0; k < n; k++ {
+		idx := uint64(k)
+		link := cursed
+		if !inj.Hit("outage/curse", idx, 0.5) {
+			link = inj.Intn("outage/link", idx, numLinks)
+		}
+		downAt := inj.Roll("outage/down", idx) * horizon * 0.8
+		dur := (0.02 + 0.08*inj.Roll("outage/dur", idx)) * horizon
+		upAt := downAt + dur
+		if upAt > horizon {
+			upAt = horizon
+		}
+		out = append(out, LinkOutage{Link: link, DownAt: downAt, UpAt: upAt})
+	}
+	sortOutages(out)
+	return out
+}
+
+func sortOutages(out []LinkOutage) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DownAt < out[j-1].DownAt; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}

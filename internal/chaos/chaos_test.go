@@ -1,0 +1,358 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for idx := uint64(0); idx < 200; idx++ {
+		if a.Roll("k", idx) != b.Roll("k", idx) {
+			t.Fatalf("Roll diverged at idx %d", idx)
+		}
+		if a.Intn("k", idx, 17) != b.Intn("k", idx, 17) {
+			t.Fatalf("Intn diverged at idx %d", idx)
+		}
+	}
+	c := New(43)
+	same := 0
+	for idx := uint64(0); idx < 200; idx++ {
+		if a.Roll("k", idx) == c.Roll("k", idx) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/200 identical rolls", same)
+	}
+	// Distinct keys decorrelate too.
+	same = 0
+	for idx := uint64(0); idx < 200; idx++ {
+		if a.Roll("k", idx) == a.Roll("k2", idx) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different keys produced %d/200 identical rolls", same)
+	}
+}
+
+func TestRollDistribution(t *testing.T) {
+	inj := New(7)
+	hits := 0
+	const trials = 10000
+	for idx := uint64(0); idx < trials; idx++ {
+		if inj.Hit("dist", idx, 0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("Hit(0.3) fired %.3f of the time", frac)
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	var fired []uint64
+	for idx := uint64(0); idx < 10; idx++ {
+		if everyNth(idx, 3) {
+			fired = append(fired, idx)
+		}
+	}
+	want := []uint64{2, 5, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	for idx := uint64(0); idx < 10; idx++ {
+		if everyNth(idx, 0) || everyNth(idx, 1) {
+			t.Fatalf("cadence 0/1 should be disabled, fired at %d", idx)
+		}
+	}
+}
+
+func TestSolverBudgetGate(t *testing.T) {
+	sb := NewSolverBudget(SolverConfig{EveryN: 2})
+	var denials []int
+	for i := 0; i < 6; i++ {
+		if err := sb.Gate("recover"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("denial not wrapped in ErrInjected: %v", err)
+			}
+			denials = append(denials, i)
+		}
+	}
+	if len(denials) != 3 || denials[0] != 1 || denials[1] != 3 || denials[2] != 5 {
+		t.Fatalf("denials = %v, want [1 3 5]", denials)
+	}
+	// Independent per-op counters: a fresh op gets its clean call first.
+	if err := sb.Gate("schedule"); err != nil {
+		t.Fatalf("first call on new op denied: %v", err)
+	}
+	if sb.Calls("recover") != 6 || sb.Calls("schedule") != 1 {
+		t.Fatalf("calls = %d/%d", sb.Calls("recover"), sb.Calls("schedule"))
+	}
+}
+
+func TestLinkOutagesDeterministicAndSorted(t *testing.T) {
+	a := LinkOutages(11, 16, 100, 12)
+	b := LinkOutages(11, 16, 100, 12)
+	if len(a) != 12 || len(b) != 12 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if i > 0 && a[i].DownAt < a[i-1].DownAt {
+			t.Fatalf("outages not sorted at %d", i)
+		}
+		if a[i].Link < 0 || a[i].Link >= 16 {
+			t.Fatalf("link %d out of range", a[i].Link)
+		}
+		if a[i].UpAt <= a[i].DownAt || a[i].UpAt > 100 {
+			t.Fatalf("bad window %+v", a[i])
+		}
+	}
+	c := LinkOutages(12, 16, 100, 12)
+	diff := false
+	for i := range c {
+		if c[i] != a[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestFSShortWriteAndSyncCadence(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFS(FSConfig{WriteEveryN: 3, SyncEveryN: 2})
+	f, err := fs.OpenWAL(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	payload := []byte("0123456789")
+	var wrote []byte
+	for i := 0; i < 6; i++ {
+		n, err := f.Write(payload)
+		if i == 2 || i == 5 { // idx 2, 5 under everyNth(,3)
+			if err == nil || !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: want injected short write, got n=%d err=%v", i, n, err)
+			}
+			if n != len(payload)/2 {
+				t.Fatalf("write %d: short write landed %d bytes, want %d", i, n, len(payload)/2)
+			}
+			wrote = append(wrote, payload[:n]...)
+			continue
+		}
+		if err != nil || n != len(payload) {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+		wrote = append(wrote, payload...)
+	}
+	// idx 1, 3 fail under everyNth(,2)
+	for i := 0; i < 4; i++ {
+		err := f.Sync()
+		if i == 1 || i == 3 {
+			if err == nil || !errors.Is(err, ErrInjected) {
+				t.Fatalf("sync %d: want injected error, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	// What landed on disk matches the simulated short-write layout, and
+	// truncate (tail repair's tool) passes through clean.
+	got, err := os.ReadFile(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wrote) {
+		t.Fatalf("on-disk bytes diverge: got %d bytes, want %d", len(got), len(wrote))
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	sw, sf := fs.Faults()
+	if sw != 2 || sf != 2 {
+		t.Fatalf("Faults() = %d,%d want 2,2", sw, sf)
+	}
+}
+
+func TestMsgFaultsDeterminism(t *testing.T) {
+	cfg := MsgConfig{DropProb: 0.2, DupProb: 0.1, ReorderProb: 0.2}
+	a, b := NewMsgFaults(99, cfg), NewMsgFaults(99, cfg)
+	counts := map[MsgAction]int{}
+	for i := 0; i < 500; i++ {
+		va, vb := a.Judge(), b.Judge()
+		if va != vb {
+			t.Fatalf("verdict %d diverged: %v vs %v", i, va, vb)
+		}
+		counts[va]++
+		if pa, pb := a.Pick(7), b.Pick(7); pa != pb {
+			t.Fatalf("pick %d diverged: %d vs %d", i, pa, pb)
+		}
+	}
+	for _, act := range []MsgAction{Deliver, Drop, Duplicate, Reorder} {
+		if counts[act] == 0 {
+			t.Fatalf("action %v never fired in 500 judgments: %v", act, counts)
+		}
+	}
+}
+
+func TestTornWALArtifactsDeterministic(t *testing.T) {
+	frames := [][]byte{
+		[]byte("frame-one-payload-xxxx"),
+		[]byte("frame-two-payload-yyyyyy"),
+		[]byte("frame-three-zz"),
+	}
+	a := TornWALArtifacts(5, frames)
+	b := TornWALArtifacts(5, frames)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("artifact counts %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("artifact %d diverged", i)
+		}
+	}
+	if got := TornWALArtifacts(5, nil); got != nil {
+		t.Fatalf("empty frames should yield nil, got %d artifacts", len(got))
+	}
+}
+
+func TestNetPartitionWindow(t *testing.T) {
+	inj := New(1)
+	n := NewNet(inj, NetConfig{Partitions: []Partition{
+		{From: "a", To: "b", Start: 0, End: 50 * time.Millisecond},
+	}})
+	if n.Partitioned("a", "b") {
+		t.Fatal("partitioned before Start")
+	}
+	n.Start()
+	defer n.Stop()
+	if !n.Partitioned("a", "b") {
+		t.Fatal("not partitioned inside window")
+	}
+	if n.Partitioned("b", "a") {
+		t.Fatal("reverse direction should be open (directional cut)")
+	}
+	if _, err := n.Dial("a", "b", "127.0.0.1:1", 10*time.Millisecond); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial through partition: want ErrInjected, got %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if n.Partitioned("a", "b") {
+		t.Fatal("still partitioned after window end")
+	}
+}
+
+func TestNetPartitionKillsLiveConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	inj := New(2)
+	n := NewNet(inj, NetConfig{Partitions: []Partition{
+		{From: "x", To: "y", Start: 30 * time.Millisecond, End: time.Second},
+	}})
+	c, err := n.Dial("x", "y", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	n.Start()
+	defer n.Stop()
+	// The reader is blocked when the window opens; the armed timer must
+	// force-close the conn so the read returns instead of hanging.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read succeeded across partition")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked reader not released by partition cut")
+	}
+	// Writes inside the window fail with the injected sentinel.
+	if _, err := c.Write([]byte("hi")); err == nil {
+		t.Fatal("write succeeded across partition")
+	}
+}
+
+func TestFaultConnDropAndStall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+
+	// DropProb 1: the very first write kills the connection.
+	n := NewNet(New(3), NetConfig{DropProb: 1})
+	c, err := n.Dial("a", "b", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("doomed")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected drop, got %v", err)
+	}
+	c.Close()
+
+	// StallProb 1: the write completes but takes at least the stall.
+	n2 := NewNet(New(4), NetConfig{StallProb: 1, Stall: 40 * time.Millisecond})
+	c2, err := n2.Dial("a", "b", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	start := time.Now()
+	if _, err := c2.Write([]byte("slow-frame")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("stalled write returned in %v, want >= 40ms", d)
+	}
+}

@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetConfig tunes the wire front.
+type NetConfig struct {
+	// DelayProb delays a write by up to MaxDelay.
+	DelayProb float64       `json:"delay_prob,omitempty"`
+	MaxDelay  time.Duration `json:"max_delay,omitempty"`
+	// StallProb splits a write in half and stalls between the halves —
+	// the mid-frame wedge a per-frame read deadline must catch.
+	StallProb float64       `json:"stall_prob,omitempty"`
+	Stall     time.Duration `json:"stall,omitempty"`
+	// DropProb kills the connection on a write.
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// Partitions are directional connectivity cuts relative to Start.
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// Net injects wire faults between named endpoints. Wrap dialed
+// connections with Wrap (or dial through Dial); call Start when the
+// fault clock should begin: partition windows are relative to it, and
+// each window opening force-closes the live connections it cuts, so a
+// peer blocked in a read observes the partition instead of sleeping
+// through it.
+type Net struct {
+	inj *Injector
+	cfg NetConfig
+
+	mu      sync.Mutex
+	started bool
+	t0      time.Time
+	conns   map[*faultConn]struct{}
+	timers  []*time.Timer
+	// dials counts wrapped connections per directed edge. Keying fault
+	// decisions by (edge, per-edge index) — not a global counter —
+	// keeps one edge's fault schedule independent of how other edges'
+	// dials interleave with it, which is what lets a replay with
+	// different goroutine timing see identical per-edge faults.
+	dials map[string]uint64
+}
+
+// NewNet returns a wire-fault injector sharing inj's seed.
+func NewNet(inj *Injector, cfg NetConfig) *Net {
+	return &Net{inj: inj, cfg: cfg, conns: make(map[*faultConn]struct{}), dials: make(map[string]uint64)}
+}
+
+// Start begins the fault clock and arms the partition windows.
+func (n *Net) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	n.t0 = time.Now()
+	for _, p := range n.cfg.Partitions {
+		p := p
+		n.timers = append(n.timers, time.AfterFunc(p.Start, func() { n.cutConns(p) }))
+	}
+}
+
+// Stop disarms pending partition timers (for test cleanup).
+func (n *Net) Stop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, t := range n.timers {
+		t.Stop()
+	}
+	n.timers = nil
+}
+
+// cutConns force-closes live connections between a partition's
+// endpoints when its window opens.
+func (n *Net) cutConns(p Partition) {
+	n.mu.Lock()
+	var victims []*faultConn
+	for c := range n.conns {
+		if (c.from == p.From && c.to == p.To) || (c.from == p.To && c.to == p.From) {
+			victims = append(victims, c)
+		}
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		mPartitionKills.Inc()
+		c.Conn.Close()
+	}
+}
+
+// Partitioned reports whether from->to traffic is currently cut.
+func (n *Net) Partitioned(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.started {
+		return false
+	}
+	now := time.Since(n.t0)
+	for _, p := range n.cfg.Partitions {
+		if p.From == from && p.To == to && now >= p.Start && now < p.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Dial connects from the named endpoint to addr (owned by the named
+// peer), refusing while a partition covers either direction — a TCP
+// handshake needs both.
+func (n *Net) Dial(from, to, addr string, timeout time.Duration) (net.Conn, error) {
+	if n.Partitioned(from, to) || n.Partitioned(to, from) {
+		mDialRefusals.Inc()
+		// A real partition manifests as a dial timeout, not an instant
+		// refusal; a short sleep keeps retry loops honest without
+		// dominating test wall-clock.
+		wait := 25 * time.Millisecond
+		if timeout > 0 && timeout < wait {
+			wait = timeout
+		}
+		time.Sleep(wait)
+		return nil, fmt.Errorf("dial %s->%s (%s): partitioned: %w", from, to, addr, ErrInjected)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return n.Wrap(nc, from, to), nil
+}
+
+// Wrap returns nc with the fault plan applied to the from->to edge.
+func (n *Net) Wrap(nc net.Conn, from, to string) net.Conn {
+	c := &faultConn{Conn: nc, net: n, from: from, to: to}
+	edge := from + "->" + to
+	n.mu.Lock()
+	idx := n.dials[edge]
+	n.dials[edge] = idx + 1
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+	c.key = fmt.Sprintf("conn/%s/%d", edge, idx)
+	return c
+}
+
+// forget deregisters a closed connection.
+func (n *Net) forget(c *faultConn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// faultConn is a net.Conn with the write-side fault plan. Deadline
+// and address methods pass through to the wrapped connection.
+type faultConn struct {
+	net.Conn
+	net      *Net
+	from, to string
+	key      string
+	writes   atomic.Uint64
+	closed   atomic.Bool
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.net.Partitioned(c.from, c.to) {
+		mPartitionKills.Inc()
+		c.Close()
+		return 0, fmt.Errorf("write %s->%s: partitioned: %w", c.from, c.to, ErrInjected)
+	}
+	inj, cfg := c.net.inj, c.net.cfg
+	idx := c.writes.Add(1) - 1
+	if inj.Hit(c.key+"/drop", idx, cfg.DropProb) {
+		mConnDrops.Inc()
+		c.Close()
+		return 0, fmt.Errorf("write %s->%s: connection dropped: %w", c.from, c.to, ErrInjected)
+	}
+	if cfg.MaxDelay > 0 && inj.Hit(c.key+"/delay", idx, cfg.DelayProb) {
+		mConnDelays.Inc()
+		time.Sleep(time.Duration(inj.Roll(c.key+"/delayamt", idx) * float64(cfg.MaxDelay)))
+	}
+	if cfg.Stall > 0 && len(p) > 1 && inj.Hit(c.key+"/stall", idx, cfg.StallProb) {
+		mConnStalls.Inc()
+		half := len(p) / 2
+		n1, err := c.Conn.Write(p[:half])
+		if err != nil {
+			return n1, err
+		}
+		time.Sleep(cfg.Stall)
+		n2, err := c.Conn.Write(p[half:])
+		return n1 + n2, err
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	// The reverse direction carries the bytes this Read consumes; a
+	// partition there kills the connection (with TCP, a cut manifests
+	// to a blocked reader as a reset or a deadline, not silence
+	// forever — Start's window timers handle the mid-read case).
+	if c.net.Partitioned(c.to, c.from) {
+		mPartitionKills.Inc()
+		c.Close()
+		return 0, fmt.Errorf("read %s<-%s: partitioned: %w", c.from, c.to, ErrInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		c.net.forget(c)
+	}
+	return c.Conn.Close()
+}

@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// FSConfig tunes the disk front. Cadences are count-based, not
+// time-based, so the k-th write fails on every replay regardless of
+// timing, and (with N >= 2) failures are never consecutive — which is
+// what lets a bounded-retry writer always make progress.
+type FSConfig struct {
+	// WriteEveryN makes every Nth WAL write a short write (half the
+	// buffer lands, then an injected error). 0 or 1 disables.
+	WriteEveryN int `json:"write_every_n,omitempty"`
+	// SyncEveryN fails every Nth fsync. 0 or 1 disables.
+	SyncEveryN int `json:"sync_every_n,omitempty"`
+}
+
+// FS opens WAL files wrapped with the disk fault plan. Hand OpenWAL
+// (via an adapter closure) to store.Options.OpenWAL.
+type FS struct {
+	cfg    FSConfig
+	writes atomic.Uint64
+	syncs  atomic.Uint64
+}
+
+// NewFS returns a disk-fault injector.
+func NewFS(cfg FSConfig) *FS { return &FS{cfg: cfg} }
+
+// OpenWAL opens path the way the store would, wrapped with faults.
+func (fs *FS) OpenWAL(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, fs: fs}, nil
+}
+
+// Faults reports how many faults the front injected (short writes,
+// failed fsyncs).
+func (fs *FS) Faults() (shortWrites, syncFails uint64) {
+	w, s := fs.writes.Load(), fs.syncs.Load()
+	n := func(count uint64, every int) uint64 {
+		if every < 2 {
+			return 0
+		}
+		return count / uint64(every)
+	}
+	return n(w, fs.cfg.WriteEveryN), n(s, fs.cfg.SyncEveryN)
+}
+
+// File is a store.File-compatible WAL handle with injected faults.
+// Reads (replay) and truncates (tail repair) pass through clean: the
+// injector attacks the append path, the repair machinery is the thing
+// under test.
+type File struct {
+	f  *os.File
+	fs *FS
+}
+
+func (c *File) Write(p []byte) (int, error) {
+	idx := c.fs.writes.Add(1) - 1
+	if everyNth(idx, c.fs.cfg.WriteEveryN) && len(p) > 1 {
+		mShortWrites.Inc()
+		half := len(p) / 2
+		n, err := c.f.Write(p[:half])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("short write (%d of %d bytes): %w", n, len(p), ErrInjected)
+	}
+	return c.f.Write(p)
+}
+
+func (c *File) Sync() error {
+	idx := c.fs.syncs.Add(1) - 1
+	if everyNth(idx, c.fs.cfg.SyncEveryN) {
+		mSyncFails.Inc()
+		return fmt.Errorf("fsync: %w", ErrInjected)
+	}
+	return c.f.Sync()
+}
+
+func (c *File) Read(p []byte) (int, error)                { return c.f.Read(p) }
+func (c *File) Seek(off int64, whence int) (int64, error) { return c.f.Seek(off, whence) }
+func (c *File) Truncate(size int64) error                 { return c.f.Truncate(size) }
+func (c *File) Stat() (os.FileInfo, error)                { return c.f.Stat() }
+func (c *File) Close() error                              { return c.f.Close() }

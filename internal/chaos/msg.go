@@ -1,0 +1,80 @@
+package chaos
+
+// The message front makes fault decisions for protocol-level
+// simulations (the paxos chaos suite): whole messages are dropped,
+// duplicated or reordered, the classic asynchronous-network adversary
+// a consensus protocol must stay safe under.
+
+// MsgConfig tunes the message front.
+type MsgConfig struct {
+	DropProb    float64 `json:"drop_prob,omitempty"`
+	DupProb     float64 `json:"dup_prob,omitempty"`
+	ReorderProb float64 `json:"reorder_prob,omitempty"`
+}
+
+// MsgAction is a delivery verdict for one in-flight message.
+type MsgAction int
+
+// Verdicts. Reorder means "push to the back of the queue instead of
+// delivering now"; Duplicate means "deliver now and enqueue a copy".
+const (
+	Deliver MsgAction = iota
+	Drop
+	Duplicate
+	Reorder
+)
+
+func (a MsgAction) String() string {
+	switch a {
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	}
+	return "unknown"
+}
+
+// MsgFaults makes deterministic per-message verdicts. Judgments are
+// indexed by an internal counter, so a single-goroutine simulation
+// replays identically for the same seed.
+type MsgFaults struct {
+	inj *Injector
+	cfg MsgConfig
+	n   uint64
+}
+
+// NewMsgFaults returns a message-fault judge for the given seed.
+func NewMsgFaults(seed int64, cfg MsgConfig) *MsgFaults {
+	return &MsgFaults{inj: New(seed), cfg: cfg}
+}
+
+// Judge returns the verdict for the next in-flight message.
+func (m *MsgFaults) Judge() MsgAction {
+	idx := m.n
+	m.n++
+	r := m.inj.Roll("msg/verdict", idx)
+	switch {
+	case r < m.cfg.DropProb:
+		mMsgDrops.Inc()
+		return Drop
+	case r < m.cfg.DropProb+m.cfg.DupProb:
+		mMsgDups.Inc()
+		return Duplicate
+	case r < m.cfg.DropProb+m.cfg.DupProb+m.cfg.ReorderProb:
+		mMsgReorders.Inc()
+		return Reorder
+	}
+	return Deliver
+}
+
+// Pick returns a deterministic index in [0,n), for choosing which
+// queued message to pop next (delivery-order scrambling).
+func (m *MsgFaults) Pick(n int) int {
+	idx := m.n
+	m.n++
+	return m.inj.Intn("msg/pick", idx, n)
+}

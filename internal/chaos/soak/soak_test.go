@@ -1,0 +1,151 @@
+package soak
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosSeeds reads the seed list from CHAOS_SEEDS (comma-separated;
+// CI injects two fixed seeds plus one rotating from the run number).
+func chaosSeeds(t *testing.T) []int64 {
+	env := os.Getenv("CHAOS_SEEDS")
+	if env == "" {
+		env = "1,7"
+	}
+	var seeds []int64
+	for _, f := range strings.Split(env, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEEDS entry %q: %v", f, err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds
+}
+
+// TestChaosSoak is the headline robustness harness: a full elected
+// controller stack under seeded wire, filesystem and solver faults.
+// Per seed it asserts the degraded-mode invariants, then replays the
+// same seed into a fresh directory and demands a byte-identical
+// compacted end state.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	const deadline = 750 * time.Millisecond
+	logf := func(string, ...interface{}) {}
+	if os.Getenv("CHAOS_VERBOSE") != "" {
+		logf = t.Logf
+	}
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			artifact := ""
+			if dir := os.Getenv("CHAOS_ARTIFACT_DIR"); dir != "" {
+				artifact = filepath.Join(dir, fmt.Sprintf("soak-seed-%d.json", seed))
+			}
+			runOnce := func(tag string) *Report {
+				rep, err := Run(Config{
+					Seed: seed, Dir: t.TempDir(),
+					RecoveryDeadline: deadline,
+					ArtifactPath:     artifact,
+					Logf:             logf,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", tag, err)
+				}
+				return rep
+			}
+			rep := runOnce("run")
+
+			// At most one master: all three replicas agreed.
+			if !rep.LeaderAgreed {
+				t.Fatal("replicas did not agree on a leader")
+			}
+			// No acked admission lost, no double admission: the final
+			// book is exactly the acked set minus the withdrawals.
+			want := surviving(rep.AckedIDs, rep.WithdrawnIDs)
+			if !reflect.DeepEqual(rep.FinalIDs, want) {
+				t.Errorf("final book %v, want acked-minus-withdrawn %v", rep.FinalIDs, want)
+			}
+			if len(rep.AckedIDs) < 2 {
+				t.Errorf("only %d demands acked; the plan needs at least the two withdrawals", len(rep.AckedIDs))
+			}
+			// Every link failure recovered, and by the planned rungs:
+			// one backup hit and one deeper-than-backup miss per episode.
+			if rep.DownEvents != 4 {
+				t.Errorf("saw %d down events, want 4", rep.DownEvents)
+			}
+			if got := rep.BackupHits + rep.Optimal + rep.Greedy; got != int64(rep.DownEvents) {
+				t.Errorf("%d recoveries for %d down events — a failure went unrecovered", got, rep.DownEvents)
+			}
+			if rep.BackupHits != 2 {
+				t.Errorf("backup hits = %d, want 2", rep.BackupHits)
+			}
+			if rep.Greedy < 1 {
+				t.Errorf("greedy floor never used (gated recovery should force it)")
+			}
+			if rep.Fallbacks < 3 {
+				t.Errorf("bate.recovery_fallback advanced by %d, want >= 3", rep.Fallbacks)
+			}
+			if rep.SolverDenials != 2 {
+				t.Errorf("solver denials = %d, want 2 (one schedule, one recover)", rep.SolverDenials)
+			}
+			if rep.MaxRecoveryMs > (2 * deadline).Milliseconds() {
+				t.Errorf("max recovery %dms exceeds 2x the %v deadline", rep.MaxRecoveryMs, deadline)
+			}
+			// The partition window must have cost broker-DC1 its session.
+			if rep.Reconnects < 1 {
+				t.Errorf("broker.reconnects advanced by %d, want >= 1", rep.Reconnects)
+			}
+			// The chaos fs cadence guarantees injected append faults; all
+			// must have been repaired and retried, none surfaced to a client.
+			if rep.StoreRepairs < 1 {
+				t.Errorf("store.append_repairs advanced by %d, want >= 1", rep.StoreRepairs)
+			}
+			if rep.Digest == "" {
+				t.Fatal("no end-state digest")
+			}
+
+			// Same seed, fresh directory: byte-identical end state.
+			replay := runOnce("replay")
+			if replay.Digest != rep.Digest {
+				t.Errorf("replay digest %s != original %s", replay.Digest, rep.Digest)
+			}
+			if replay.FinalEpoch != rep.FinalEpoch {
+				t.Errorf("replay epoch %d != original %d", replay.FinalEpoch, rep.FinalEpoch)
+			}
+			if !reflect.DeepEqual(replay.AckedIDs, rep.AckedIDs) {
+				t.Errorf("replay acked %v != original %v", replay.AckedIDs, rep.AckedIDs)
+			}
+			if !reflect.DeepEqual(replay.FinalIDs, rep.FinalIDs) {
+				t.Errorf("replay book %v != original %v", replay.FinalIDs, rep.FinalIDs)
+			}
+		})
+	}
+}
+
+// surviving returns acked minus withdrawn, sorted (both inputs are).
+func surviving(acked, withdrawn []int) []int {
+	gone := make(map[int]bool, len(withdrawn))
+	for _, id := range withdrawn {
+		gone[id] = true
+	}
+	out := []int{}
+	for _, id := range acked {
+		if !gone[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -55,8 +56,46 @@ type Config struct {
 	// would otherwise block the reader goroutine forever). Zero means
 	// the 30s default; negative disables the deadline.
 	FrameTimeout time.Duration
+	// RecoveryDeadline bounds the failure-recovery pipeline per link
+	// event: backup hit, then a budgeted optimal MILP racing the
+	// remaining deadline, then the greedy floor (default 2s; see
+	// bate.Recover).
+	RecoveryDeadline time.Duration
+	// SolverGate, when non-nil, is consulted before solver-backed
+	// operations ("schedule", "recover"); an error makes the operation
+	// degrade (keep the current allocation / fall down the recovery
+	// ladder) instead of running. The chaos solver-budget front hooks
+	// in here.
+	SolverGate func(op string) error
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...interface{})
+}
+
+var mAppendRetries = metrics.NewCounter("controller.append_retries")
+
+// appendDurable runs one store append with bounded jittered-backoff
+// retries. The store repairs its WAL tail after a failed append, so a
+// retry is safe (no duplicate or torn record can result); transient
+// disk hiccups therefore cost latency, not a refused admission. The
+// final error after all retries is the caller's to fail closed on.
+func (c *Controller) appendDurable(what string, fn func() error) error {
+	delay := 5 * time.Millisecond
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fn(); err == nil {
+			if attempt > 0 {
+				c.logf("controller: store %s succeeded after %d retries", what, attempt)
+			}
+			return nil
+		}
+		if attempt == 3 {
+			return err
+		}
+		mAppendRetries.Inc()
+		c.logf("controller: store %s failed (attempt %d), retrying: %v", what, attempt+1, err)
+		time.Sleep(delay + time.Duration(rand.Int63n(int64(delay))))
+		delay *= 2
+	}
 }
 
 // Controller is the system brain. Create with New, start with Serve,
@@ -264,6 +303,11 @@ func (c *Controller) serveBroker(conn *wire.Conn, dc string) {
 		case wire.TypeStats:
 			// Monitoring input; logged only.
 			c.logf("controller: stats from %s: %d tunnels", dc, len(m.Stats.Rates))
+		case wire.TypePing:
+			// Echoed Seq makes Ping/Pong a barrier: when the reply
+			// arrives, every earlier message on this session — link
+			// events included — has been processed.
+			conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
 		case wire.TypePong:
 		default:
 			c.logf("controller: broker %s sent %s", dc, m.Type)
@@ -347,10 +391,12 @@ func (c *Controller) submit(s *wire.Submit) *wire.AdmitResult {
 	if !res.Admitted {
 		return out
 	}
-	// Durability before the ack: the admit record must be on stable
-	// storage before the client hears "admitted".
+	// Durability before the ack, fail closed with retry: the admit
+	// record must be on stable storage before the client hears
+	// "admitted"; if it cannot be made durable the admission is
+	// refused, never acked on hope.
 	if c.cfg.Store != nil {
-		if err := c.cfg.Store.AppendAdmit(d, res.NewAlloc); err != nil {
+		if err := c.appendDurable("admit", func() error { return c.cfg.Store.AppendAdmit(d, res.NewAlloc) }); err != nil {
 			c.logf("controller: store admit %d: %v", id, err)
 			return &wire.AdmitResult{Admitted: false, Method: "store-error"}
 		}
@@ -438,7 +484,7 @@ func (c *Controller) submitBatch(subs []wire.Submit) []wire.AdmitResult {
 		}
 		d := dec.Demand
 		if c.cfg.Store != nil {
-			if err := c.cfg.Store.AppendAdmit(d, dec.Result.NewAlloc); err != nil {
+			if err := c.appendDurable("admit", func() error { return c.cfg.Store.AppendAdmit(d, dec.Result.NewAlloc) }); err != nil {
 				c.logf("controller: store admit %d: %v", d.ID, err)
 				out[i] = wire.AdmitResult{Admitted: false, Method: "store-error"}
 				continue
@@ -464,7 +510,7 @@ func (c *Controller) withdraw(id int) error {
 		return nil // unknown id: idempotent no-op
 	}
 	if c.cfg.Store != nil {
-		if err := c.cfg.Store.AppendWithdraw(id); err != nil {
+		if err := c.appendDurable("withdraw", func() error { return c.cfg.Store.AppendWithdraw(id) }); err != nil {
 			c.logf("controller: store withdraw %d: %v", id, err)
 			return fmt.Errorf("withdraw not durable: %v", err)
 		}
@@ -517,8 +563,10 @@ func (c *Controller) reschedule() error {
 		c.pushAllLocked(false)
 		return nil
 	}
-	a, stats, err := c.scheduler.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail})
+	a, stats, err := c.scheduler.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail, Gate: c.cfg.SolverGate})
 	if err != nil {
+		// A gated or failed solve keeps the current allocation — stale
+		// but feasible beats absent.
 		return err
 	}
 	start := "cold"
@@ -532,7 +580,7 @@ func (c *Controller) reschedule() error {
 		a = hardened
 	}
 	if c.cfg.Store != nil {
-		if err := c.cfg.Store.AppendSchedule(a); err != nil {
+		if err := c.appendDurable("schedule", func() error { return c.cfg.Store.AppendSchedule(a) }); err != nil {
 			return fmt.Errorf("schedule not durable: %w", err)
 		}
 	}
@@ -568,9 +616,10 @@ func (c *Controller) onLinkEvent(ev *wire.LinkEvent) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cfg.Store != nil {
-		// Best-effort: link state is continuously re-reported by brokers,
-		// so a failed append degrades recovery freshness, not correctness.
-		if err := c.cfg.Store.AppendLink(ev.SrcDC, ev.DstDC, ev.Up); err != nil {
+		// Best-effort with retry: link state is continuously re-reported
+		// by brokers, so a failed append degrades recovery freshness,
+		// not correctness.
+		if err := c.appendDurable("link", func() error { return c.cfg.Store.AppendLink(ev.SrcDC, ev.DstDC, ev.Up) }); err != nil {
 			c.logf("controller: store link event: %v", err)
 		}
 	}
@@ -584,17 +633,23 @@ func (c *Controller) onLinkEvent(ev *wire.LinkEvent) {
 	for id := range c.linkDown {
 		down = append(down, id)
 	}
-	if b, ok := c.backups.For(down); ok {
-		c.pushAllocationLocked(b.Alloc, true)
+	// Deadline-bounded recovery ladder: precomputed backup → budgeted
+	// optimal → greedy floor. A recovery always lands within the
+	// deadline; only its quality degrades.
+	in, _ := c.inputLocked()
+	rec, stage, err := bate.Recover(in, down, bate.RecoverOptions{
+		Backups:  c.backups,
+		Deadline: c.cfg.RecoveryDeadline,
+		Gate:     c.cfg.SolverGate,
+		Logf:     c.logf,
+	})
+	if err != nil {
+		c.logf("controller: recovery: %v", err)
 		return
 	}
-	// No precomputed backup for this combination: compute recovery now.
-	in, _ := c.inputLocked()
-	if rec, err := bate.RecoverGreedy(in, down); err == nil {
-		c.pushAllocationLocked(rec.Alloc, true)
-	} else {
-		c.logf("controller: recovery: %v", err)
-	}
+	c.logf("controller: recovered %d-link failure via %s stage in %v (profit %.1f)",
+		len(down), stage, rec.Elapsed, rec.Profit)
+	c.pushAllocationLocked(rec.Alloc, true)
 }
 
 // pushAllLocked pushes the scheduled allocation to every broker.
@@ -605,7 +660,7 @@ func (c *Controller) pushAllLocked(backup bool) {
 func (c *Controller) pushAllocationLocked(a alloc.Allocation, backup bool) {
 	c.epoch++
 	if c.cfg.Store != nil {
-		if err := c.cfg.Store.AppendEpoch(c.epoch); err != nil {
+		if err := c.appendDurable("epoch", func() error { return c.cfg.Store.AppendEpoch(c.epoch) }); err != nil {
 			c.logf("controller: store epoch: %v", err)
 		}
 	}

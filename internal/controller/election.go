@@ -23,10 +23,16 @@ type Elector struct {
 	peers     map[paxos.NodeID]string // election addresses, including self
 	advertise string                  // this replica's controller address
 
-	mu    sync.Mutex
-	node  *paxos.Node
-	conns map[paxos.NodeID]*wire.Conn
-	logf  func(string, ...interface{})
+	dialTimeout time.Duration
+	sendTimeout time.Duration
+	dialer      func(addr string, timeout time.Duration) (net.Conn, error)
+
+	mu       sync.Mutex
+	node     *paxos.Node
+	conns    map[paxos.NodeID]*wire.Conn
+	nextDial map[paxos.NodeID]time.Time     // negative cache: no redial before this
+	dialWait map[paxos.NodeID]time.Duration // current per-peer backoff
+	logf     func(string, ...interface{})
 }
 
 // NewElector creates an election participant. peers maps every
@@ -44,13 +50,40 @@ func NewElector(id paxos.NodeID, peers map[paxos.NodeID]string, advertise string
 		ids = append(ids, pid)
 	}
 	return &Elector{
-		id:        id,
-		peers:     peers,
-		advertise: advertise,
-		node:      paxos.NewNode(id, ids),
-		conns:     make(map[paxos.NodeID]*wire.Conn),
-		logf:      logf,
+		id:          id,
+		peers:       peers,
+		advertise:   advertise,
+		dialTimeout: time.Second,
+		sendTimeout: time.Second,
+		node:        paxos.NewNode(id, ids),
+		conns:       make(map[paxos.NodeID]*wire.Conn),
+		nextDial:    make(map[paxos.NodeID]time.Time),
+		dialWait:    make(map[paxos.NodeID]time.Duration),
+		logf:        logf,
 	}, nil
+}
+
+// SetDialTimeout bounds each peer dial attempt (default 1s). Set
+// before Run.
+func (e *Elector) SetDialTimeout(d time.Duration) {
+	if d > 0 {
+		e.dialTimeout = d
+	}
+}
+
+// SetSendTimeout bounds each peer send (default 1s); a peer that
+// stops draining its socket costs one timeout, not a wedged proposer.
+// Set before Run.
+func (e *Elector) SetSendTimeout(d time.Duration) {
+	if d > 0 {
+		e.sendTimeout = d
+	}
+}
+
+// SetDialer replaces the TCP dialer, e.g. with a chaos-wrapped one.
+// Set before Run.
+func (e *Elector) SetDialer(dial func(addr string, timeout time.Duration) (net.Conn, error)) {
+	e.dialer = dial
 }
 
 // Leader returns the elected master's controller address once decided.
@@ -149,7 +182,12 @@ func (e *Elector) sendAll(msgs []paxos.Message) {
 		if conn == nil {
 			continue
 		}
-		if err := conn.Send(&wire.Message{Type: wire.TypePaxos, Paxos: toWire(m)}); err != nil {
+		// A write deadline keeps a wedged or partitioned peer from
+		// blocking the proposer; Paxos tolerates the lost message.
+		conn.SetWriteDeadline(time.Now().Add(e.sendTimeout))
+		err := conn.Send(&wire.Message{Type: wire.TypePaxos, Paxos: toWire(m)})
+		conn.SetWriteDeadline(time.Time{})
+		if err != nil {
 			e.logf("elector %d: send to %d: %v", e.id, m.To, err)
 			e.dropConn(m.To, conn)
 		}
@@ -160,16 +198,40 @@ func (e *Elector) conn(to paxos.NodeID) *wire.Conn {
 	e.mu.Lock()
 	c := e.conns[to]
 	addr := e.peers[to]
+	wait, until := e.dialWait[to], e.nextDial[to]
 	e.mu.Unlock()
 	if c != nil {
 		return c
 	}
-	nc, err := net.DialTimeout("tcp", addr, time.Second)
+	// Negative cache with jittered exponential backoff: a dead or
+	// partitioned peer costs one dial timeout per backoff window, not
+	// one per message.
+	if time.Now().Before(until) {
+		return nil
+	}
+	dial := e.dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(addr, e.dialTimeout)
 	if err != nil {
+		if wait <= 0 {
+			wait = 50 * time.Millisecond
+		} else if wait < 2*time.Second {
+			wait *= 2
+		}
+		e.mu.Lock()
+		e.dialWait[to] = wait
+		e.nextDial[to] = time.Now().Add(wait/2 + time.Duration(rand.Int63n(int64(wait/2+1))))
+		e.mu.Unlock()
 		return nil
 	}
 	c = wire.New(nc)
 	e.mu.Lock()
+	delete(e.dialWait, to)
+	delete(e.nextDial, to)
 	if existing := e.conns[to]; existing != nil {
 		e.mu.Unlock()
 		c.Close()

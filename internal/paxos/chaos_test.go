@@ -1,0 +1,180 @@
+package paxos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bate/internal/chaos"
+	"bate/internal/paxos"
+)
+
+// chaosNet is a deterministic in-memory network driven by the chaos
+// message front: every in-flight message is judged (drop, duplicate,
+// reorder, deliver) and delivery order is scrambled by seeded picks.
+// Single-goroutine, so a given seed replays the exact same run.
+type chaosNet struct {
+	nodes  map[paxos.NodeID]*paxos.Node
+	faults *chaos.MsgFaults
+	queue  []paxos.Message
+}
+
+func newChaosNet(seed int64, n int, cfg chaos.MsgConfig) *chaosNet {
+	ids := make([]paxos.NodeID, n)
+	for i := range ids {
+		ids[i] = paxos.NodeID(i + 1)
+	}
+	net := &chaosNet{nodes: make(map[paxos.NodeID]*paxos.Node, n), faults: chaos.NewMsgFaults(seed, cfg)}
+	for _, id := range ids {
+		net.nodes[id] = paxos.NewNode(id, ids)
+	}
+	return net
+}
+
+func (c *chaosNet) send(msgs []paxos.Message) { c.queue = append(c.queue, msgs...) }
+
+// step delivers one queued message through the fault judge; reports
+// whether any work remains.
+func (c *chaosNet) step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	// Seeded pick scrambles delivery order even without Reorder verdicts.
+	i := c.faults.Pick(len(c.queue))
+	m := c.queue[i]
+	c.queue = append(c.queue[:i], c.queue[i+1:]...)
+	switch c.faults.Judge() {
+	case chaos.Drop:
+		return true
+	case chaos.Duplicate:
+		c.queue = append(c.queue, m)
+	case chaos.Reorder:
+		c.queue = append(c.queue, m)
+		return true
+	}
+	c.send(c.nodes[m.To].Handle(m))
+	return true
+}
+
+// chosenValues returns the decided value of every node that has
+// learned one.
+func (c *chaosNet) chosenValues() map[paxos.NodeID]paxos.Value {
+	out := make(map[paxos.NodeID]paxos.Value)
+	for id, n := range c.nodes {
+		if v, ok := n.Chosen(); ok {
+			out[id] = v
+		}
+	}
+	return out
+}
+
+// runSchedule drives one seeded fault schedule to a decision: nodes
+// propose, the network delivers under faults, and on quiescence (all
+// messages dropped or consumed without a decision) the next proposer
+// re-proposes — the liveness-by-retry a real elector provides.
+func runSchedule(t *testing.T, seed int64, nodes int, cfg chaos.MsgConfig) {
+	t.Helper()
+	net := newChaosNet(seed, nodes, cfg)
+	// Deterministic initial proposers: between one and all nodes
+	// propose concurrently, chosen by the seed.
+	inj := chaos.New(seed)
+	proposers := 1 + inj.Intn("test/proposers", 0, nodes)
+	for i := 0; i < proposers; i++ {
+		id := paxos.NodeID(i + 1)
+		net.send(net.nodes[id].Propose(paxos.Value(fmt.Sprintf("node-%d", id))))
+	}
+	const stepCap = 200000
+	steps, rounds := 0, uint64(0)
+	for {
+		for net.step() {
+			steps++
+			if steps > stepCap {
+				t.Fatalf("seed %d: no decision within %d steps", seed, stepCap)
+			}
+		}
+		if len(net.chosenValues()) > 0 {
+			break
+		}
+		// Quiescent with no decision (faults ate a quorum's messages):
+		// a deterministic node re-proposes with a higher ballot.
+		rounds++
+		if rounds > 500 {
+			t.Fatalf("seed %d: no decision within %d re-propose rounds", seed, rounds)
+		}
+		id := paxos.NodeID(inj.Intn("test/reproposer", rounds, nodes) + 1)
+		net.send(net.nodes[id].Propose(paxos.Value(fmt.Sprintf("node-%d", id))))
+	}
+	// Drain the remaining traffic: late Accepted messages must never
+	// flip a learner to a different value (the Node panics if they do).
+	for net.step() {
+		steps++
+		if steps > 2*stepCap {
+			t.Fatalf("seed %d: drain did not quiesce", seed)
+		}
+	}
+	// Agreement: every node that learned a value learned the same one.
+	chosen := net.chosenValues()
+	var first paxos.Value
+	got := false
+	for id, v := range chosen {
+		if !got {
+			first, got = v, true
+			continue
+		}
+		if v != first {
+			t.Fatalf("seed %d: node %d chose %q, others chose %q", seed, id, v, first)
+		}
+	}
+	if !got {
+		t.Fatalf("seed %d: drain lost the decision", seed)
+	}
+}
+
+// TestChaosSchedules runs 500 seeded fault schedules over a 3-node
+// ensemble with aggressive loss, duplication and reordering, asserting
+// single-value agreement on every one.
+func TestChaosSchedules(t *testing.T) {
+	cfg := chaos.MsgConfig{DropProb: 0.15, DupProb: 0.10, ReorderProb: 0.15}
+	for seed := int64(0); seed < 500; seed++ {
+		runSchedule(t, seed, 3, cfg)
+	}
+}
+
+// TestChaosSchedulesFiveNodes spot-checks a larger ensemble under the
+// same adversary.
+func TestChaosSchedulesFiveNodes(t *testing.T) {
+	cfg := chaos.MsgConfig{DropProb: 0.10, DupProb: 0.10, ReorderProb: 0.20}
+	for seed := int64(0); seed < 50; seed++ {
+		runSchedule(t, seed, 5, cfg)
+	}
+}
+
+// TestChaosScheduleReplay confirms the in-memory network itself is
+// deterministic: the same seed yields the same decision.
+func TestChaosScheduleReplay(t *testing.T) {
+	cfg := chaos.MsgConfig{DropProb: 0.15, DupProb: 0.10, ReorderProb: 0.15}
+	decide := func() paxos.Value {
+		net := newChaosNet(42, 3, cfg)
+		net.send(net.nodes[1].Propose("node-1"))
+		net.send(net.nodes[2].Propose("node-2"))
+		for i := 0; i < 100000 && net.step(); i++ {
+		}
+		inj := chaos.New(42)
+		for rounds := uint64(1); len(net.chosenValues()) == 0; rounds++ {
+			if rounds > 500 {
+				t.Fatal("no decision")
+			}
+			id := paxos.NodeID(inj.Intn("test/reproposer", rounds, 3) + 1)
+			net.send(net.nodes[id].Propose(paxos.Value(fmt.Sprintf("node-%d", id))))
+			for i := 0; i < 100000 && net.step(); i++ {
+			}
+		}
+		for _, v := range net.chosenValues() {
+			return v
+		}
+		return ""
+	}
+	a, b := decide(), decide()
+	if a != b || a == "" {
+		t.Fatalf("replay diverged: %q vs %q", a, b)
+	}
+}

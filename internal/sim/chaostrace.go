@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"bate/internal/chaos"
+	"bate/internal/topo"
+)
+
+// ChaosTrace derives a seed-replayable failure trace from the chaos
+// outage schedule: n outages over horizonSec seconds, concentrated on
+// a seed-chosen "cursed" link the way real inter-DC WAN failures
+// concentrate (Fig. 1(b)'s heavy tail). The same seed always yields
+// the same trace, so a simulation run under it is reproducible without
+// a trace file.
+func ChaosTrace(net *topo.Network, seed int64, horizonSec float64, n int) []FailureEvent {
+	outages := chaos.LinkOutages(seed, net.NumLinks(), horizonSec, n)
+	out := make([]FailureEvent, 0, len(outages))
+	for _, o := range outages {
+		out = append(out, FailureEvent{Link: topo.LinkID(o.Link), DownAt: o.DownAt, UpAt: o.UpAt})
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"bate/internal/chaos"
+	"bate/internal/topo"
+)
+
+// chaosOpts wires the chaos disk front into a store.
+func chaosOpts(fs *chaos.FS, noSync bool) Options {
+	return Options{
+		NoSync:  noSync,
+		Logf:    silent,
+		OpenWAL: func(path string) (File, error) { return fs.OpenWAL(path) },
+	}
+}
+
+// appendRetry retries an append after injected failures. A single
+// fail-every-N front (N >= 2) never fails twice running, but the
+// write and sync cadences are independent, so one attempt can lose to
+// each in turn — three attempts always suffice.
+func appendRetry(t *testing.T, do func() error) (failures int) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		err := do()
+		if err == nil {
+			return failures
+		}
+		if !errors.Is(err, chaos.ErrInjected) {
+			t.Fatalf("append failed with non-injected error: %v", err)
+		}
+		failures++
+		if attempt >= 2 {
+			t.Fatalf("append still failing after %d attempts: %v", attempt+1, err)
+		}
+	}
+}
+
+func TestShortWriteRepairedAndRetried(t *testing.T) {
+	n := topo.Testbed()
+	dir := t.TempDir()
+	fs := chaos.NewFS(chaos.FSConfig{WriteEveryN: 2})
+	s, err := Open(dir, n, chaosOpts(fs, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const demands = 6
+	totalFailures := 0
+	for id := 1; id <= demands; id++ {
+		d := mkDemand(t, n, id, "DC1", "DC3", float64(100*id), 0.99)
+		totalFailures += appendRetry(t, func() error { return s.AppendAdmit(d, nil) })
+	}
+	if totalFailures == 0 {
+		t.Fatal("no short writes injected; the fault front is not wired in")
+	}
+	if s.Wedged() {
+		t.Fatal("store wedged; tail repair should have recovered every failure")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen clean: every retried append must replay exactly once, and
+	// no partial frame may have survived as interior corruption.
+	s2, err := Open(dir, n, testOpts())
+	if err != nil {
+		t.Fatalf("reopen after repaired short writes: %v", err)
+	}
+	defer s2.Close()
+	st := s2.Restored()
+	if len(st.Demands) != demands {
+		t.Fatalf("replayed %d demands, want %d", len(st.Demands), demands)
+	}
+	if s2.WALRecords() != demands {
+		t.Fatalf("WAL holds %d records, want %d (duplicates would mean the rollback missed)", s2.WALRecords(), demands)
+	}
+}
+
+func TestSyncErrorRepairedAndRetried(t *testing.T) {
+	n := topo.Testbed()
+	dir := t.TempDir()
+	fs := chaos.NewFS(chaos.FSConfig{SyncEveryN: 3})
+	s, err := Open(dir, n, chaosOpts(fs, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const demands = 7
+	totalFailures := 0
+	for id := 1; id <= demands; id++ {
+		d := mkDemand(t, n, id, "DC2", "DC6", float64(50*id), 0.95)
+		totalFailures += appendRetry(t, func() error { return s.AppendAdmit(d, nil) })
+	}
+	if totalFailures == 0 {
+		t.Fatal("no fsync errors injected")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, n, testOpts())
+	if err != nil {
+		t.Fatalf("reopen after repaired fsync failures: %v", err)
+	}
+	defer s2.Close()
+	if got := len(s2.Restored().Demands); got != demands {
+		t.Fatalf("replayed %d demands, want %d", got, demands)
+	}
+}
+
+func TestChaosStoreFaultsCombined(t *testing.T) {
+	// Both fronts at once, plus a compaction in the middle — the
+	// sequence a chaos-soaked controller drives.
+	n := topo.Testbed()
+	dir := t.TempDir()
+	fs := chaos.NewFS(chaos.FSConfig{WriteEveryN: 3, SyncEveryN: 4})
+	s, err := Open(dir, n, chaosOpts(fs, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState()
+	for id := 1; id <= 5; id++ {
+		d := mkDemand(t, n, id, "DC1", "DC6", float64(10*id), 0.9)
+		appendRetry(t, func() error { return s.AppendAdmit(d, nil) })
+		st.Demands[d.ID] = d
+	}
+	st.NextID = 6
+	// Compact writes the snapshot through the clean os path; only the
+	// WAL rides the fault front, and it is empty afterwards.
+	for attempt := 0; ; attempt++ {
+		err := s.Compact(st)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, chaos.ErrInjected) || attempt >= 1 {
+			t.Fatalf("compact: %v", err)
+		}
+	}
+	for id := 6; id <= 9; id++ {
+		d := mkDemand(t, n, id, "DC2", "DC4", float64(10*id), 0.9)
+		appendRetry(t, func() error { return s.AppendAdmit(d, nil) })
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, n, testOpts())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := len(s2.Restored().Demands); got != 9 {
+		t.Fatalf("replayed %d demands, want 9 (1..5 from the snapshot, 6..9 from the post-compact WAL)", got)
+	}
+}

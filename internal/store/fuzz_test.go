@@ -8,6 +8,7 @@ import (
 	"io"
 	"testing"
 
+	"bate/internal/chaos"
 	"bate/internal/demand"
 	"bate/internal/topo"
 )
@@ -38,6 +39,12 @@ func FuzzWALRecord(f *testing.F) {
 		flipLastByte(admit),                             // checksum mismatch
 		[]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},      // absurd length
 		[]byte{})
+	// Chaos-generated crash shapes: the deterministic torn/short-write
+	// streams the fault injector produces on disk (torn tails, partial
+	// frame then retry, zeroed tails, interior flips, doubled records).
+	for _, seed := range []int64{1, 7, 42} {
+		seeds = append(seeds, chaos.TornWALArtifacts(seed, [][]byte{admit, withdraw, link, epoch, sched})...)
+	}
 	for _, s := range seeds {
 		f.Add(s)
 	}

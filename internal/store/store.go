@@ -29,7 +29,21 @@ var (
 	mReplayed  = metrics.NewCounter("store.replayed_records")
 	mTruncated = metrics.NewCounter("store.truncated_tails")
 	mCompacts  = metrics.NewCounter("store.compactions")
+	mRepairs   = metrics.NewCounter("store.append_repairs")
 )
+
+// File is the WAL backing-file contract: what Store needs from
+// *os.File, as an interface so tests (and the chaos fault injector)
+// can substitute a faulty implementation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
 
 // Options tunes a Store.
 type Options struct {
@@ -41,6 +55,9 @@ type Options struct {
 	NoSync bool
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...interface{})
+	// OpenWAL opens the WAL backing file; nil uses os.OpenFile. Fault
+	// injection hooks in here.
+	OpenWAL func(path string) (File, error)
 }
 
 // Store is a durable controller state store: snapshot.json plus a
@@ -53,10 +70,12 @@ type Store struct {
 	logf func(string, ...interface{})
 
 	mu         sync.Mutex
-	wal        *os.File
-	walRecords int // records in the current WAL (replayed + appended)
+	wal        File
+	walRecords int   // records in the current WAL (replayed + appended)
+	tail       int64 // offset of the last durable byte in the WAL
 	restored   *State
 	closed     bool
+	wedged     bool // tail repair failed; WAL interior may be corrupt
 }
 
 // Open opens (creating if necessary) the store in dir, replaying
@@ -87,7 +106,13 @@ func Open(dir string, net *topo.Network, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 
-	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	openWAL := opts.OpenWAL
+	if openWAL == nil {
+		openWAL = func(path string) (File, error) {
+			return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		}
+	}
+	wal, err := openWAL(filepath.Join(dir, walName))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -105,10 +130,12 @@ func Open(dir string, net *topo.Network, opts Options) (*Store, error) {
 		mTruncated.Inc()
 		logf("store: truncated torn WAL tail at offset %d", tail)
 	}
-	if _, err := wal.Seek(0, io.SeekEnd); err != nil {
+	end, err := wal.Seek(0, io.SeekEnd)
+	if err != nil {
 		wal.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	s.tail = end
 	s.walRecords = replayed
 	deriveNextID(st)
 	s.restored = st
@@ -270,6 +297,14 @@ func (s *Store) WALRecords() int {
 // append frames, writes and (unless NoSync) fsyncs one record. It
 // returns only after the record is durable, which is what lets the
 // controller ack the client afterwards.
+//
+// On a failed or short write — or a failed fsync, whose bytes cannot
+// be trusted durable — the WAL is truncated back to the last known
+// durable tail before the error is returned. Without that repair a
+// retried append would land after a partial frame, turning a
+// recoverable torn tail into interior corruption that replay rejects.
+// If the repair itself fails the store wedges: every later append
+// fails fast rather than risk compounding the damage.
 func (s *Store) append(t RecordType, body interface{}) error {
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -284,18 +319,49 @@ func (s *Store) append(t RecordType, body interface{}) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
+	if s.wedged {
+		return fmt.Errorf("store: wedged after failed tail repair")
+	}
 	if _, err := s.wal.Write(frame); err != nil {
+		s.repairTailLocked()
 		return fmt.Errorf("store: append %s: %w", t, err)
 	}
 	if !s.opts.NoSync {
 		if err := s.wal.Sync(); err != nil {
+			s.repairTailLocked()
 			return fmt.Errorf("store: fsync: %w", err)
 		}
 		mFsyncs.Inc()
 	}
+	s.tail += int64(len(frame))
 	s.walRecords++
 	mAppends.Inc()
 	return nil
+}
+
+// repairTailLocked rolls the WAL back to the last durable record
+// boundary after a failed append, so the caller can retry safely.
+// Requires s.mu.
+func (s *Store) repairTailLocked() {
+	if err := s.wal.Truncate(s.tail); err != nil {
+		s.wedged = true
+		s.logf("store: WEDGED: tail repair truncate to %d failed: %v", s.tail, err)
+		return
+	}
+	if _, err := s.wal.Seek(s.tail, io.SeekStart); err != nil {
+		s.wedged = true
+		s.logf("store: WEDGED: tail repair seek to %d failed: %v", s.tail, err)
+		return
+	}
+	mRepairs.Inc()
+	s.logf("store: rolled WAL back to durable tail at %d after failed append", s.tail)
+}
+
+// Wedged reports whether a failed tail repair has disabled appends.
+func (s *Store) Wedged() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wedged
 }
 
 // AppendAdmit logs an admitted demand and its admission-time
@@ -372,6 +438,7 @@ func (s *Store) Compact(st *State) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.walRecords = 0
+	s.tail = 0
 	mCompacts.Inc()
 	if !s.opts.NoSync {
 		if err := s.wal.Sync(); err != nil {

@@ -263,6 +263,11 @@ func (c *Conn) Recv() (*Message, error) {
 // SetDeadline bounds the next read/write.
 func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
 
+// SetWriteDeadline bounds the next write, so a send to a wedged peer
+// fails instead of blocking the sender behind a full TCP window.
+// Clear with the zero time.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
 // Close shuts the connection down (idempotent).
 func (c *Conn) Close() error {
 	var err error
