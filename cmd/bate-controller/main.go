@@ -43,6 +43,7 @@ func main() {
 	recoveryDeadline := flag.Duration("recovery-deadline", 2*time.Second, "failure-recovery deadline: backup hit, then budgeted optimal, then greedy floor within this bound")
 	electDialTimeout := flag.Duration("election-dial-timeout", time.Second, "per-peer dial timeout during master election")
 	electSendTimeout := flag.Duration("election-send-timeout", time.Second, "per-peer send deadline during master election")
+	jsonWire := flag.Bool("json-wire", false, "answer every session in the JSON debug codec, ignoring binary negotiation (packet-capture friendly)")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -101,6 +102,7 @@ func main() {
 	cfg := controller.Config{
 		Net: net0, Tunnels: tunnels, MaxFail: *maxFail, SchedulePeriod: *period,
 		RecoveryDeadline: *recoveryDeadline,
+		ForceJSONWire:    *jsonWire,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, net0, store.Options{NoSync: *noSync})

@@ -23,6 +23,7 @@ import (
 
 func main() {
 	addr := flag.String("controller", "localhost:7001", "controller address")
+	wireName := flag.String("wire", "binary", "wire codec to negotiate: binary, or json for debugging with a packet capture")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -33,12 +34,16 @@ func main() {
 		storeCmd(args[1:])
 		return
 	}
+	codec, err := wire.ParseCodec(*wireName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	conn, err := wire.Dial(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
-	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client"}}); err != nil {
+	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client", Codec: codec}}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -4,10 +4,13 @@
 //
 //	bateexp [-quick] [-seed N] all
 //	bateexp [-quick] [-seed N] fig13 table3 ...
+//	bateexp [-quick] wireload
 //	bateexp -list
 //
 // Each subcommand prints the rows/series of the corresponding paper
 // artifact; see EXPERIMENTS.md for the paper-vs-measured record.
+// The wireload subcommand is not a paper artifact: it runs the wire
+// codec load harness (binary vs JSON) at smoke or full scale.
 package main
 
 import (

@@ -1,14 +1,17 @@
 // Command batesim runs standalone simulations: the per-second
-// testbed-style emulation (§5.1) or the event-driven large-scale
-// simulation (§5.2), for any built-in topology and TE scheme.
+// testbed-style emulation (§5.1), the event-driven large-scale
+// simulation (§5.2), or the wire load harness, for any built-in
+// topology and TE scheme.
 //
 // Usage:
 //
 //	batesim -mode time  -topology Testbed6 -te BATE -horizon 600 -rate 2
 //	batesim -mode event -topology B4 -te TEAVAR -admission none -rate 3
+//	batesim -mode load  -clients 100000 -wire both -bench-out BENCH_wire.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +28,7 @@ import (
 	"bate/internal/routing"
 	"bate/internal/sim"
 	"bate/internal/topo"
+	"bate/internal/wire"
 )
 
 func parseTE(s string) (sim.TEKind, error) {
@@ -51,7 +55,7 @@ func parseAdmission(s string) (sim.AdmissionMode, error) {
 }
 
 func main() {
-	mode := flag.String("mode", "time", "time (per-second §5.1), event (§5.2), prices (link shadow prices), or chaos (full-stack fault-injection soak)")
+	mode := flag.String("mode", "time", "time (per-second §5.1), event (§5.2), prices (link shadow prices), chaos (full-stack fault-injection soak), or load (wire protocol load harness)")
 	topoName := flag.String("topology", "Testbed6", "built-in topology name or topology file path")
 	teName := flag.String("te", "BATE", "TE scheme: BATE, FFC, TEAVAR, SWAN, SMORE, B4")
 	admName := flag.String("admission", "bate", "admission: none, fixed, bate, opt")
@@ -67,6 +71,15 @@ func main() {
 	traceIn := flag.String("trace", "", "replay a link failure trace file (time mode)")
 	workloadOut := flag.String("save-workload", "", "write the generated workload to a JSON file")
 	chaosSeed := flag.Int64("chaos-seed", 0, "seeded fault injection: in time mode, generate a chaos outage trace when -trace is absent; mode 'chaos' runs the full-stack soak under this seed (0 = off)")
+	clients := flag.Int("clients", 100000, "load mode: simulated clients (one submit+withdraw each)")
+	conns := flag.Int("conns", 32, "load mode: TCP connections multiplexing the clients")
+	batch := flag.Int("batch", 64, "load mode: submits per submit-batch frame")
+	wireName := flag.String("wire", "both", "load mode: codec to drive — binary, json, or both")
+	statusEvery := flag.Int("status-every", 0, "load mode: status poll every N batches per conn (0 = default, <0 = off)")
+	realAdm := flag.Bool("load-real", false, "load mode: run the real admission pipeline instead of stub admission")
+	benchOut := flag.String("bench-out", "", "load mode: write the WireBenchReport JSON here")
+	baseline := flag.String("baseline", "", "load mode: committed WireBenchReport to gate against")
+	tolerance := flag.Float64("tolerance", 0.2, "load mode: fractional regression tolerance for -baseline")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -76,6 +89,11 @@ func main() {
 
 	if *mode == "chaos" {
 		runChaosSoak(*chaosSeed, *seed)
+		return
+	}
+	if *mode == "load" {
+		runWireLoad(*topoName, *clients, *conns, *batch, *statusEvery, *wireName, *realAdm, *seed,
+			*benchOut, *baseline, *tolerance)
 		return
 	}
 
@@ -199,6 +217,78 @@ func main() {
 		fmt.Print(t.String())
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// runWireLoad runs the wire load harness (batesim -mode load): 10^5+
+// simulated clients against one controller, per codec, optionally
+// gating the derived speedup/alloc ratios against a committed
+// baseline report.
+func runWireLoad(topoName string, clients, conns, batch, statusEvery int, wireName string, realAdm bool, seed int64, benchOut, baseline string, tolerance float64) {
+	net0, err := topo.Resolve(topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunnels := routing.Compute(net0, routing.KShortest, 4)
+	var codecs []wire.Codec
+	switch wireName {
+	case "both":
+		codecs = []wire.Codec{wire.CodecBinary, wire.CodecJSON}
+	default:
+		c, err := wire.ParseCodec(wireName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		codecs = []wire.Codec{c}
+	}
+	results := map[wire.Codec]*sim.LoadResult{}
+	for _, codec := range codecs {
+		res, err := sim.RunLoadSim(sim.LoadConfig{
+			Net: net0, Tunnels: tunnels,
+			Clients: clients, Conns: conns, Batch: batch,
+			StatusEvery: statusEvery,
+			Codec:       codec, RealAdmission: realAdm, Seed: seed,
+		})
+		if err != nil {
+			log.Fatalf("batesim: load (%s): %v", codec, err)
+		}
+		results[codec] = res
+		fmt.Printf("wire=%s clients=%d conns=%d batch=%d: %.0f admissions/sec, p50=%.3fms p99=%.3fms, %.1f allocs/op, %.0f bytes/op (%.2fs, %d ops)\n",
+			res.Codec, res.Clients, res.Conns, res.Batch,
+			res.AdmissionsPerSec, res.P50AckMs, res.P99AckMs,
+			res.AllocsPerOp, res.BytesPerOp, res.ElapsedSec, res.OpsTotal)
+	}
+	report := sim.NewWireBenchReport(net0.Name(), clients, results[wire.CodecBinary], results[wire.CodecJSON])
+	if report.Binary != nil && report.JSON != nil {
+		fmt.Printf("binary vs json: %.2fx admissions/sec, %.3fx allocs/op\n",
+			report.SpeedupAdmissionsPerSec, report.AllocsPerOpRatio)
+	}
+	if benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("batesim: wrote %s", benchOut)
+	}
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base sim.WireBenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			log.Fatalf("batesim: parse %s: %v", baseline, err)
+		}
+		if regs := sim.CompareWireBench(report, &base, tolerance); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("wire-bench gate: within ±%.0f%% of %s\n", tolerance*100, baseline)
 	}
 }
 

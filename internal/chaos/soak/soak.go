@@ -44,8 +44,22 @@ type Config struct {
 	// ArtifactPath, when set, receives the fault schedule as JSON before
 	// the run starts — a failing CI seed leaves its schedule behind.
 	ArtifactPath string
+	// JSONWire forces the debug JSON codec on every connection
+	// (controller locked to JSON, every peer hello requests JSON). The
+	// default soaks the binary codec, so mid-frame stall faults tear
+	// binary frames; a forced-JSON run of the same seed must reach the
+	// same admission decisions.
+	JSONWire bool
 	// Logf receives narrative; nil is silent.
 	Logf func(string, ...interface{})
+}
+
+// codec is the wire codec every soak connection negotiates.
+func (cfg Config) codec() wire.Codec {
+	if cfg.JSONWire {
+		return wire.CodecJSON
+	}
+	return wire.CodecBinary
 }
 
 // Schedule is the JSON fault-schedule artifact: everything needed to
@@ -189,6 +203,7 @@ func Run(cfg Config) (*Report, error) {
 		Store: st, FrameTimeout: 10 * time.Second,
 		RecoveryDeadline: cfg.RecoveryDeadline,
 		SolverGate:       budget.Gate,
+		ForceJSONWire:    cfg.JSONWire,
 		Logf:             logf,
 	})
 	if err != nil {
@@ -203,6 +218,7 @@ func Run(cfg Config) (*Report, error) {
 	for _, dc := range []string{"DC1", "DC2"} {
 		b := broker.New(dc, addr)
 		b.SetLogf(func(string, ...interface{}) {})
+		b.SetWireCodec(cfg.codec())
 		edge := "broker-" + dc
 		b.SetDialer(func(a string) (*wire.Conn, error) {
 			nc, err := wireNet.Dial(edge, "controller", a, 2*time.Second)
@@ -215,12 +231,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	// ---- Phase 4: client submissions over a lossy connection. ----
-	clean, err := dialClean(addr, "client", "")
+	clean, err := dialClean(addr, "client", "", cfg.codec())
 	if err != nil {
 		return nil, fmt.Errorf("soak: clean client dial: %w", err)
 	}
 	defer clean.Close()
-	cl := &chaosClient{net: wireNet, addr: addr}
+	cl := &chaosClient{net: wireNet, addr: addr, codec: cfg.codec()}
 	defer cl.drop()
 	for _, p := range plans {
 		id, admitted, err := submitWithRetry(cl, clean, p)
@@ -244,7 +260,7 @@ func Run(cfg Config) (*Report, error) {
 
 	// ---- Phase 6: the link-failure plan over a clean monitor session
 	// (ping/pong as a barrier after every event). ----
-	mon, err := newMonitor(addr)
+	mon, err := newMonitor(addr, cfg.codec())
 	if err != nil {
 		return nil, err
 	}
@@ -475,10 +491,11 @@ func linkEventPlan(n *topo.Network, links []topo.Link) []LinkEventPlan {
 // chaosClient is a serial client over the lossy wire: any transport
 // error drops the connection and the next call redials.
 type chaosClient struct {
-	net  *chaos.Net
-	addr string
-	conn *wire.Conn
-	seq  uint64
+	net   *chaos.Net
+	addr  string
+	codec wire.Codec
+	conn  *wire.Conn
+	seq   uint64
 }
 
 func (cl *chaosClient) ensure() error {
@@ -490,7 +507,7 @@ func (cl *chaosClient) ensure() error {
 		return err
 	}
 	c := wire.New(nc)
-	if err := c.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client"}}); err != nil {
+	if err := c.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client", Codec: cl.codec}}); err != nil {
 		c.Close()
 		return err
 	}
@@ -537,12 +554,12 @@ type cleanConn struct {
 	seq  uint64
 }
 
-func dialClean(addr, role, dc string) (*cleanConn, error) {
+func dialClean(addr, role, dc string, codec wire.Codec) (*cleanConn, error) {
 	c, err := wire.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: role, DC: dc}}); err != nil {
+	if err := c.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: role, DC: dc, Codec: codec}}); err != nil {
 		c.Close()
 		return nil, err
 	}
@@ -629,12 +646,12 @@ type monitor struct {
 	pongs chan uint64
 }
 
-func newMonitor(addr string) (*monitor, error) {
+func newMonitor(addr string, codec wire.Codec) (*monitor, error) {
 	c, err := wire.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "broker", DC: "DC3"}}); err != nil {
+	if err := c.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "broker", DC: "DC3", Codec: codec}}); err != nil {
 		c.Close()
 		return nil, err
 	}

@@ -1,0 +1,147 @@
+package controller
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"bate/internal/routing"
+	"bate/internal/topo"
+	"bate/internal/wire"
+)
+
+// startCodecSystem is startSystem without brokers, with an optional
+// ForceJSONWire controller (a stand-in for an old controller build
+// that predates the binary codec).
+func startCodecSystem(t *testing.T, forceJSON bool) string {
+	t.Helper()
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	ctrl, err := New(Config{Net: n, Tunnels: ts, MaxFail: 2, Logf: silent, ForceJSONWire: forceJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go ctrl.Serve(ctx, ln)
+	return ln.Addr().String()
+}
+
+// dialCodec connects a client that negotiates (or, for CodecJSON,
+// sticks with) the given codec.
+func dialCodec(t *testing.T, addr string, codec wire.Codec) *wire.Conn {
+	t.Helper()
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	err = conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client", Codec: codec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestCodecMatrixIdenticalDecisions runs the same submit/withdraw
+// sequence through every client-codec × controller-codec pairing — a
+// mixed-version deployment where either side may still speak only
+// JSON — and asserts the admission decisions are identical, while the
+// reply codec on each connection matches what that pairing should
+// negotiate.
+func TestCodecMatrixIdenticalDecisions(t *testing.T) {
+	type cell struct {
+		name      string
+		client    wire.Codec
+		forceJSON bool
+		// wantReply is the codec the controller's replies arrive in;
+		// the client's own transmit codec stays whatever it negotiated
+		// (the controller sniffs per frame, so a binary client still
+		// interoperates with a JSON-only controller).
+		wantReply wire.Codec
+	}
+	matrix := []cell{
+		{"binary-client/binary-controller", wire.CodecBinary, false, wire.CodecBinary},
+		{"json-client/binary-controller", wire.CodecJSON, false, wire.CodecJSON},
+		{"binary-client/json-controller", wire.CodecBinary, true, wire.CodecJSON},
+		{"json-client/json-controller", wire.CodecJSON, true, wire.CodecJSON},
+	}
+
+	type decision struct {
+		admitted bool
+		method   string
+	}
+	var baseline []decision
+	for i, c := range matrix {
+		t.Run(c.name, func(t *testing.T) {
+			addr := startCodecSystem(t, c.forceJSON)
+			conn := dialCodec(t, addr, c.client)
+
+			var got []decision
+			// Two distinct demands, then an oversubscribed one: the mix
+			// exercises both admit and reject paths.
+			reqs := []*wire.Submit{
+				{Src: "A", Dst: "B", Bandwidth: 10, Target: 0.99, Charge: 10, RefundFrac: 0.1},
+				{Src: "B", Dst: "C", Bandwidth: 20, Target: 0.999, Charge: 20, RefundFrac: 0.1},
+				{Src: "A", Dst: "C", Bandwidth: 1e9, Target: 0.99, Charge: 1, RefundFrac: 0.1},
+			}
+			for _, s := range reqs {
+				if err := conn.Send(&wire.Message{Type: wire.TypeSubmit, Submit: s}); err != nil {
+					t.Fatal(err)
+				}
+				reply, err := conn.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if reply.Type != wire.TypeAdmitResult || reply.AdmitResult == nil {
+					t.Fatalf("reply %+v", reply)
+				}
+				got = append(got, decision{reply.AdmitResult.Admitted, reply.AdmitResult.Method})
+			}
+			if rc := conn.RecvCodec(); rc != c.wantReply {
+				t.Fatalf("reply codec = %v, want %v", rc, c.wantReply)
+			}
+			if sc := conn.SendCodec(); sc != c.client {
+				t.Fatalf("send codec = %v, want %v", sc, c.client)
+			}
+			if i == 0 {
+				baseline = got
+				return
+			}
+			if len(got) != len(baseline) {
+				t.Fatalf("decisions %v, baseline %v", got, baseline)
+			}
+			for j := range got {
+				if got[j] != baseline[j] {
+					t.Fatalf("decision[%d] = %+v, baseline %+v (codec must not change admission)", j, got[j], baseline[j])
+				}
+			}
+		})
+	}
+}
+
+// TestForcedJSONControllerNeverSendsBinary pins the compat guarantee
+// directly: a ForceJSONWire controller answers a binary-requesting
+// hello in JSON, so a legacy JSON-only peer on the same deployment
+// can always parse what the controller emits.
+func TestForcedJSONControllerNeverSendsBinary(t *testing.T) {
+	addr := startCodecSystem(t, true)
+	conn := dialCodec(t, addr, wire.CodecBinary)
+	if err := conn.Send(&wire.Message{Type: wire.TypeStatus}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != wire.TypeStatusReply {
+		t.Fatalf("reply %+v", reply)
+	}
+	if rc := conn.RecvCodec(); rc != wire.CodecJSON {
+		t.Fatalf("forced-JSON controller replied in %v", rc)
+	}
+}

@@ -7,6 +7,7 @@ package controller
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -67,11 +68,48 @@ type Config struct {
 	// ladder) instead of running. The chaos solver-budget front hooks
 	// in here.
 	SolverGate func(op string) error
+	// StubAdmission admits every structurally valid demand without
+	// consulting the solver (method "stub"). The wire load harness uses
+	// it so throughput numbers measure the control channel, not LP
+	// cost. Durability and id allocation behave exactly as in real
+	// admission.
+	StubAdmission bool
+	// ForceJSONWire pins every session's outgoing codec to the JSON
+	// debug codec, ignoring Hello negotiation. Peers may still *send*
+	// binary frames (the codec is sniffed per frame); this only forces
+	// the controller's replies, which is what the mixed-version matrix
+	// tests exercise.
+	ForceJSONWire bool
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...interface{})
 }
 
-var mAppendRetries = metrics.NewCounter("controller.append_retries")
+var (
+	mAppendRetries = metrics.NewCounter("controller.append_retries")
+
+	// Session-teardown classification: a clean disconnect (EOF between
+	// frames) is routine churn; a typed wire error is frame damage.
+	mPeerDisconnects = metrics.NewCounter("controller.peer_disconnects")
+	mFrameErrors     = metrics.NewCounter("controller.frame_errors")
+	mOversizeFrames  = metrics.NewCounter("controller.oversize_frames")
+)
+
+// countRecvErr classifies the error that ended a session's receive
+// loop, using the wire package's typed errors so damaged peers and
+// departing peers land in different counters.
+func countRecvErr(err error) {
+	switch {
+	case err == nil, errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+		mPeerDisconnects.Inc()
+	case errors.Is(err, wire.ErrFrameTooLarge):
+		mOversizeFrames.Inc()
+	case errors.Is(err, wire.ErrShortRead), errors.Is(err, wire.ErrBadMagic),
+		errors.Is(err, wire.ErrBadVersion), errors.Is(err, wire.ErrBadFrame):
+		mFrameErrors.Inc()
+	default:
+		mPeerDisconnects.Inc()
+	}
+}
 
 // appendDurable runs one store append with bounded jittered-backoff
 // retries. The store repairs its WAL tail after a failed append, so a
@@ -259,8 +297,19 @@ func (c *Controller) handleConn(ctx context.Context, conn *wire.Conn) {
 	case c.cfg.FrameTimeout == 0:
 		conn.SetIdleTimeout(30 * time.Second)
 	}
+	// Sessions are pipelined (batch submits, withdraw bursts, status
+	// polls), so replies coalesce into one flush per burst. Codec
+	// negotiation rides the peer's Hello unless operators forced JSON.
+	conn.EnableCoalescing()
+	if c.cfg.ForceJSONWire {
+		conn.LockCodec(wire.CodecJSON)
+	}
 	hello, err := conn.Recv()
-	if err != nil || hello.Type != wire.TypeHello || hello.Hello == nil {
+	if err != nil {
+		countRecvErr(err)
+		return
+	}
+	if hello.Type != wire.TypeHello || hello.Hello == nil {
 		conn.Send(&wire.Message{Type: wire.TypeError, Error: "expected hello"})
 		return
 	}
@@ -295,6 +344,7 @@ func (c *Controller) serveBroker(conn *wire.Conn, dc string) {
 	for {
 		m, err := conn.Recv()
 		if err != nil {
+			countRecvErr(err)
 			return
 		}
 		switch m.Type {
@@ -319,6 +369,7 @@ func (c *Controller) serveClient(conn *wire.Conn) {
 	for {
 		m, err := conn.Recv()
 		if err != nil {
+			countRecvErr(err)
 			return
 		}
 		switch m.Type {
@@ -376,6 +427,16 @@ func (c *Controller) submit(s *wire.Submit) *wire.AdmitResult {
 		ID:     id,
 		Pairs:  []demand.PairDemand{{Src: src, Dst: dst, Bandwidth: s.Bandwidth}},
 		Target: s.Target, Charge: s.Charge, RefundFrac: s.RefundFrac,
+	}
+	if c.cfg.StubAdmission {
+		if c.cfg.Store != nil {
+			if err := c.appendDurable("admit", func() error { return c.cfg.Store.AppendAdmit(d, nil) }); err != nil {
+				c.logf("controller: store admit %d: %v", id, err)
+				return &wire.AdmitResult{Admitted: false, Method: "store-error"}
+			}
+		}
+		c.demands[id] = d
+		return &wire.AdmitResult{Admitted: true, DemandID: id, Method: "stub"}
 	}
 	in, active := c.inputLocked()
 	res, err := bate.Admit(in, c.current, active, d, c.cfg.MaxFail)
@@ -460,6 +521,22 @@ func (c *Controller) submitBatch(subs []wire.Submit) []wire.AdmitResult {
 		slot = append(slot, i)
 	}
 	if len(batch) == 0 {
+		return out
+	}
+	if c.cfg.StubAdmission {
+		for bi, d := range batch {
+			i := slot[bi]
+			if c.cfg.Store != nil {
+				d := d
+				if err := c.appendDurable("admit", func() error { return c.cfg.Store.AppendAdmit(d, nil) }); err != nil {
+					c.logf("controller: store admit %d: %v", d.ID, err)
+					out[i] = wire.AdmitResult{Admitted: false, Method: "store-error"}
+					continue
+				}
+			}
+			c.demands[d.ID] = d
+			out[i] = wire.AdmitResult{Admitted: true, DemandID: d.ID, Method: "stub"}
+		}
 		return out
 	}
 	in, active := c.inputLocked()
@@ -739,18 +816,31 @@ func (c *Controller) Snapshot() (demands int, epoch uint64) {
 func (c *Controller) status() *wire.StatusReply {
 	c.mu.Lock()
 	in, active := c.inputLocked()
-	current := c.current
+	// Shallow-copy the allocation map: concurrent withdrawals delete
+	// entries (the per-demand rows themselves are never mutated in
+	// place), and the availability loop below runs unlocked.
+	current := make(alloc.Allocation, len(c.current))
+	for id, rows := range c.current {
+		current[id] = rows
+	}
 	epoch := c.epoch
 	c.mu.Unlock()
 	reply := &wire.StatusReply{Epoch: epoch, Counters: metrics.Snapshot()}
 	for _, d := range active {
-		achieved, err := alloc.AchievedAvailability(in, current, d, c.cfg.MaxFail)
-		if err != nil {
-			achieved = 0
-		}
 		allocated := 0.0
 		for pi := range d.Pairs {
 			allocated += current.AllocatedFor(d, pi)
+		}
+		// A demand with no installed allocation has availability 0 by
+		// definition; skip the scenario enumeration it would otherwise
+		// pay for (status polls are hot under wire load).
+		achieved := 0.0
+		if allocated > 0 {
+			var err error
+			achieved, err = alloc.AchievedAvailability(in, current, d, c.cfg.MaxFail)
+			if err != nil {
+				achieved = 0
+			}
 		}
 		reply.Demands = append(reply.Demands, wire.DemandStatus{
 			DemandID:  d.ID,

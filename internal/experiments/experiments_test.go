@@ -27,8 +27,8 @@ func runExperiment(t *testing.T, id string) string {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 artifacts", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registry has %d experiments, want 19 artifacts", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -152,6 +152,18 @@ func TestFig13Quick(t *testing.T) {
 	for _, want := range []string{"BATE", "TEAVAR", "SWAN", "SMORE", "B4", "FFC"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("fig13 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWireLoadQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness in -short mode")
+	}
+	out := runExperiment(t, "wireload")
+	for _, want := range []string{"wire=binary", "wire=json", "binary vs json:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("wireload missing %q:\n%s", want, out)
 		}
 	}
 }

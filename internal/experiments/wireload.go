@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bate/internal/sim"
+	"bate/internal/wire"
+)
+
+// WireLoad runs the wire-protocol load harness for both codecs and
+// prints the per-codec throughput plus the binary-vs-JSON ratios the
+// CI bench gate watches. Quick shrinks the client count to a smoke
+// size; the full run drives 10^5 clients.
+func WireLoad(w io.Writer, opt Options) error {
+	clients := 100000
+	if opt.Quick {
+		clients = 2000
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	results := map[wire.Codec]*sim.LoadResult{}
+	for _, codec := range []wire.Codec{wire.CodecBinary, wire.CodecJSON} {
+		res, err := sim.RunLoadSim(sim.LoadConfig{Clients: clients, Codec: codec, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("wireload (%s): %v", codec, err)
+		}
+		results[codec] = res
+		fmt.Fprintf(w, "wire=%s clients=%d: %.0f admissions/sec, p99=%.3fms, %.1f allocs/op\n",
+			res.Codec, res.Clients, res.AdmissionsPerSec, res.P99AckMs, res.AllocsPerOp)
+	}
+	rep := sim.NewWireBenchReport("Testbed6", clients,
+		results[wire.CodecBinary], results[wire.CodecJSON])
+	fmt.Fprintf(w, "binary vs json: %.2fx admissions/sec, %.3fx allocs/op\n",
+		rep.SpeedupAdmissionsPerSec, rep.AllocsPerOpRatio)
+	return nil
+}

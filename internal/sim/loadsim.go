@@ -1,0 +1,366 @@
+// Wire load harness: drives a population of simulated clients
+// (submit/withdraw churn plus status polls) against one in-process
+// controller over real TCP, and measures control-channel throughput —
+// admissions/sec, ack latency percentiles, allocs/op — per wire
+// codec. The controller runs with stub admission by default so the
+// numbers isolate the wire layer from the solver (the solver has its
+// own benchmarks).
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"bate/internal/controller"
+	"bate/internal/metrics"
+	"bate/internal/routing"
+	"bate/internal/topo"
+	"bate/internal/wire"
+)
+
+// LoadConfig parameterizes RunLoadSim.
+type LoadConfig struct {
+	// Net/Tunnels default to the paper's 6-DC testbed with 4-shortest
+	// tunnels.
+	Net     *topo.Network
+	Tunnels *routing.TunnelSet
+	// Clients is the number of simulated clients; each submits one
+	// demand and withdraws it (default 10000).
+	Clients int
+	// Conns is the number of TCP connections the clients multiplex
+	// over (default 32).
+	Conns int
+	// Batch is the number of submits per submit-batch frame (default
+	// 64). Conns×Batch is clamped to stay inside the controller's
+	// 12-bit demand-id space.
+	Batch int
+	// StatusEvery issues a status poll every N batches per connection
+	// (default 1, i.e. one poll per batch — a dashboard-style 1:Batch
+	// poll:submit mix; 0 uses the default, negative disables).
+	StatusEvery int
+	// Codec selects the wire codec the clients negotiate.
+	Codec wire.Codec
+	// RealAdmission runs the actual admission pipeline instead of stub
+	// admission, measuring the full stack.
+	RealAdmission bool
+	// Seed makes demand generation deterministic (default 1).
+	Seed int64
+}
+
+// LoadResult is one harness run's measurements.
+type LoadResult struct {
+	Codec       string  `json:"codec"`
+	Clients     int     `json:"clients"`
+	Conns       int     `json:"conns"`
+	Batch       int     `json:"batch"`
+	Admitted    int64   `json:"admitted"`
+	Rejected    int64   `json:"rejected"`
+	Withdrawn   int64   `json:"withdrawn"`
+	StatusPolls int64   `json:"status_polls"`
+	OpsTotal    int64   `json:"ops_total"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	// AdmissionsPerSec is admitted demands per wall-clock second.
+	AdmissionsPerSec float64 `json:"admissions_per_sec"`
+	// P50AckMs/P99AckMs are submit-batch round-trip percentiles.
+	P50AckMs float64 `json:"p50_ack_ms"`
+	P99AckMs float64 `json:"p99_ack_ms"`
+	// AllocsPerOp is heap allocations per wire operation (admission,
+	// withdrawal or status poll) across the whole process — client
+	// side, controller side and codec included.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type loadConnStats struct {
+	admitted, rejected, withdrawn, polls int64
+	ackMs                                []float64
+	err                                  error
+}
+
+// RunLoadSim runs the load harness and reports measurements.
+func RunLoadSim(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Net == nil {
+		cfg.Net = topo.Testbed()
+		cfg.Tunnels = routing.Compute(cfg.Net, routing.KShortest, 4)
+	}
+	if cfg.Tunnels == nil {
+		cfg.Tunnels = routing.Compute(cfg.Net, routing.KShortest, 4)
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 10000
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 32
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.StatusEvery == 0 {
+		cfg.StatusEvery = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	// In-flight demands peak at Conns×Batch; the controller's demand
+	// ids live in 12 bits (id 0 reserved), so keep a wide margin.
+	if cfg.Conns*cfg.Batch > 3500 {
+		cfg.Batch = 3500 / cfg.Conns
+		if cfg.Batch < 1 {
+			cfg.Batch = 1
+			cfg.Conns = 3500
+		}
+	}
+
+	silent := func(string, ...interface{}) {}
+	ctrl, err := controller.New(controller.Config{
+		Net: cfg.Net, Tunnels: cfg.Tunnels, MaxFail: 1,
+		StubAdmission: !cfg.RealAdmission, Logf: silent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ctrl.Serve(ctx, ln)
+	addr := ln.Addr().String()
+
+	names := make([]string, cfg.Net.NumNodes())
+	for i := range names {
+		names[i] = cfg.Net.NodeName(topo.NodeID(i))
+	}
+
+	stats := make([]loadConnStats, cfg.Conns)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Conns; ci++ {
+		myClients := cfg.Clients / cfg.Conns
+		if ci < cfg.Clients%cfg.Conns {
+			myClients++
+		}
+		if myClients == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci, myClients int) {
+			defer wg.Done()
+			st := &stats[ci]
+			st.err = driveConn(addr, cfg, int64(ci), myClients, names, st)
+		}(ci, myClients)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	res := &LoadResult{
+		Codec:   cfg.Codec.String(),
+		Clients: cfg.Clients, Conns: cfg.Conns, Batch: cfg.Batch,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	var ackMs []float64
+	for i := range stats {
+		st := &stats[i]
+		if st.err != nil {
+			return nil, fmt.Errorf("loadsim: conn %d: %w", i, st.err)
+		}
+		res.Admitted += st.admitted
+		res.Rejected += st.rejected
+		res.Withdrawn += st.withdrawn
+		res.StatusPolls += st.polls
+		ackMs = append(ackMs, st.ackMs...)
+	}
+	res.OpsTotal = res.Admitted + res.Rejected + res.Withdrawn + res.StatusPolls
+	if res.ElapsedSec > 0 {
+		res.AdmissionsPerSec = float64(res.Admitted) / res.ElapsedSec
+	}
+	if len(ackMs) > 0 {
+		cdf := metrics.NewCDF(ackMs)
+		res.P50AckMs = cdf.Quantile(0.5)
+		res.P99AckMs = cdf.Quantile(0.99)
+	}
+	if res.OpsTotal > 0 {
+		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.OpsTotal)
+		res.BytesPerOp = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(res.OpsTotal)
+	}
+	return res, nil
+}
+
+// driveConn runs one connection's share of the client population:
+// submit a batch, wait for the decisions (the ack RTT sample), then
+// pipeline the withdrawals — coalesced into few syscalls — with a
+// status poll mixed in every StatusEvery batches.
+func driveConn(addr string, cfg LoadConfig, connID int64, myClients int, names []string, st *loadConnStats) error {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.EnableCoalescing()
+	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client", Codec: cfg.Codec}}); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + connID*7919))
+	var seq uint64
+	// Send encodes synchronously (the coalescing queue holds encoded
+	// bytes, not the Message), so request objects are reusable across
+	// iterations.
+	batchMsg := &wire.Message{Type: wire.TypeSubmitBatch}
+	withdrawMsg := &wire.Message{Type: wire.TypeWithdraw}
+	statusMsg := &wire.Message{Type: wire.TypeStatus}
+	subs := make([]wire.Submit, 0, cfg.Batch)
+	ids := make([]int, 0, cfg.Batch)
+	for done, batches := 0, 0; done < myClients; batches++ {
+		b := cfg.Batch
+		if myClients-done < b {
+			b = myClients - done
+		}
+		subs = subs[:0]
+		for i := 0; i < b; i++ {
+			si := rng.Intn(len(names))
+			di := rng.Intn(len(names) - 1)
+			if di >= si {
+				di++
+			}
+			subs = append(subs, wire.Submit{
+				Src: names[si], Dst: names[di],
+				Bandwidth: 10 + rng.Float64()*40,
+				Target:    0.99, Charge: 10, RefundFrac: 0.5,
+			})
+		}
+		seq++
+		batchMsg.Seq = seq
+		batchMsg.SubmitBatch = subs
+		t0 := time.Now()
+		if err := conn.Send(batchMsg); err != nil {
+			return err
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		st.ackMs = append(st.ackMs, float64(time.Since(t0).Microseconds())/1000)
+		if reply.Type != wire.TypeAdmitBatchResult || reply.Seq != seq {
+			return fmt.Errorf("batch reply: got %s seq %d, want seq %d", reply.Type, reply.Seq, seq)
+		}
+		ids = ids[:0]
+		for _, r := range reply.AdmitBatchResult {
+			if r.Admitted {
+				st.admitted++
+				ids = append(ids, r.DemandID)
+			} else {
+				st.rejected++
+			}
+		}
+		// Pipelined withdrawals: all sends queue before any reply is
+		// read, so the coalescing writer batches them.
+		expect := 0
+		for _, id := range ids {
+			seq++
+			withdrawMsg.Seq = seq
+			withdrawMsg.WithdrawID = id
+			if err := conn.Send(withdrawMsg); err != nil {
+				return err
+			}
+			expect++
+		}
+		poll := cfg.StatusEvery > 0 && batches%cfg.StatusEvery == 0
+		if poll {
+			seq++
+			statusMsg.Seq = seq
+			if err := conn.Send(statusMsg); err != nil {
+				return err
+			}
+			expect++
+		}
+		for i := 0; i < expect; i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				return err
+			}
+			switch m.Type {
+			case wire.TypePong:
+				st.withdrawn++
+			case wire.TypeStatusReply:
+				st.polls++
+			case wire.TypeError:
+				return fmt.Errorf("controller error: %s", m.Error)
+			}
+		}
+		done += b
+	}
+	return nil
+}
+
+// WireBenchReport pairs a binary and a JSON harness run with the
+// derived ratios the CI gate checks. The ratios, not the absolute
+// rates, are what transfer across machines: binary-vs-JSON speedup
+// and allocations per operation are properties of the codec, while
+// ops/sec is a property of the host.
+type WireBenchReport struct {
+	Topology string      `json:"topology"`
+	Clients  int         `json:"clients"`
+	Binary   *LoadResult `json:"binary,omitempty"`
+	JSON     *LoadResult `json:"json,omitempty"`
+	// SpeedupAdmissionsPerSec = binary admissions/sec over JSON's.
+	SpeedupAdmissionsPerSec float64 `json:"speedup_admissions_per_sec,omitempty"`
+	// AllocsPerOpRatio = binary allocs/op over JSON's (lower is
+	// better; the acceptance bar is ≤0.2).
+	AllocsPerOpRatio float64 `json:"allocs_per_op_ratio,omitempty"`
+}
+
+// NewWireBenchReport derives the cross-codec ratios.
+func NewWireBenchReport(topology string, clients int, bin, js *LoadResult) *WireBenchReport {
+	r := &WireBenchReport{Topology: topology, Clients: clients, Binary: bin, JSON: js}
+	if bin != nil && js != nil {
+		if js.AdmissionsPerSec > 0 {
+			r.SpeedupAdmissionsPerSec = bin.AdmissionsPerSec / js.AdmissionsPerSec
+		}
+		if js.AllocsPerOp > 0 {
+			r.AllocsPerOpRatio = bin.AllocsPerOp / js.AllocsPerOp
+		}
+	}
+	return r
+}
+
+// CompareWireBench checks cur against a committed baseline with a
+// fractional tolerance (0.2 = ±20%) and returns one message per
+// regression (empty = gate passes). Only machine-portable quantities
+// gate: the binary/JSON speedup and allocs/op; absolute rates are
+// reported but never compared across hosts.
+func CompareWireBench(cur, base *WireBenchReport, tol float64) []string {
+	var regressions []string
+	if cur == nil || base == nil {
+		return []string{"missing report"}
+	}
+	if base.SpeedupAdmissionsPerSec > 0 && cur.SpeedupAdmissionsPerSec < base.SpeedupAdmissionsPerSec*(1-tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"admissions/sec speedup %.2fx below baseline %.2fx (tolerance %.0f%%)",
+			cur.SpeedupAdmissionsPerSec, base.SpeedupAdmissionsPerSec, tol*100))
+	}
+	if base.Binary != nil && cur.Binary != nil && base.Binary.AllocsPerOp > 0 &&
+		cur.Binary.AllocsPerOp > base.Binary.AllocsPerOp*(1+tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"binary allocs/op %.1f above baseline %.1f (tolerance %.0f%%)",
+			cur.Binary.AllocsPerOp, base.Binary.AllocsPerOp, tol*100))
+	}
+	if base.AllocsPerOpRatio > 0 && cur.AllocsPerOpRatio > base.AllocsPerOpRatio*(1+tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"allocs/op ratio %.3f above baseline %.3f (tolerance %.0f%%)",
+			cur.AllocsPerOpRatio, base.AllocsPerOpRatio, tol*100))
+	}
+	if cur.Binary != nil && cur.Binary.AdmissionsPerSec <= 0 {
+		regressions = append(regressions, "binary run admitted nothing")
+	}
+	return regressions
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"bate/internal/wire"
+)
+
+func TestLoadSimSmoke(t *testing.T) {
+	for _, codec := range []wire.Codec{wire.CodecBinary, wire.CodecJSON} {
+		res, err := RunLoadSim(LoadConfig{Clients: 400, Conns: 4, Batch: 16, Codec: codec})
+		if err != nil {
+			t.Fatalf("%s: %v", codec, err)
+		}
+		if res.Admitted != 400 {
+			t.Fatalf("%s: admitted %d of 400 (rejected %d)", codec, res.Admitted, res.Rejected)
+		}
+		if res.Withdrawn != res.Admitted {
+			t.Fatalf("%s: withdrew %d of %d admitted", codec, res.Withdrawn, res.Admitted)
+		}
+		if res.StatusPolls == 0 {
+			t.Fatalf("%s: no status polls ran", codec)
+		}
+		if res.AdmissionsPerSec <= 0 || res.P99AckMs <= 0 || res.AllocsPerOp <= 0 {
+			t.Fatalf("%s: empty measurements: %+v", codec, res)
+		}
+	}
+}
+
+func TestLoadSimRealAdmission(t *testing.T) {
+	// The full stack (solver included) must also hold up under the
+	// harness, just at a smaller scale.
+	res, err := RunLoadSim(LoadConfig{Clients: 64, Conns: 2, Batch: 8, RealAdmission: true, Codec: wire.CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted == 0 {
+		t.Fatalf("real admission admitted nothing: %+v", res)
+	}
+}
+
+func TestLoadSimClampsIDSpace(t *testing.T) {
+	// Conns×Batch beyond the 12-bit demand-id space must be clamped,
+	// not wedge the run on id exhaustion.
+	res, err := RunLoadSim(LoadConfig{Clients: 800, Conns: 64, Batch: 128, Codec: wire.CodecBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conns*res.Batch > 3500 {
+		t.Fatalf("unclamped in-flight window: %d conns × %d batch", res.Conns, res.Batch)
+	}
+	if res.Admitted != 800 {
+		t.Fatalf("admitted %d of 800", res.Admitted)
+	}
+}
+
+func TestCompareWireBench(t *testing.T) {
+	bin := &LoadResult{AdmissionsPerSec: 1000, AllocsPerOp: 10}
+	js := &LoadResult{AdmissionsPerSec: 100, AllocsPerOp: 100}
+	base := NewWireBenchReport("testbed6", 1000, bin, js)
+	if base.SpeedupAdmissionsPerSec != 10 || base.AllocsPerOpRatio != 0.1 {
+		t.Fatalf("ratios: %+v", base)
+	}
+	if regs := CompareWireBench(base, base, 0.2); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %v", regs)
+	}
+	slow := NewWireBenchReport("testbed6", 1000,
+		&LoadResult{AdmissionsPerSec: 500, AllocsPerOp: 10}, js)
+	if regs := CompareWireBench(slow, base, 0.2); len(regs) == 0 {
+		t.Fatal("halved speedup passed the ±20% gate")
+	}
+	leaky := NewWireBenchReport("testbed6", 1000,
+		&LoadResult{AdmissionsPerSec: 1000, AllocsPerOp: 20}, js)
+	if regs := CompareWireBench(leaky, base, 0.2); len(regs) == 0 {
+		t.Fatal("doubled allocs/op passed the ±20% gate")
+	}
+	within := NewWireBenchReport("testbed6", 1000,
+		&LoadResult{AdmissionsPerSec: 900, AllocsPerOp: 11}, &LoadResult{AdmissionsPerSec: 100, AllocsPerOp: 100})
+	if regs := CompareWireBench(within, base, 0.2); len(regs) != 0 {
+		t.Fatalf("10%% drift failed the ±20%% gate: %v", regs)
+	}
+}

@@ -1,0 +1,451 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// allMessages returns one populated message per type, covering every
+// hand-rolled binary body plus the tagJSONMsg fallback (Paxos).
+func allMessages() []*Message {
+	return []*Message{
+		{Type: TypeHello, Seq: 1, Hello: &Hello{Role: "broker", DC: "DC2", Codec: CodecBinary}},
+		{Type: TypeSubmit, Seq: 2, Submit: &Submit{DemandID: 3, Src: "DC1", Dst: "DC4", Bandwidth: 500, Target: 0.999, Charge: 500, RefundFrac: 0.1}},
+		{Type: TypeAdmitResult, Seq: 3, AdmitResult: &AdmitResult{DemandID: 1, Admitted: true, Method: "fixed", DelayMs: 1.5}},
+		{Type: TypeSubmitBatch, Seq: 4, SubmitBatch: []Submit{
+			{DemandID: 0, Src: "DC1", Dst: "DC2", Bandwidth: 10, Target: 0.9},
+			{DemandID: 0, Src: "DC2", Dst: "DC3", Bandwidth: 20, Target: 0.99, Charge: 7, RefundFrac: 0.5},
+		}},
+		{Type: TypeAdmitBatchResult, Seq: 5, AdmitBatchResult: []AdmitResult{
+			{DemandID: 4, Admitted: true, Method: "stub"},
+			{DemandID: 0, Admitted: false, Method: "stub", DelayMs: 0.25},
+		}},
+		{Type: TypeAllocUpdate, Seq: 6, Alloc: &AllocUpdate{Epoch: 4, Backup: true, Tunnels: []TunnelAlloc{
+			{Label: 0x1002, Hops: []string{"DC1", "DC2"}, Rate: 100},
+			{Label: 0x2003, Hops: []string{"DC1", "DC3", "DC2"}, Rate: 55.5},
+		}}},
+		{Type: TypeLinkEvent, Seq: 7, LinkEvent: &LinkEvent{SrcDC: "DC1", DstDC: "DC2", Up: false, AtUnixMs: -99, RateMbps: 3.5}},
+		{Type: TypeWithdraw, Seq: 8, WithdrawID: 12},
+		{Type: TypeStats, Seq: 9, Stats: &Stats{DC: "DC1", Rates: map[string]float64{"t0": 5, "t1": 7.25}}},
+		{Type: TypePing, Seq: 10},
+		{Type: TypePong, Seq: 11},
+		{Type: TypeError, Seq: 12, Error: "boom"},
+		{Type: TypeStatus, Seq: 13},
+		{Type: TypeStatusReply, Seq: 14, Status: &StatusReply{
+			Epoch:   9,
+			Demands: []DemandStatus{{DemandID: 2, Src: "DC1", Dst: "DC2", Bandwidth: 100, Target: 0.99, Achieved: 0.995, Allocated: 100}},
+			Counters: map[string]int64{
+				"admission.total": 42,
+			},
+		}},
+		{Type: TypePaxos, Seq: 15, Paxos: &PaxosMsg{Kind: 2, From: 1, To: 0, BallotRound: 7, BallotNode: 1, Value: "leader"}},
+		// Nil payloads must survive a round trip as nil (presence flag).
+		{Type: TypeSubmit, Seq: 16},
+		{Type: TypeAllocUpdate, Seq: 17, Alloc: &AllocUpdate{Epoch: 1}},
+	}
+}
+
+// binaryPair returns two ends that have both negotiated the binary
+// codec.
+func binaryPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	ca, cb := pipePair(t)
+	ca.SetCodec(CodecBinary)
+	cb.SetCodec(CodecBinary)
+	return ca, cb
+}
+
+func TestBinaryAllTypesRoundTrip(t *testing.T) {
+	ca, cb := binaryPair(t)
+	msgs := allMessages()
+	go func() {
+		for _, m := range msgs {
+			if err := ca.Send(m); err != nil {
+				t.Errorf("send %s: %v", m.Type, err)
+				return
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("type %s:\n got  %+v\n want %+v", want.Type, got, want)
+		}
+		if cb.RecvCodec() != CodecBinary {
+			t.Fatalf("frame for %s arrived as %s", want.Type, cb.RecvCodec())
+		}
+	}
+}
+
+func TestHelloNegotiatesBinary(t *testing.T) {
+	ca, cb := pipePair(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Server side: reads the hello, mirrors the codec on replies.
+		m, err := cb.Recv()
+		if err != nil || m.Type != TypeHello {
+			t.Errorf("recv hello: %v %v", m, err)
+			return
+		}
+		if cb.SendCodec() != CodecBinary {
+			t.Errorf("server tx codec after hello = %s, want binary", cb.SendCodec())
+		}
+		cb.Send(&Message{Type: TypePong, Seq: m.Seq})
+	}()
+	if ca.SendCodec() != CodecJSON {
+		t.Fatalf("fresh conn tx codec = %s, want json", ca.SendCodec())
+	}
+	if err := ca.Send(&Message{Type: TypeHello, Seq: 1, Hello: &Hello{Role: "client", Codec: CodecBinary}}); err != nil {
+		t.Fatal(err)
+	}
+	if ca.SendCodec() != CodecBinary {
+		t.Fatalf("client tx codec after hello = %s, want binary", ca.SendCodec())
+	}
+	reply, err := ca.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypePong || reply.Seq != 1 {
+		t.Fatalf("reply %+v", reply)
+	}
+	if ca.RecvCodec() != CodecBinary {
+		t.Fatalf("reply codec = %s, want binary (server must mirror)", ca.RecvCodec())
+	}
+	<-done
+}
+
+func TestLockCodecIgnoresNegotiation(t *testing.T) {
+	ca, cb := pipePair(t)
+	cb.LockCodec(CodecJSON)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m, err := cb.Recv()
+		if err != nil || m.Type != TypeHello {
+			t.Errorf("recv hello: %v %v", m, err)
+			return
+		}
+		cb.Send(&Message{Type: TypePong, Seq: m.Seq})
+	}()
+	ca.Send(&Message{Type: TypeHello, Seq: 5, Hello: &Hello{Role: "client", Codec: CodecBinary}})
+	reply, err := ca.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypePong {
+		t.Fatalf("reply %+v", reply)
+	}
+	if ca.RecvCodec() != CodecJSON {
+		t.Fatalf("locked server replied with %s, want json", ca.RecvCodec())
+	}
+	<-done
+}
+
+func TestUnknownFutureCodecFallsBackToJSON(t *testing.T) {
+	ca, cb := pipePair(t)
+	go cb.Recv()
+	ca.Send(&Message{Type: TypeHello, Hello: &Hello{Role: "client", Codec: Codec(9)}})
+	if ca.SendCodec() != CodecJSON {
+		t.Fatalf("unknown codec negotiated to %s, want json fallback", ca.SendCodec())
+	}
+}
+
+func TestMixedCodecsOnOneConnection(t *testing.T) {
+	// A binary sender and a JSON sender can share a receiver: the codec
+	// is sniffed per frame.
+	ca, cb := pipePair(t)
+	go func() {
+		ca.SetCodec(CodecBinary)
+		ca.Send(&Message{Type: TypePing, Seq: 1})
+		ca.SetCodec(CodecJSON)
+		ca.Send(&Message{Type: TypePing, Seq: 2})
+		ca.SetCodec(CodecBinary)
+		ca.Send(&Message{Type: TypePing, Seq: 3})
+	}()
+	wantCodec := []Codec{CodecBinary, CodecJSON, CodecBinary}
+	for i := uint64(1); i <= 3; i++ {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != i || cb.RecvCodec() != wantCodec[i-1] {
+			t.Fatalf("frame %d: seq %d codec %s", i, m.Seq, cb.RecvCodec())
+		}
+	}
+}
+
+func TestBadMagicTypedError(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	ca := New(a)
+	go b.Write([]byte("GET / HTTP/1.1\r\n"))
+	_, err := ca.Recv()
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersionTypedError(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	ca := New(a)
+	go b.Write([]byte{binaryMagic, 99, tagPing, 0})
+	_, err := ca.Recv()
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestOversizeTypedErrors(t *testing.T) {
+	// JSON header path.
+	a, b := net.Pipe()
+	defer a.Close()
+	ca := New(a)
+	go func() {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+		b.Write(hdr[:])
+	}()
+	if _, err := ca.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("json path: err = %v, want ErrFrameTooLarge", err)
+	}
+	// Binary header path.
+	a2, b2 := net.Pipe()
+	defer a2.Close()
+	ca2 := New(a2)
+	go func() {
+		frame := []byte{binaryMagic, binaryVersion, tagPing}
+		frame = binary.AppendUvarint(frame, MaxFrame+1)
+		b2.Write(frame)
+	}()
+	if _, err := ca2.Recv(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("binary path: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestShortReadTypedError(t *testing.T) {
+	a, b := net.Pipe()
+	ca := New(a)
+	ca.SetIdleTimeout(50 * time.Millisecond)
+	go func() {
+		frame := []byte{binaryMagic, binaryVersion, tagError}
+		frame = binary.AppendUvarint(frame, 100) // promises 100 bytes...
+		frame = append(frame, "only-a-few"...)   // ...delivers 10, then dies
+		b.Write(frame)
+		b.Close()
+	}()
+	_, err := ca.Recv()
+	if !errors.Is(err, ErrShortRead) {
+		t.Fatalf("err = %v, want ErrShortRead", err)
+	}
+	a.Close()
+}
+
+func TestBinaryTruncatedFrameTimesOut(t *testing.T) {
+	// The chaos layer stalls peers mid-frame; a binary frame must tear
+	// on the idle deadline exactly like a JSON frame does.
+	a, b := net.Pipe()
+	defer a.Close()
+	ca := New(a)
+	ca.SetIdleTimeout(50 * time.Millisecond)
+	go func() {
+		frame := []byte{binaryMagic, binaryVersion, tagError}
+		frame = binary.AppendUvarint(frame, 100)
+		frame = append(frame, "partial"...)
+		b.Write(frame) // ...then stalls with the conn open
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ca.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrShortRead) {
+			t.Fatalf("err = %v, want ErrShortRead", err)
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("err = %v, want to wrap a net timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv blocked on a half-written binary frame")
+	}
+}
+
+func TestBinaryGarbageBodyTypedError(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	ca := New(a)
+	go func() {
+		// Valid header, body too short for the submit it declares.
+		body := []byte{7, 1} // seq=7, present=true, then nothing
+		frame := []byte{binaryMagic, binaryVersion, tagSubmit}
+		frame = binary.AppendUvarint(frame, uint64(len(body)))
+		frame = append(frame, body...)
+		b.Write(frame)
+	}()
+	_, err := ca.Recv()
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestCoalescedPipelinedSends(t *testing.T) {
+	ca, cb := binaryPair(t)
+	ca.EnableCoalescing()
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := ca.Send(&Message{Type: TypePing, Seq: uint64(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("frame %d arrived out of order (seq %d)", i, m.Seq)
+		}
+	}
+}
+
+func TestCoalescedCloseFlushesQueuedFrames(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := New(a), New(b)
+	defer cb.Close()
+	ca.EnableCoalescing()
+	recvd := make(chan *Message, 1)
+	go func() {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		recvd <- m
+	}()
+	if err := ca.Send(&Message{Type: TypePing, Seq: 77}); err != nil {
+		t.Fatal(err)
+	}
+	ca.Close() // must drain the queue before closing the socket
+	select {
+	case m := <-recvd:
+		if m.Seq != 77 {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued frame dropped by Close")
+	}
+}
+
+func TestCoalescedConcurrentSenders(t *testing.T) {
+	ca, cb := binaryPair(t)
+	ca.EnableCoalescing()
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ca.Send(&Message{Type: TypePing, Seq: uint64(i)})
+		}(i)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		m, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[m.Seq] {
+			t.Fatalf("duplicate seq %d (frame corruption)", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+	wg.Wait()
+}
+
+func TestCoalescedStickyWriteError(t *testing.T) {
+	a, b := net.Pipe()
+	ca := New(a)
+	ca.EnableCoalescing()
+	b.Close() // peer gone: writes will fail
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := ca.Send(&Message{Type: TypePing}); err != nil {
+			ca.Close()
+			return // sticky error surfaced on a later Send, as documented
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("send kept succeeding against a closed peer")
+}
+
+func TestBinaryOversizeSendRejected(t *testing.T) {
+	ca, cb := binaryPair(t)
+	go cb.Recv()
+	big := make([]byte, MaxFrame)
+	for i := range big {
+		big[i] = 'x'
+	}
+	err := ca.Send(&Message{Type: TypeError, Error: string(big)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodeIgnoresTrailingBytes(t *testing.T) {
+	// Forward compatibility: a newer peer may append fields to a body.
+	body := binary.AppendUvarint(nil, 42) // seq
+	body = binary.AppendVarint(body, 7)   // withdraw id
+	body = append(body, 0xde, 0xad)       // future fields
+	m, err := decodeBinaryBody(tagWithdraw, body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeWithdraw || m.Seq != 42 || m.WithdrawID != 7 {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestBinaryFrameReadsFromRawBytes(t *testing.T) {
+	// Lock the layout down: a frame is [magic][version][tag][uvarint
+	// len][body], byte for byte. If this test breaks, the protocol
+	// version must be bumped.
+	bp := getBuf()
+	stored, off, err := encodeFrame((*bp)[:0], &Message{Type: TypePing, Seq: 300}, CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := stored[off:]
+	wantBody := binary.AppendUvarint(nil, 300)
+	want := []byte{binaryMagic, binaryVersion, tagPing}
+	want = binary.AppendUvarint(want, uint64(len(wantBody)))
+	want = append(want, wantBody...)
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("frame layout changed:\n got  %x\n want %x", frame, want)
+	}
+	// And it must decode back through a reader.
+	c := &Conn{r: bufio.NewReader(bytes.NewReader(frame))}
+	m, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypePing || m.Seq != 300 {
+		t.Fatalf("got %+v", m)
+	}
+}

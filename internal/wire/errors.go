@@ -1,0 +1,31 @@
+package wire
+
+import "errors"
+
+// Typed frame errors. The controller counts these separately from
+// clean peer disconnects (io.EOF between frames): a peer that hangs
+// up is routine churn, a peer that sends damaged frames is a bug or
+// an attack, and conflating the two in metrics hides both.
+var (
+	// ErrFrameTooLarge reports a frame whose declared body exceeds
+	// MaxFrame, on either the send or the receive side.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds max size")
+
+	// ErrShortRead reports a connection that died, or went silent past
+	// the idle deadline, in the middle of a frame: the header promised
+	// more bytes than ever arrived.
+	ErrShortRead = errors.New("wire: short read mid-frame")
+
+	// ErrBadMagic reports a frame that starts with neither the binary
+	// magic byte nor a JSON length prefix — the peer is not speaking
+	// this protocol at all.
+	ErrBadMagic = errors.New("wire: bad frame magic")
+
+	// ErrBadVersion reports a binary frame with an unsupported
+	// protocol version byte.
+	ErrBadVersion = errors.New("wire: unsupported protocol version")
+
+	// ErrBadFrame reports a frame whose body failed to decode under
+	// the codec its header named.
+	ErrBadFrame = errors.New("wire: malformed frame body")
+)

@@ -1,21 +1,36 @@
-// Package wire implements the communication channel of §4: length-
-// prefixed JSON messages over long-lived TCP connections between the
-// central controller, the per-DC brokers, and user clients.
+// Package wire implements the communication channel of §4: framed
+// messages over long-lived TCP connections between the central
+// controller, the per-DC brokers, and user clients.
+//
+// Two codecs share one connection. Every connection starts in the
+// JSON debug/compat codec (4-byte big-endian length prefix + JSON
+// body); a Hello carrying Codec=CodecBinary switches both directions
+// to the compact binary protocol (fixed header: magic, version, type
+// tag, uvarint body length; hand-rolled per-type bodies). Receivers
+// sniff the codec per frame from the first byte, so mixed-version
+// peers interoperate without any out-of-band version handshake.
 package wire
 
 import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"bate/internal/metrics"
 )
 
 // MaxFrame bounds a single message frame (1 MiB); larger frames are
-// rejected to protect against corrupt peers.
+// rejected to protect against corrupt peers. Keeping the bound under
+// 1<<24 also guarantees the top byte of a JSON length prefix is zero,
+// which is what lets a receiver distinguish JSON frames from binary
+// frames (magic 0xBA) by their first byte.
 const MaxFrame = 1 << 20
 
 // Type discriminates messages.
@@ -44,10 +59,15 @@ const (
 )
 
 // Hello announces a peer. Role is "broker" or "client"; DC names the
-// broker's datacenter.
+// broker's datacenter. Codec asks the receiver to answer with the
+// named codec; the sender switches its own transmit codec to the same
+// value right after the Hello goes out (the Hello itself always rides
+// the codec in force before it, JSON on a fresh connection). Old
+// peers omit the field and keep the JSON default.
 type Hello struct {
-	Role string `json:"role"`
-	DC   string `json:"dc,omitempty"`
+	Role  string `json:"role"`
+	DC    string `json:"dc,omitempty"`
+	Codec Codec  `json:"codec,omitempty"`
 }
 
 // Submit carries a BA demand request: bandwidth (Mbps) between two
@@ -130,7 +150,9 @@ type StatusReply struct {
 }
 
 // PaxosMsg carries one Paxos protocol message between controller
-// replicas (§4: master election).
+// replicas (§4: master election). Paxos frames ride the tagJSONMsg
+// fallback under the binary codec; election traffic is too rare to
+// earn a hand-rolled body.
 type PaxosMsg struct {
 	Kind           int8   `json:"kind"`
 	From           int    `json:"from"`
@@ -165,15 +187,75 @@ type Message struct {
 	Error            string        `json:"error,omitempty"`
 }
 
+// Wire-level metrics, reported through the process-wide registry and
+// surfaced in StatusReply.Counters.
+var (
+	mFramesSent = metrics.NewCounter("wire.frames_sent")
+	mFramesRecv = metrics.NewCounter("wire.frames_recv")
+	mBytesSent  = metrics.NewCounter("wire.bytes_sent")
+	mBytesRecv  = metrics.NewCounter("wire.bytes_recv")
+	mFlushes    = metrics.NewCounter("wire.flushes")
+	mBinaryRecv = metrics.NewCounter("wire.binary_frames_recv")
+	mJSONRecv   = metrics.NewCounter("wire.json_frames_recv")
+	mOversize   = metrics.NewCounter("wire.frame_too_large")
+	mShortReads = metrics.NewCounter("wire.short_reads")
+	mDecodeErrs = metrics.NewCounter("wire.decode_errors")
+)
+
+// bufPool recycles frame encode/decode buffers across connections.
+// Buffers that grew past 64 KiB are dropped rather than pooled so a
+// single jumbo frame does not pin memory forever.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+const maxPooledBuf = 64 << 10
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// qframe is one encoded frame queued for the coalescing writer: the
+// pooled storage buffer plus the offset where the frame begins.
+type qframe struct {
+	bp  *[]byte
+	off int
+}
+
 // Conn is a framed, concurrency-safe message connection. Reads and
 // writes may proceed concurrently; writes are serialized internally.
 type Conn struct {
 	nc   net.Conn
 	r    *bufio.Reader
-	wmu  sync.Mutex
-	w    *bufio.Writer
-	once sync.Once
 	idle time.Duration
+
+	wmu     sync.Mutex
+	w       *bufio.Writer
+	pending atomic.Int32 // senders between encode and write (sync mode)
+
+	tx       atomic.Uint32 // Codec for outgoing frames
+	txPinned atomic.Bool   // LockCodec called; ignore negotiation
+	rx       atomic.Uint32 // Codec of the most recently received frame
+
+	// strIntern dedups decoded strings across this connection's
+	// frames; touched only by the reader goroutine.
+	strIntern map[string]string
+
+	// Coalescing mode (EnableCoalescing): Send enqueues encoded
+	// frames; a single writer goroutine drains bursts and flushes once
+	// per burst instead of once per frame.
+	coalesce bool
+	sendq    chan qframe
+	closing  chan struct{}
+	drained  chan struct{}
+	werr     atomic.Value // sticky write error (error)
+
+	once     sync.Once
+	closeErr error
 }
 
 // SetIdleTimeout bounds how long Recv waits for the remainder of a
@@ -185,7 +267,8 @@ type Conn struct {
 // the bound. Set before handing the Conn to a reader goroutine.
 func (c *Conn) SetIdleTimeout(d time.Duration) { c.idle = d }
 
-// New wraps an established net.Conn.
+// New wraps an established net.Conn. The connection starts in the
+// JSON codec; a Hello negotiates the binary codec (see Hello.Codec).
 func New(nc net.Conn) *Conn {
 	return &Conn{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}
 }
@@ -205,74 +288,377 @@ func Dial(addr string) (*Conn, error) {
 	return New(nc), nil
 }
 
-// Send writes one message frame.
-func (c *Conn) Send(m *Message) error {
-	data, err := json.Marshal(m)
+// SendCodec reports the codec outgoing frames currently use.
+func (c *Conn) SendCodec() Codec { return Codec(c.tx.Load()) }
+
+// RecvCodec reports the codec of the most recently received frame
+// (CodecJSON before any frame arrives).
+func (c *Conn) RecvCodec() Codec { return Codec(c.rx.Load()) }
+
+// SetCodec sets the outgoing codec directly, bypassing negotiation.
+func (c *Conn) SetCodec(codec Codec) { c.tx.Store(uint32(codec)) }
+
+// LockCodec pins the outgoing codec: subsequent Hello negotiation is
+// ignored. The controller uses this to force the JSON debug codec on
+// every session regardless of what peers ask for.
+func (c *Conn) LockCodec(codec Codec) {
+	c.tx.Store(uint32(codec))
+	c.txPinned.Store(true)
+}
+
+// negotiate applies a Hello's codec request to the transmit side.
+// Unknown future codecs fall back to JSON — the one codec every
+// implementation speaks.
+func (c *Conn) negotiate(codec Codec) {
+	if c.txPinned.Load() {
+		return
+	}
+	if codec != CodecBinary {
+		codec = CodecJSON
+	}
+	c.tx.Store(uint32(codec))
+}
+
+// EnableCoalescing switches the connection to an asynchronous writer:
+// Send enqueues encoded frames and returns, and a dedicated goroutine
+// writes queued frames back-to-back, flushing once per burst instead
+// of once per frame. Under pipelined load this collapses hundreds of
+// small syscalls into one. The cost is weaker error reporting — a
+// write failure surfaces on a *later* Send as a sticky error — and
+// that SetWriteDeadline no longer bounds an individual Send, so the
+// election path must NOT use it. Call once, before the Conn is shared
+// between goroutines; the controller enables it on accepted sessions
+// and the load harness on its clients.
+func (c *Conn) EnableCoalescing() {
+	if c.coalesce {
+		return
+	}
+	c.coalesce = true
+	c.sendq = make(chan qframe, 256)
+	c.closing = make(chan struct{})
+	c.drained = make(chan struct{})
+	go c.writeLoop()
+}
+
+// encodeFrame appends one framed message to b under the given codec.
+// It returns the (possibly grown) buffer and the offset where the
+// frame starts: the binary path reserves header space up front and
+// backfills it so the body is encoded exactly once, with no copy.
+func encodeFrame(b []byte, m *Message, codec Codec) ([]byte, int, error) {
+	if codec != CodecBinary {
+		data, err := json.Marshal(m)
+		if err != nil {
+			return b, 0, fmt.Errorf("wire: marshal: %w", err)
+		}
+		if len(data) > MaxFrame {
+			return b, 0, fmt.Errorf("wire: frame of %d bytes exceeds max %d: %w", len(data), MaxFrame, ErrFrameTooLarge)
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+		b = append(b, hdr[:]...)
+		return append(b, data...), 0, nil
+	}
+	const maxHdr = 3 + binary.MaxVarintLen32
+	b = append(b, make([]byte, maxHdr)...)
+	b, tag, err := appendBinaryBody(b, m)
 	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
+		return b, 0, err
 	}
-	if len(data) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(data), MaxFrame)
+	bodyLen := len(b) - maxHdr
+	if bodyLen > MaxFrame {
+		return b, 0, fmt.Errorf("wire: frame of %d bytes exceeds max %d: %w", bodyLen, MaxFrame, ErrFrameTooLarge)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	var vbuf [binary.MaxVarintLen32]byte
+	vn := binary.PutUvarint(vbuf[:], uint64(bodyLen))
+	off := maxHdr - 3 - vn
+	b[off] = binaryMagic
+	b[off+1] = binaryVersion
+	b[off+2] = tag
+	copy(b[off+3:maxHdr], vbuf[:vn])
+	return b, off, nil
+}
+
+// Send writes one message frame using the connection's current
+// outgoing codec. Sending a Hello switches the outgoing codec to the
+// Hello's requested codec once the Hello itself is on the wire.
+func (c *Conn) Send(m *Message) error {
+	codec := Codec(c.tx.Load())
+	bp := getBuf()
+	stored, off, err := encodeFrame((*bp)[:0], m, codec)
+	*bp = stored[:0]
+	if err != nil {
+		putBuf(bp)
+		return err
+	}
+	*bp = stored
+	if c.coalesce {
+		err = c.enqueue(qframe{bp, off})
+	} else {
+		err = c.writeFrame(qframe{bp, off})
+	}
+	if err != nil {
+		return err
+	}
+	if m.Type == TypeHello && m.Hello != nil {
+		c.negotiate(m.Hello.Codec)
+	}
+	return nil
+}
+
+// writeFrame writes one frame synchronously. Concurrent senders
+// coalesce flushes opportunistically: only the last sender with no
+// successor pending pays the flush.
+func (c *Conn) writeFrame(f qframe) error {
+	frame := (*f.bp)[f.off:]
+	c.pending.Add(1)
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
+	_, err := c.w.Write(frame)
+	if c.pending.Add(-1) == 0 && err == nil {
+		if err = c.w.Flush(); err == nil {
+			mFlushes.Inc()
+		}
 	}
-	if _, err := c.w.Write(data); err != nil {
-		return fmt.Errorf("wire: write body: %w", err)
+	c.wmu.Unlock()
+	mFramesSent.Inc()
+	mBytesSent.Add(int64(len(frame)))
+	putBuf(f.bp)
+	if err != nil {
+		return fmt.Errorf("wire: write: %w", err)
 	}
-	return c.w.Flush()
+	return nil
+}
+
+// enqueue hands a frame to the coalescing writer.
+func (c *Conn) enqueue(f qframe) error {
+	if e, ok := c.werr.Load().(error); ok && e != nil {
+		putBuf(f.bp)
+		return fmt.Errorf("wire: write: %w", e)
+	}
+	select {
+	case c.sendq <- f:
+		return nil
+	case <-c.closing:
+		putBuf(f.bp)
+		return net.ErrClosed
+	}
+}
+
+// writeLoop is the coalescing writer: it drains every queued frame
+// back-to-back and flushes only when the queue runs empty, then
+// blocks for the next frame. On Close it drains what is queued,
+// flushes, and exits.
+func (c *Conn) writeLoop() {
+	defer close(c.drained)
+	writeOne := func(f qframe) {
+		frame := (*f.bp)[f.off:]
+		if e, ok := c.werr.Load().(error); !ok || e == nil {
+			if _, err := c.w.Write(frame); err != nil {
+				c.werr.Store(err)
+			}
+		}
+		mFramesSent.Inc()
+		mBytesSent.Add(int64(len(frame)))
+		putBuf(f.bp)
+	}
+	flush := func() {
+		if e, ok := c.werr.Load().(error); ok && e != nil {
+			return
+		}
+		if err := c.w.Flush(); err != nil {
+			c.werr.Store(err)
+			return
+		}
+		mFlushes.Inc()
+	}
+	for {
+		select {
+		case f := <-c.sendq:
+			writeOne(f)
+			for done := false; !done; {
+				select {
+				case f := <-c.sendq:
+					writeOne(f)
+				default:
+					done = true
+				}
+			}
+			flush()
+		case <-c.closing:
+			for done := false; !done; {
+				select {
+				case f := <-c.sendq:
+					writeOne(f)
+				default:
+					done = true
+				}
+			}
+			flush()
+			return
+		}
+	}
 }
 
 // Recv reads the next message frame, blocking until one arrives or
-// the connection fails. With an idle timeout set (SetIdleTimeout),
-// the wait for the first byte is unbounded but the rest of the frame
-// must arrive within the timeout.
+// the connection fails. The codec is sniffed per frame from the first
+// byte: 0xBA opens a binary frame, 0x00 a JSON length prefix. With an
+// idle timeout set (SetIdleTimeout), the wait for the first byte is
+// unbounded but the rest of the frame must arrive within the timeout.
 func (c *Conn) Recv() (*Message, error) {
-	var hdr [4]byte
 	first, err := c.r.ReadByte()
 	if err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
 	}
-	hdr[0] = first
 	if c.idle > 0 {
 		c.nc.SetReadDeadline(time.Now().Add(c.idle))
 		defer c.nc.SetReadDeadline(time.Time{})
 	}
-	if _, err := io.ReadFull(c.r, hdr[1:]); err != nil {
-		return nil, fmt.Errorf("wire: read header: %w", err)
+	var m *Message
+	switch first {
+	case binaryMagic:
+		m, err = c.recvBinary()
+	case 0:
+		m, err = c.recvJSON()
+	default:
+		mDecodeErrs.Inc()
+		return nil, fmt.Errorf("wire: frame starts with %#02x: %w", first, ErrBadMagic)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	mFramesRecv.Inc()
+	if m.Type == TypeHello && m.Hello != nil {
+		c.negotiate(m.Hello.Codec)
+	}
+	return m, nil
+}
+
+// recvJSON reads a JSON frame; the leading zero byte of the length
+// prefix has already been consumed.
+func (c *Conn) recvJSON() (*Message, error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		mShortReads.Inc()
+		return nil, fmt.Errorf("wire: read header: %w: %w", ErrShortRead, err)
+	}
+	n := uint32(hdr[0])<<16 | uint32(hdr[1])<<8 | uint32(hdr[2])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrame)
+		mOversize.Inc()
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d: %w", n, MaxFrame, ErrFrameTooLarge)
 	}
-	body := make([]byte, n)
+	bp := getBuf()
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
 	if _, err := io.ReadFull(c.r, body); err != nil {
-		return nil, fmt.Errorf("wire: read body: %w", err)
+		putBuf(bp)
+		mShortReads.Inc()
+		return nil, fmt.Errorf("wire: read body: %w: %w", ErrShortRead, err)
 	}
+	mBytesRecv.Add(int64(n) + 4)
 	var m Message
-	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	err := json.Unmarshal(body, &m)
+	putBuf(bp)
+	if err != nil {
+		mDecodeErrs.Inc()
+		return nil, fmt.Errorf("wire: unmarshal: %w: %v", ErrBadFrame, err)
 	}
+	mJSONRecv.Inc()
+	c.rx.Store(uint32(CodecJSON))
 	return &m, nil
+}
+
+// recvBinary reads a binary frame; the magic byte has already been
+// consumed.
+func (c *Conn) recvBinary() (*Message, error) {
+	ver, err := c.r.ReadByte()
+	if err != nil {
+		mShortReads.Inc()
+		return nil, fmt.Errorf("wire: read version: %w: %w", ErrShortRead, err)
+	}
+	if ver != binaryVersion {
+		mDecodeErrs.Inc()
+		return nil, fmt.Errorf("wire: frame version %d: %w", ver, ErrBadVersion)
+	}
+	tag, err := c.r.ReadByte()
+	if err != nil {
+		mShortReads.Inc()
+		return nil, fmt.Errorf("wire: read tag: %w: %w", ErrShortRead, err)
+	}
+	n, err := binary.ReadUvarint(c.r)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			mShortReads.Inc()
+			return nil, fmt.Errorf("wire: read length: %w: %w", ErrShortRead, err)
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			mShortReads.Inc()
+			return nil, fmt.Errorf("wire: read length: %w: %w", ErrShortRead, err)
+		}
+		mDecodeErrs.Inc()
+		return nil, fmt.Errorf("wire: read length: %w: %v", ErrBadFrame, err)
+	}
+	if n > MaxFrame {
+		mOversize.Inc()
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d: %w", n, MaxFrame, ErrFrameTooLarge)
+	}
+	bp := getBuf()
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		putBuf(bp)
+		mShortReads.Inc()
+		return nil, fmt.Errorf("wire: read body: %w: %w", ErrShortRead, err)
+	}
+	mBytesRecv.Add(int64(n) + 3)
+	if c.strIntern == nil {
+		c.strIntern = make(map[string]string, 64)
+	}
+	m, err := decodeBinaryBody(tag, body, c.strIntern)
+	putBuf(bp)
+	if err != nil {
+		mDecodeErrs.Inc()
+		if !errors.Is(err, ErrBadFrame) {
+			err = fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		return nil, fmt.Errorf("wire: decode tag %d: %w", tag, err)
+	}
+	mBinaryRecv.Inc()
+	c.rx.Store(uint32(CodecBinary))
+	return m, nil
 }
 
 // SetDeadline bounds the next read/write.
 func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
 
 // SetWriteDeadline bounds the next write, so a send to a wedged peer
-// fails instead of blocking the sender behind a full TCP window.
-// Clear with the zero time.
+// fails instead of blocking the sender behind a full TCP window. Only
+// meaningful in the default synchronous write mode (the election path
+// relies on it); a coalescing Conn's writes happen on the writer
+// goroutine instead. Clear with the zero time.
 func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
 
-// Close shuts the connection down (idempotent).
+// Close shuts the connection down (idempotent). A coalescing Conn
+// first stops intake and gives the writer a bounded grace period to
+// drain and flush queued frames, so Close right after Send does not
+// drop the frame on the floor.
 func (c *Conn) Close() error {
-	var err error
-	c.once.Do(func() { err = c.nc.Close() })
-	return err
+	c.once.Do(func() {
+		if c.coalesce {
+			close(c.closing)
+			select {
+			case <-c.drained:
+			case <-time.After(250 * time.Millisecond):
+				// Writer is wedged on a dead peer; closing the socket
+				// below unblocks it.
+			}
+		}
+		c.closeErr = c.nc.Close()
+	})
+	return c.closeErr
 }
 
 // RemoteAddr exposes the peer address for logging.
