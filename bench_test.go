@@ -16,6 +16,7 @@ import (
 	"bate/internal/demand"
 	"bate/internal/experiments"
 	"bate/internal/lp"
+	"bate/internal/partition"
 	"bate/internal/routing"
 	"bate/internal/scenario"
 	"bate/internal/sim"
@@ -371,6 +372,38 @@ func BenchmarkClassesWarm(b *testing.B) {
 		if _, hit, err := scenario.CachedClassesFor(in.Net, nil, tunnels, 2); err != nil || !hit {
 			b.Fatalf("want warm cache hit, got hit=%v err=%v", hit, err)
 		}
+	}
+}
+
+// BenchmarkSchedulePartitioned compares the global scheduling LP with
+// the hierarchical decomposition on the 300-node synthetic WAN (ISSUE 7
+// acceptance: >= 3x speedup at <= 2% optimality gap; the full record
+// lives in BENCH_partition.json). The gap and speedup come from a
+// paired measurement so they land in the benchmark output as metrics.
+func BenchmarkSchedulePartitioned(b *testing.B) {
+	c := experiments.PartitionCases(false)[1] // Synth300
+	row, err := experiments.MeasurePartition(c, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := experiments.PartitionInput(c, 1)
+	for _, bc := range []struct {
+		name string
+		part *partition.Options
+	}{{"global", nil}, {"partitioned", &partition.Options{Regions: c.Regions}}} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := bate.ScheduleOptions{MaxFail: 2, Engine: lp.EngineRevised, Partition: bc.part}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bate.Schedule(in, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if bc.part != nil {
+				b.ReportMetric(row.Speedup, "speedup")
+				b.ReportMetric(row.Gap*100, "gap%")
+			}
+		})
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"bate/internal/controller"
 	"bate/internal/parallel"
+	"bate/internal/partition"
 	"bate/internal/paxos"
 	"bate/internal/routing"
 	"bate/internal/store"
@@ -44,6 +45,8 @@ func main() {
 	electDialTimeout := flag.Duration("election-dial-timeout", time.Second, "per-peer dial timeout during master election")
 	electSendTimeout := flag.Duration("election-send-timeout", time.Second, "per-peer send deadline during master election")
 	jsonWire := flag.Bool("json-wire", false, "answer every session in the JSON debug codec, ignoring binary negotiation (packet-capture friendly)")
+	partitions := flag.Int("partitions", 0, "hierarchical scheduling: split the topology into k regions solved in parallel (0/1 = global LP)")
+	partitionGap := flag.Float64("partition-gap", 0, "hierarchical scheduling: max relative optimality-gap bound before falling back to the global LP (0 = 2%)")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -103,6 +106,10 @@ func main() {
 		Net: net0, Tunnels: tunnels, MaxFail: *maxFail, SchedulePeriod: *period,
 		RecoveryDeadline: *recoveryDeadline,
 		ForceJSONWire:    *jsonWire,
+	}
+	if *partitions > 1 {
+		cfg.Partition = &partition.Options{Regions: *partitions, GapThreshold: *partitionGap}
+		log.Printf("bate-controller: hierarchical scheduling over %d regions", *partitions)
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, net0, store.Options{NoSync: *noSync})

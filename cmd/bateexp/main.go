@@ -27,6 +27,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	repeats := flag.Int("repeats", 0, "override per-experiment repetition count")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	benchOut := flag.String("bench-out", "", "bench runners: write the machine-readable report here")
+	baseline := flag.String("baseline", "", "bench runners: gate against this committed report")
+	tolerance := flag.Float64("tolerance", 0, "bench runners: fractional regression tolerance for -baseline (0 = 20%)")
 	flag.Parse()
 
 	if *list {
@@ -41,7 +44,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "known experiments:", experiments.IDs())
 		os.Exit(2)
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, Repeats: *repeats,
+		BenchOut: *benchOut, Baseline: *baseline, Tolerance: *tolerance,
+	}
 
 	var runners []experiments.Runner
 	if len(args) == 1 && args[0] == "all" {

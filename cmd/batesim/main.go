@@ -25,6 +25,7 @@ import (
 	"bate/internal/demand"
 	"bate/internal/metrics"
 	"bate/internal/parallel"
+	"bate/internal/partition"
 	"bate/internal/routing"
 	"bate/internal/sim"
 	"bate/internal/topo"
@@ -80,6 +81,8 @@ func main() {
 	benchOut := flag.String("bench-out", "", "load mode: write the WireBenchReport JSON here")
 	baseline := flag.String("baseline", "", "load mode: committed WireBenchReport to gate against")
 	tolerance := flag.Float64("tolerance", 0.2, "load mode: fractional regression tolerance for -baseline")
+	partitions := flag.Int("partitions", 0, "hierarchical scheduling: split the topology into k regions solved in parallel (0/1 = global LP)")
+	partitionGap := flag.Float64("partition-gap", 0, "hierarchical scheduling: max relative optimality-gap bound before falling back to the global LP (0 = 2%)")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -87,8 +90,9 @@ func main() {
 	}
 	parallel.SetDefaultSize(*procs)
 
+	popts := partitionOptions(*partitions, *partitionGap)
 	if *mode == "chaos" {
-		runChaosSoak(*chaosSeed, *seed)
+		runChaosSoak(*chaosSeed, *seed, *partitions)
 		return
 	}
 	if *mode == "load" {
@@ -174,7 +178,7 @@ func main() {
 		res, err := sim.RunTimeSim(sim.TimeSimConfig{
 			Net: net0, Tunnels: tunnels, Workload: workload,
 			HorizonSec: *horizon, ScheduleEverySec: 60,
-			TE:        sim.TEConfig{Kind: kind, MaxFail: *maxFail},
+			TE:        sim.TEConfig{Kind: kind, MaxFail: *maxFail, Partition: popts},
 			Admission: adm, MaxFail: *maxFail, Seed: *seed, Trace: trace,
 		})
 		if err != nil {
@@ -188,7 +192,7 @@ func main() {
 		res, err := sim.RunEventSim(sim.EventSimConfig{
 			Net: net0, Tunnels: tunnels, Workload: workload,
 			HorizonSec: *horizon, ScheduleEverySec: 120,
-			TE:        sim.TEConfig{Kind: kind, MaxFail: *maxFail},
+			TE:        sim.TEConfig{Kind: kind, MaxFail: *maxFail, Partition: popts},
 			Admission: adm, MaxFail: *maxFail, ProfitSamples: 1, Seed: *seed,
 		})
 		if err != nil {
@@ -292,11 +296,20 @@ func runWireLoad(topoName string, clients, conns, batch, statusEvery int, wireNa
 	}
 }
 
+// partitionOptions maps the -partitions/-partition-gap flags to
+// ScheduleOptions.Partition (nil when partitioning is off).
+func partitionOptions(k int, gap float64) *partition.Options {
+	if k <= 1 {
+		return nil
+	}
+	return &partition.Options{Regions: k, GapThreshold: gap}
+}
+
 // runChaosSoak drives the full controller stack (election, durable
 // store, brokers, lossy client) under a seeded fault schedule and
 // prints the run report — the command-line face of the chaos soak
 // harness in internal/chaos/soak.
-func runChaosSoak(chaosSeed, fallbackSeed int64) {
+func runChaosSoak(chaosSeed, fallbackSeed int64, partitions int) {
 	seed := chaosSeed
 	if seed == 0 {
 		seed = fallbackSeed
@@ -306,7 +319,7 @@ func runChaosSoak(chaosSeed, fallbackSeed int64) {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	rep, err := soak.Run(soak.Config{Seed: seed, Dir: dir, Logf: log.Printf})
+	rep, err := soak.Run(soak.Config{Seed: seed, Dir: dir, Partitions: partitions, Logf: log.Printf})
 	if err != nil {
 		log.Fatalf("batesim: chaos soak: %v", err)
 	}

@@ -242,6 +242,46 @@ func classQualified(in *Input, a Allocation, d *demand.Demand, cls scenario.Clas
 	return true
 }
 
+// RelaxedAvailability computes the Eq. 3-4 B-relaxed availability of
+// allocation a for demand d under independent failures: per
+// tunnel-state class, B = min over pairs of min(1, delivered/b), and
+// the result is Σ p_class · B. This is exactly the quantity the
+// scheduling LP constrains to be ≥ β_d, so verification of LP outputs
+// (e.g. the partitioned-scheduling property test) checks it rather
+// than the stricter all-or-nothing AchievedAvailability.
+func RelaxedAvailability(in *Input, a Allocation, d *demand.Demand, maxFail int) (float64, error) {
+	tunnels := in.AllTunnelsFor(d)
+	classes, _, err := scenario.CachedClassesFor(in.Net, nil, tunnels, maxFail)
+	if err != nil {
+		return 0, err
+	}
+	rows := a[d.ID]
+	total := 0.0
+	for _, cls := range classes {
+		b := 1.0
+		bit := 0
+		for pi, p := range d.Pairs {
+			nt := len(in.TunnelsFor(d, pi))
+			delivered := 0.0
+			for ti := 0; ti < nt; ti++ {
+				if cls.TunnelUp(bit) && rows != nil && pi < len(rows) && ti < len(rows[pi]) {
+					delivered += rows[pi][ti]
+				}
+				bit++
+			}
+			if p.Bandwidth > 0 {
+				if r := delivered / p.Bandwidth; r < b {
+					b = r
+				}
+			}
+		}
+		if b > 0 {
+			total += cls.Prob * b
+		}
+	}
+	return total, nil
+}
+
 // Satisfies reports whether the achieved availability of d meets its
 // target β_d under ≤maxFail-failure scenarios.
 func Satisfies(in *Input, a Allocation, d *demand.Demand, maxFail int) (bool, error) {

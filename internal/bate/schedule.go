@@ -8,6 +8,7 @@ package bate
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"bate/internal/lp"
 	"bate/internal/metrics"
 	"bate/internal/parallel"
+	"bate/internal/partition"
 	"bate/internal/scenario"
 	"bate/internal/topo"
 )
@@ -57,8 +59,16 @@ type ScheduleOptions struct {
 	// Gate, when non-nil, is consulted ("schedule") before the solve;
 	// an error aborts it. The chaos solver-budget front hooks in here,
 	// and callers must treat the error as "keep the current
-	// allocation", not as fatal.
+	// allocation", not as fatal. A partitioned round consults it once,
+	// not per subproblem.
 	Gate func(op string) error
+	// Partition, when non-nil with Regions > 1, enables hierarchical
+	// scheduling: the topology splits into regions whose availability
+	// LPs solve concurrently, stitched by a coordination solve for the
+	// cross-region demands. Rounds the decomposition declines (span or
+	// gap-bound violations, infeasible subproblems) fall back to the
+	// global LP transparently. Aggregated mode only.
+	Partition *partition.Options
 }
 
 // ScheduleStats reports the size and cost of a scheduling solve.
@@ -76,8 +86,21 @@ type ScheduleStats struct {
 	PoolWorkers int
 	// WarmStarted reports whether the solve reused a cached basis from
 	// a previous round (revised engine only) instead of a cold two-phase
-	// start.
+	// start. For a partitioned round it means every subproblem did.
 	WarmStarted bool
+	// Partitioned reports whether this round was served by the
+	// hierarchical decomposition; the fields below describe it.
+	Partitioned bool
+	// Regions is the region count of the partition used.
+	Regions int
+	// CutDemands counts demands handled by the coordination solve.
+	CutDemands int
+	// GapBound is the proved relative bound on the stitched solution's
+	// distance from the global optimum.
+	GapBound float64
+	// PartitionFallback reports that partitioning was requested but
+	// this round fell back to the global solve.
+	PartitionFallback bool
 }
 
 // Schedule solves the traffic-scheduling LP of Eq. 7: it finds the
@@ -87,7 +110,7 @@ type ScheduleStats struct {
 // link capacities (Eq. 6). It returns lp.ErrInfeasible when the
 // admitted set cannot be satisfied.
 func Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *ScheduleStats, error) {
-	return scheduleWarm(in, opts, nil, nil)
+	return scheduleWarm(in, opts, nil, nil, nil)
 }
 
 // Scheduler runs successive scheduling solves with the revised LP
@@ -100,22 +123,27 @@ func Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *Schedul
 // and the solve cold-starts automatically. A Scheduler is not safe for
 // concurrent use.
 type Scheduler struct {
-	basis *lp.Basis
+	basis  *lp.Basis
+	pstate *partition.State
 }
 
 // NewScheduler returns a Scheduler with no cached basis.
-func NewScheduler() *Scheduler { return &Scheduler{} }
+func NewScheduler() *Scheduler { return &Scheduler{pstate: &partition.State{}} }
 
 // Schedule is Schedule with cross-call basis reuse.
 func (s *Scheduler) Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *ScheduleStats, error) {
 	opts.Engine = lp.EngineRevised
-	return scheduleWarm(in, opts, s.basis, &s.basis)
+	if s.pstate == nil {
+		s.pstate = &partition.State{}
+	}
+	return scheduleWarm(in, opts, s.basis, &s.basis, s.pstate)
 }
 
 // scheduleWarm builds and solves the scheduling LP, optionally seeding
 // the revised engine with a warm basis; basisOut, when non-nil,
-// receives the new optimal basis for the caller to cache.
-func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOut **lp.Basis) (alloc.Allocation, *ScheduleStats, error) {
+// receives the new optimal basis for the caller to cache. pst carries
+// the partitioned path's warm-start state (nil for one-shot solves).
+func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOut **lp.Basis, pst *partition.State) (alloc.Allocation, *ScheduleStats, error) {
 	if opts.MaxFail <= 0 {
 		opts.MaxFail = 2
 	}
@@ -125,8 +153,66 @@ func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOu
 		}
 	}
 	start := time.Now()
+	fellBack := false
+	if opts.Partition != nil && opts.Partition.Regions > 1 && opts.Mode == Aggregated {
+		res, err := partition.Schedule(in, *opts.Partition, subSolver(opts), pst)
+		var fb *partition.FallbackError
+		switch {
+		case err == nil:
+			schedules.Inc()
+			stats := &ScheduleStats{
+				Variables:        res.Stats.Variables,
+				Constraints:      res.Stats.Constraints,
+				Iterations:       res.Stats.Iterations,
+				Elapsed:          time.Since(start),
+				ClassCacheHits:   res.Stats.ClassCacheHits,
+				ClassCacheMisses: res.Stats.ClassCacheMisses,
+				PoolWorkers:      parallel.Default().Size(),
+				WarmStarted:      res.Stats.WarmStarted,
+				Partitioned:      true,
+				Regions:          res.Stats.Regions,
+				CutDemands:       res.Stats.CutDemands,
+				GapBound:         res.Stats.GapBound,
+			}
+			return res.Alloc, stats, nil
+		case errors.As(err, &fb):
+			fellBack = true // global solve below decides the round
+		default:
+			return nil, nil, fmt.Errorf("bate: partitioned schedule: %w", err)
+		}
+	}
 	p := lp.NewProblem()
-	fv := alloc.AddFlowVars(p, in, alloc.FullCapacities(in), nil)
+	stats := &ScheduleStats{PoolWorkers: parallel.Default().Size(), PartitionFallback: fellBack}
+	fv, _, err := buildScheduleLP(p, in, opts, alloc.FullCapacities(in), stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	schedules.Inc()
+	stats.Variables, stats.Constraints = p.NumVariables(), p.NumConstraints()
+	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine, Warm: warm})
+	stats.Elapsed = time.Since(start)
+	if sol != nil {
+		stats.Iterations = sol.Iterations
+		stats.WarmStarted = sol.WarmStarted
+	}
+	if err != nil {
+		return nil, stats, fmt.Errorf("bate: schedule: %w", err)
+	}
+	if basisOut != nil {
+		*basisOut = sol.Basis()
+	}
+	return fv.Extract(sol), stats, nil
+}
+
+// buildScheduleLP assembles the Eq. 7 scheduling LP — flow variables
+// with capacity rows for the given per-link capacities, the Eq. 1
+// demand rows, and the Eq. 3-4 availability rows — into p. It is
+// shared by the global solve (full capacities), the partitioned
+// subproblem solver (residual capacities over a demand subset) and
+// LinkPrices. The returned map gives each link's capacity-row index
+// for dual lookups. stats may be nil.
+func buildScheduleLP(p *lp.Problem, in *alloc.Input, opts ScheduleOptions, caps []float64, stats *ScheduleStats) (alloc.FlowVars, map[topo.LinkID]int, error) {
+	fv, capIdx := alloc.AddFlowVarsIndexed(p, in, caps, nil)
 	// Objective: minimize total allocated bandwidth.
 	for _, rows := range fv {
 		for _, r := range rows {
@@ -151,7 +237,6 @@ func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOu
 			})
 		}
 	}
-	stats := &ScheduleStats{PoolWorkers: parallel.Default().Size()}
 	var err error
 	switch {
 	case opts.Mode == Aggregated:
@@ -166,21 +251,42 @@ func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOu
 	if err != nil {
 		return nil, nil, err
 	}
-	schedules.Inc()
-	stats.Variables, stats.Constraints = p.NumVariables(), p.NumConstraints()
-	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine, Warm: warm})
-	stats.Elapsed = time.Since(start)
-	if sol != nil {
-		stats.Iterations = sol.Iterations
-		stats.WarmStarted = sol.WarmStarted
+	return fv, capIdx, nil
+}
+
+// subSolver adapts the scheduling-LP formulation to the partition
+// package's SubSolver callback: one subproblem is the same LP over a
+// demand subset with caller-chosen capacities, solved on the revised
+// engine so region bases warm-start across rounds.
+func subSolver(opts ScheduleOptions) partition.SubSolver {
+	return func(sub *alloc.Input, caps []float64, warm *lp.Basis) (*partition.SubResult, error) {
+		p := lp.NewProblem()
+		stats := &ScheduleStats{}
+		fv, capIdx, err := buildScheduleLP(p, sub, opts, caps, stats)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := p.SolveOpts(lp.Options{Engine: lp.EngineRevised, Warm: warm})
+		if err != nil {
+			return nil, err
+		}
+		duals := make(map[topo.LinkID]float64, len(capIdx))
+		for e, idx := range capIdx {
+			duals[e] = sol.Dual(idx)
+		}
+		return &partition.SubResult{
+			Alloc:            fv.Extract(sol),
+			Objective:        sol.Objective,
+			CapDuals:         duals,
+			Basis:            sol.Basis(),
+			Variables:        p.NumVariables(),
+			Constraints:      p.NumConstraints(),
+			Iterations:       sol.Iterations,
+			WarmStarted:      sol.WarmStarted,
+			ClassCacheHits:   stats.ClassCacheHits,
+			ClassCacheMisses: stats.ClassCacheMisses,
+		}, nil
 	}
-	if err != nil {
-		return nil, stats, fmt.Errorf("bate: schedule: %w", err)
-	}
-	if basisOut != nil {
-		*basisOut = sol.Basis()
-	}
-	return fv.Extract(sol), stats, nil
 }
 
 // availabilityBonus returns the small negative cost placed on each B
@@ -401,27 +507,9 @@ func LinkPrices(in *alloc.Input, opts ScheduleOptions) (map[topo.LinkID]float64,
 		opts.MaxFail = 2
 	}
 	p := lp.NewProblem()
-	fv, capIdx := alloc.AddFlowVarsIndexed(p, in, alloc.FullCapacities(in), nil)
-	for _, rows := range fv {
-		for _, r := range rows {
-			for _, v := range r {
-				p.SetCost(v, 1)
-			}
-		}
-	}
-	for _, d := range in.Demands {
-		for pi, pr := range d.Pairs {
-			if pr.Bandwidth <= 0 {
-				continue
-			}
-			terms := make([]lp.Term, 0, len(fv[d.ID][pi]))
-			for _, v := range fv[d.ID][pi] {
-				terms = append(terms, lp.Term{Var: v, Coef: 1})
-			}
-			p.AddConstraint(lp.Constraint{Terms: terms, Op: lp.GE, RHS: pr.Bandwidth})
-		}
-	}
-	if err := addAvailabilityAggregated(p, in, fv, opts.MaxFail); err != nil {
+	opts.Mode = Aggregated
+	_, capIdx, err := buildScheduleLP(p, in, opts, alloc.FullCapacities(in), nil)
+	if err != nil {
 		return nil, err
 	}
 	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine})

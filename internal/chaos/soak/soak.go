@@ -23,6 +23,7 @@ import (
 	"bate/internal/chaos"
 	"bate/internal/controller"
 	"bate/internal/metrics"
+	"bate/internal/partition"
 	"bate/internal/paxos"
 	"bate/internal/routing"
 	"bate/internal/store"
@@ -50,6 +51,11 @@ type Config struct {
 	// binary frames; a forced-JSON run of the same seed must reach the
 	// same admission decisions.
 	JSONWire bool
+	// Partitions, when > 1, runs the controller's reschedules through
+	// hierarchical (partitioned) scheduling. The decomposition is
+	// deterministic, so a partitioned run of the same seed must still
+	// replay byte-identically.
+	Partitions int
 	// Logf receives narrative; nil is silent.
 	Logf func(string, ...interface{})
 }
@@ -198,12 +204,17 @@ func Run(cfg Config) (*Report, error) {
 	}
 	defer st.Close()
 	budget := chaos.NewSolverBudget(solverCfg)
+	var popts *partition.Options
+	if cfg.Partitions > 1 {
+		popts = &partition.Options{Regions: cfg.Partitions}
+	}
 	ctl, err := controller.New(controller.Config{
 		Net: n, Tunnels: ts, MaxFail: 2, BackupDepth: 1,
 		Store: st, FrameTimeout: 10 * time.Second,
 		RecoveryDeadline: cfg.RecoveryDeadline,
 		SolverGate:       budget.Gate,
 		ForceJSONWire:    cfg.JSONWire,
+		Partition:        popts,
 		Logf:             logf,
 	})
 	if err != nil {

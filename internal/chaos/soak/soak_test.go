@@ -155,6 +155,67 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosSoakPartitioned runs the soak with hierarchical scheduling
+// enabled: the decomposition must not cost determinism (same seed
+// replays byte-identical) nor change a single admission or election
+// decision relative to the global-LP soak.
+func TestChaosSoakPartitioned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	const deadline = 750 * time.Millisecond
+	logf := func(string, ...interface{}) {}
+	if os.Getenv("CHAOS_VERBOSE") != "" {
+		logf = t.Logf
+	}
+	seed := chaosSeeds(t)[0]
+	runOnce := func(tag string, partitions int) *Report {
+		rep, err := Run(Config{
+			Seed: seed, Dir: t.TempDir(),
+			RecoveryDeadline: deadline,
+			Partitions:       partitions,
+			Logf:             logf,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		return rep
+	}
+	part := runOnce("partitioned", 2)
+	if !part.LeaderAgreed {
+		t.Fatal("partitioned soak: replicas did not agree on a leader")
+	}
+	if part.Digest == "" {
+		t.Fatal("partitioned soak: no end-state digest")
+	}
+
+	// Same seed, same partitioning, fresh directory: byte-identical.
+	replay := runOnce("partitioned-replay", 2)
+	if replay.Digest != part.Digest {
+		t.Errorf("partitioned replay digest %s != original %s", replay.Digest, part.Digest)
+	}
+	if !reflect.DeepEqual(replay.AckedIDs, part.AckedIDs) {
+		t.Errorf("partitioned replay acked %v != original %v", replay.AckedIDs, part.AckedIDs)
+	}
+
+	// Against the global-LP soak the allocation may differ (that is the
+	// point of the gap bound) but every discrete decision must match:
+	// leadership, admissions, withdrawals, rejections.
+	global := runOnce("global", 0)
+	if global.LeaderAgreed != part.LeaderAgreed {
+		t.Errorf("leader agreement differs: partitioned %v, global %v", part.LeaderAgreed, global.LeaderAgreed)
+	}
+	if !reflect.DeepEqual(global.AckedIDs, part.AckedIDs) {
+		t.Errorf("partitioned acked %v != global %v", part.AckedIDs, global.AckedIDs)
+	}
+	if !reflect.DeepEqual(global.FinalIDs, part.FinalIDs) {
+		t.Errorf("partitioned book %v != global %v", part.FinalIDs, global.FinalIDs)
+	}
+	if global.Rejected != part.Rejected {
+		t.Errorf("partitioned rejected %d != global %d", part.Rejected, global.Rejected)
+	}
+}
+
 // surviving returns acked minus withdrawn, sorted (both inputs are).
 func surviving(acked, withdrawn []int) []int {
 	gone := make(map[int]bool, len(withdrawn))

@@ -21,6 +21,7 @@ import (
 	"bate/internal/bate"
 	"bate/internal/demand"
 	"bate/internal/metrics"
+	"bate/internal/partition"
 	"bate/internal/routing"
 	"bate/internal/store"
 	"bate/internal/topo"
@@ -80,6 +81,11 @@ type Config struct {
 	// the controller's replies, which is what the mixed-version matrix
 	// tests exercise.
 	ForceJSONWire bool
+	// Partition, when non-nil, runs every reschedule through BATE's
+	// hierarchical (partitioned) scheduling; rounds the decomposition
+	// declines fall back to the global solve transparently. See
+	// bate.ScheduleOptions.Partition.
+	Partition *partition.Options
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...interface{})
 }
@@ -640,7 +646,9 @@ func (c *Controller) reschedule() error {
 		c.pushAllLocked(false)
 		return nil
 	}
-	a, stats, err := c.scheduler.Schedule(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail, Gate: c.cfg.SolverGate})
+	a, stats, err := c.scheduler.Schedule(in, bate.ScheduleOptions{
+		MaxFail: c.cfg.MaxFail, Gate: c.cfg.SolverGate, Partition: c.cfg.Partition,
+	})
 	if err != nil {
 		// A gated or failed solve keeps the current allocation — stale
 		// but feasible beats absent.
@@ -653,6 +661,10 @@ func (c *Controller) reschedule() error {
 	c.logf("controller: scheduled %d demands: %d vars, %d constraints, %d iterations (%s start) in %v (class cache %d hit/%d miss, %d workers)",
 		len(in.Demands), stats.Variables, stats.Constraints, stats.Iterations, start, stats.Elapsed,
 		stats.ClassCacheHits, stats.ClassCacheMisses, stats.PoolWorkers)
+	if stats.Partitioned {
+		c.logf("controller: partitioned round: %d regions, %d cut demands, gap bound %.4f",
+			stats.Regions, stats.CutDemands, stats.GapBound)
+	}
 	if hardened, herr := bate.Harden(in, bate.ScheduleOptions{MaxFail: c.cfg.MaxFail}, a); herr == nil {
 		a = hardened
 	}

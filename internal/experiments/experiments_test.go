@@ -27,8 +27,8 @@ func runExperiment(t *testing.T, id string) string {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d experiments, want 19 artifacts", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registry has %d experiments, want 20 artifacts", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -164,6 +164,18 @@ func TestWireLoadQuick(t *testing.T) {
 	for _, want := range []string{"wire=binary", "wire=json", "binary vs json:"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("wireload missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPartitionScaleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale measurement in -short mode")
+	}
+	out := runExperiment(t, "partitionscale")
+	for _, want := range []string{"Synth100", "speedup", "gap bound"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("partitionscale missing %q:\n%s", want, out)
 		}
 	}
 }

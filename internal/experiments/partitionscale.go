@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bate/internal/alloc"
+	"bate/internal/bate"
+	"bate/internal/demand"
+	"bate/internal/lp"
+	"bate/internal/metrics"
+	"bate/internal/partition"
+	"bate/internal/routing"
+	"bate/internal/scenario"
+	"bate/internal/topo"
+)
+
+// PartitionCase is one topology of the partitionscale table.
+type PartitionCase struct {
+	Name    string
+	Build   func() *topo.Network
+	Regions int
+	Demands int
+}
+
+// PartitionCases returns the partitionscale measurement matrix: the
+// synthetic ring-of-regions topologies at 100/300/1000 nodes (Quick
+// shrinks to the 100-node graph with a small workload, the CI smoke
+// scale).
+func PartitionCases(quick bool) []PartitionCase {
+	if quick {
+		// Same topology and workload as the full-scale Synth100 row: 40
+		// demands make too small an LP for the decomposition's speedup
+		// to stand clear of timing noise in the CI gate.
+		return []PartitionCase{
+			{Name: "Synth100", Build: topo.Synth100, Regions: 10, Demands: 80},
+		}
+	}
+	return []PartitionCase{
+		{Name: "Synth100", Build: topo.Synth100, Regions: 10, Demands: 80},
+		{Name: "Synth300", Build: topo.Synth300, Regions: 15, Demands: 150},
+		{Name: "Synth1000", Build: topo.Synth1000, Regions: 25, Demands: 250},
+	}
+}
+
+// PartitionWorkload builds the deterministic locality-biased demand
+// set of the scale experiments: ~90% of demands stay inside one region
+// (inter-DC traffic is overwhelmingly intra-continental), the rest
+// cross to the ring neighbor. Bandwidths and targets cycle through
+// small deterministic menus.
+func PartitionWorkload(net *topo.Network, part *partition.Partition, count int, seed uint64) []*demand.Demand {
+	byRegion := make([][]topo.NodeID, part.Regions)
+	for v := 0; v < net.NumNodes(); v++ {
+		r := part.NodeRegion[v]
+		byRegion[r] = append(byRegion[r], topo.NodeID(v))
+	}
+	x := seed | 1
+	next := func() uint64 { // xorshift64
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	// Modest targets: the qualified scenario mass P(<= 2 failures) on
+	// the 1000-node graph is ~0.994, so 0.99 is the highest target that
+	// stays feasible at every scale.
+	targets := []float64{0.9, 0.95, 0.99}
+	ds := make([]*demand.Demand, 0, count)
+	for i := 0; i < count; i++ {
+		r := i % part.Regions
+		nodes := byRegion[r]
+		src := nodes[int(next()%uint64(len(nodes)))]
+		var dst topo.NodeID
+		if next()%10 == 0 && part.Regions > 1 {
+			// Cross-region: destination in the next region.
+			peer := byRegion[(r+1)%part.Regions]
+			dst = peer[int(next()%uint64(len(peer)))]
+		} else {
+			for {
+				dst = nodes[int(next()%uint64(len(nodes)))]
+				if dst != src {
+					break
+				}
+			}
+		}
+		if dst == src { // single-node region edge case
+			continue
+		}
+		bw := 50 + float64(next()%150)
+		ds = append(ds, &demand.Demand{
+			ID:     i,
+			Pairs:  []demand.PairDemand{{Src: src, Dst: dst, Bandwidth: bw}},
+			Target: targets[i%len(targets)],
+		})
+	}
+	return ds
+}
+
+// PartitionInput builds the case's full scheduling input: the
+// locality-biased workload plus 3-shortest tunnels for exactly the
+// workload's pairs (the scenario model caps relevant links per demand,
+// so wider tunnel fans are off the table at this scale, and all-pairs
+// routing on 1000 nodes would dwarf the measurement).
+func PartitionInput(c PartitionCase, seed int64) *alloc.Input {
+	net := c.Build()
+	part := partition.New(net, c.Regions, nil)
+	ds := PartitionWorkload(net, part, c.Demands, uint64(seed)*0x9E3779B9+1)
+	var pairs [][2]topo.NodeID
+	for _, d := range ds {
+		for _, p := range d.Pairs {
+			pairs = append(pairs, [2]topo.NodeID{p.Src, p.Dst})
+		}
+	}
+	tunnels := routing.ComputeForPairs(net, routing.KShortest, 3, pairs)
+	return &alloc.Input{Net: net, Tunnels: tunnels, Demands: ds}
+}
+
+// MeasurePartition times the global scheduling LP against the
+// partitioned solve on one case and returns the BenchRow. The scenario
+// class cache is pre-warmed for every demand so both sides measure LP
+// cost, not class enumeration; repeats takes the fastest run per side.
+func MeasurePartition(c PartitionCase, seed int64, repeats int) (partition.BenchRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	in := PartitionInput(c, seed)
+	net, ds := in.Net, in.Demands
+	for _, d := range ds {
+		if _, _, err := scenario.CachedClassesFor(net, nil, in.AllTunnelsFor(d), 2); err != nil {
+			return partition.BenchRow{}, fmt.Errorf("partitionscale: warm classes: %w", err)
+		}
+	}
+
+	gOpts := bate.ScheduleOptions{MaxFail: 2, Engine: lp.EngineRevised}
+	var gAlloc alloc.Allocation
+	globalBest := time.Duration(0)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		a, _, err := bate.Schedule(in, gOpts)
+		el := time.Since(start)
+		if err != nil {
+			return partition.BenchRow{}, fmt.Errorf("partitionscale: global solve: %w", err)
+		}
+		if r == 0 || el < globalBest {
+			globalBest, gAlloc = el, a
+		}
+	}
+
+	pOpts := gOpts
+	pOpts.Partition = &partition.Options{Regions: c.Regions}
+	var pAlloc alloc.Allocation
+	var pStats *bate.ScheduleStats
+	partBest := time.Duration(0)
+	fallbacks := int64(0)
+	for r := 0; r < repeats; r++ {
+		before := metrics.Snapshot()["partition.fallbacks"]
+		start := time.Now()
+		a, stats, err := bate.Schedule(in, pOpts)
+		el := time.Since(start)
+		if err != nil {
+			return partition.BenchRow{}, fmt.Errorf("partitionscale: partitioned solve: %w", err)
+		}
+		fallbacks += metrics.Snapshot()["partition.fallbacks"] - before
+		if r == 0 || el < partBest {
+			partBest, pAlloc, pStats = el, a, stats
+		}
+	}
+
+	gTotal, pTotal := gAlloc.Total(), pAlloc.Total()
+	gap := 0.0
+	if gTotal > 0 {
+		gap = (pTotal - gTotal) / gTotal
+	}
+	row := partition.BenchRow{
+		Topology:       c.Name,
+		Nodes:          net.NumNodes(),
+		Links:          net.NumLinks(),
+		Demands:        len(ds),
+		Regions:        pStats.Regions,
+		GlobalMs:       float64(globalBest.Microseconds()) / 1000,
+		PartitionedMs:  float64(partBest.Microseconds()) / 1000,
+		GlobalObj:      gTotal,
+		PartitionedObj: pTotal,
+		Gap:            gap,
+		GapBound:       pStats.GapBound,
+		CutDemands:     pStats.CutDemands,
+		ClassCacheHits: pStats.ClassCacheHits,
+		Fallbacks:      int(fallbacks),
+	}
+	if row.PartitionedMs > 0 {
+		row.Speedup = row.GlobalMs / row.PartitionedMs
+	}
+	if !pStats.Partitioned {
+		row.Regions = 0 // the round fell back; make it visible in the row
+	}
+	return row, nil
+}
+
+// PartitionScale is the partitionscale runner: the speedup/gap table
+// for hierarchical scheduling on the 100/300/1000-node synthetic
+// topologies, optionally written to (and gated against) a
+// BENCH_partition.json report.
+func PartitionScale(w io.Writer, opts Options) error {
+	fmt.Fprintln(w, "Hierarchical scheduling: partitioned vs global LP")
+	scale := "full"
+	if opts.Quick {
+		scale = "smoke"
+	}
+	repeats := opts.repeats(3, 1)
+	t := metrics.NewTable("topology", "nodes", "demands", "regions", "cut",
+		"global (ms)", "partitioned (ms)", "speedup", "gap", "gap bound", "cache hits")
+	report := &partition.BenchReport{Scale: scale}
+	for _, c := range PartitionCases(opts.Quick) {
+		row, err := MeasurePartition(c, opts.Seed, repeats)
+		if err != nil {
+			return err
+		}
+		report.Rows = append(report.Rows, row)
+		t.AddRow(row.Topology,
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.Demands),
+			fmt.Sprintf("%d", row.Regions),
+			fmt.Sprintf("%d", row.CutDemands),
+			fmt.Sprintf("%.1f", row.GlobalMs),
+			fmt.Sprintf("%.1f", row.PartitionedMs),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.4f", row.Gap),
+			fmt.Sprintf("%.4f", row.GapBound),
+			fmt.Sprintf("%d", row.ClassCacheHits))
+	}
+	fmt.Fprint(w, t.String())
+	if opts.BenchOut != "" {
+		if err := partition.WriteBench(opts.BenchOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", opts.BenchOut)
+	}
+	if opts.Baseline != "" {
+		base, err := partition.ReadBench(opts.Baseline)
+		if err != nil {
+			return err
+		}
+		tol := opts.Tolerance
+		if tol <= 0 {
+			tol = 0.2
+		}
+		if regs := partition.CompareBench(report, base, tol); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(w, "REGRESSION: %s\n", r)
+			}
+			return fmt.Errorf("partitionscale: %d regression(s) vs %s", len(regs), opts.Baseline)
+		}
+		fmt.Fprintf(w, "partition-bench gate: within ±%.0f%% of %s\n", tol*100, opts.Baseline)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRow is one topology's partitioned-vs-global measurement in
+// BENCH_partition.json. Speedup is global wall-clock over partitioned;
+// Gap is the measured relative objective excess of the stitched
+// solution ((partitioned - global) / global), GapBound the duality
+// bound the solver proved without knowing the global optimum.
+type BenchRow struct {
+	Topology       string  `json:"topology"`
+	Nodes          int     `json:"nodes"`
+	Links          int     `json:"links"`
+	Demands        int     `json:"demands"`
+	Regions        int     `json:"regions"`
+	GlobalMs       float64 `json:"global_ms"`
+	PartitionedMs  float64 `json:"partitioned_ms"`
+	Speedup        float64 `json:"speedup"`
+	GlobalObj      float64 `json:"global_objective"`
+	PartitionedObj float64 `json:"partitioned_objective"`
+	Gap            float64 `json:"gap"`
+	GapBound       float64 `json:"gap_bound"`
+	CutDemands     int     `json:"cut_demands"`
+	ClassCacheHits int     `json:"class_cache_hits"`
+	Fallbacks      int     `json:"fallbacks"`
+}
+
+// BenchReport is the BENCH_partition.json schema.
+type BenchReport struct {
+	Schema string     `json:"schema"`
+	Scale  string     `json:"scale"` // "full" or "smoke"
+	Rows   []BenchRow `json:"rows"`
+}
+
+// BenchSchema names the current report layout.
+const BenchSchema = "bate/partition-bench/v1"
+
+// WriteBench writes the report as indented JSON.
+func WriteBench(path string, r *BenchReport) error {
+	r.Schema = BenchSchema
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadBench loads a report written by WriteBench.
+func ReadBench(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("partition: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBench gates cur against a committed baseline: per topology,
+// the speedup may not drop below base·(1-tol) and the measured gap may
+// not exceed the larger of base·(1+tol) and DefaultGapThreshold (so a
+// near-zero baseline gap doesn't fail on harmless noise). Fallbacks
+// above the baseline count are regressions too. It returns
+// human-readable regression lines; empty means the gate passes.
+func CompareBench(cur, base *BenchReport, tol float64) []string {
+	var regressions []string
+	rows := make(map[string]BenchRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		rows[r.Topology] = r
+	}
+	for _, b := range base.Rows {
+		c, ok := rows[b.Topology]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current report", b.Topology))
+			continue
+		}
+		if minSpeed := b.Speedup * (1 - tol); c.Speedup < minSpeed {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: speedup %.2fx below %.2fx (baseline %.2fx, tol %.0f%%)",
+				b.Topology, c.Speedup, minSpeed, b.Speedup, tol*100))
+		}
+		maxGap := b.Gap * (1 + tol)
+		if maxGap < DefaultGapThreshold {
+			maxGap = DefaultGapThreshold
+		}
+		if c.Gap > maxGap {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: gap %.4f above %.4f (baseline %.4f, tol %.0f%%)",
+				b.Topology, c.Gap, maxGap, b.Gap, tol*100))
+		}
+		if c.Fallbacks > b.Fallbacks {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d fallback(s), baseline %d", b.Topology, c.Fallbacks, b.Fallbacks))
+		}
+	}
+	return regressions
+}

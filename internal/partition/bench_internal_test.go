@@ -1,0 +1,25 @@
+package partition
+
+import (
+	"testing"
+
+	"bate/internal/topo"
+)
+
+func BenchmarkNewSynth300(b *testing.B) {
+	net := topo.Synth300()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clearPartitionCache()
+		_ = New(net, 15, nil)
+	}
+}
+
+func BenchmarkNewSynth300Cached(b *testing.B) {
+	net := topo.Synth300()
+	_ = New(net, 15, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = New(net, 15, nil)
+	}
+}

@@ -1,0 +1,307 @@
+// Package partition implements hierarchical scheduling for 100+-node
+// WANs: it splits the topology into k regions by a capacity-greedy
+// min-cut, classifies demands as intra- or cross-region, and stitches
+// one coordination solve for the cross traffic with k independent
+// per-region availability LPs solved concurrently. A dual-subgradient
+// bound tracks how far the stitched solution can be from the global
+// optimum; when the bound exceeds the caller's threshold (or the
+// decomposition does not apply) it reports a fallback so the caller
+// can run the global LP instead.
+//
+// The package deliberately does not import internal/bate: bate owns
+// the LP formulation and passes it in as a SubSolver callback, so the
+// dependency points bate -> partition only.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bate/internal/alloc"
+	"bate/internal/demand"
+	"bate/internal/topo"
+)
+
+// Options tunes partitioned scheduling.
+type Options struct {
+	// Regions is k, the number of regions to decompose into. Values
+	// <= 1 disable partitioning (the caller runs the global solve).
+	Regions int
+	// GapThreshold is the largest acceptable relative optimality-gap
+	// bound between the stitched solution and the global optimum;
+	// above it the scheduler falls back to the global LP. Zero means
+	// DefaultGapThreshold.
+	GapThreshold float64
+	// MaxSpan is the largest number of regions any single demand's
+	// tunnel set may touch before the round falls back to the global
+	// solve. Zero means 2 (intra-region plus one neighbor), matching
+	// the coordination LP's border-budget model.
+	MaxSpan int
+	// GeoHint optionally seeds the partitioner with a region label per
+	// node (indexed by NodeID); nodes sharing a label start in the same
+	// cluster. The greedy merge then only has to coarsen the hint down
+	// to k regions. len(GeoHint) != NumNodes disables the hint.
+	GeoHint []int
+}
+
+// DefaultGapThreshold bounds the stitched solution at 2% above the
+// global optimum, the acceptance bar of the scale benchmark.
+const DefaultGapThreshold = 0.02
+
+func (o Options) gapThreshold() float64 {
+	if o.GapThreshold > 0 {
+		return o.GapThreshold
+	}
+	return DefaultGapThreshold
+}
+
+func (o Options) maxSpan() int {
+	if o.MaxSpan > 0 {
+		return o.MaxSpan
+	}
+	return 2
+}
+
+// Partition is a k-way split of a network's nodes.
+type Partition struct {
+	Regions    int
+	NodeRegion []int // region id per NodeID
+	LinkRegion []int // region id per LinkID, -1 for inter-region cut links
+	CutLinks   []topo.LinkID
+}
+
+// partitionCache memoizes hint-free partitions by (network identity,
+// k): Network is immutable and the merge deterministic, so the
+// *Partition is shared read-only. Without the cache every stateless
+// Schedule call on a 1000-node graph would redo the O(n·links) greedy
+// merge.
+var partitionCache sync.Map // partitionKey -> *Partition
+
+type partitionKey struct {
+	net *topo.Network
+	k   int
+}
+
+func clearPartitionCache() {
+	partitionCache.Range(func(k, _ interface{}) bool {
+		partitionCache.Delete(k)
+		return true
+	})
+}
+
+// New partitions the network into (at most) k regions by greedy
+// agglomerative min-cut over link capacity: every node starts as its
+// own cluster (or in its GeoHint cluster) and the pair of clusters
+// joined by the largest total capacity is merged until k remain. The
+// heaviest trunks are pulled inside regions first, so the links left
+// crossing the cut are the thin ones — exactly the links we want the
+// coordination LP, not the region LPs, to arbitrate. A balance cap
+// (ceil(1.25·n/k) nodes) keeps any region from swallowing the graph;
+// when every remaining merge would breach it the two smallest clusters
+// merge instead. Deterministic (and memoized when hint-free) for a
+// given (network, k, hint).
+func New(net *topo.Network, k int, geoHint []int) *Partition {
+	if geoHint == nil {
+		if v, ok := partitionCache.Load(partitionKey{net, k}); ok {
+			return v.(*Partition)
+		}
+	}
+	p := build(net, k, geoHint)
+	if geoHint == nil {
+		partitionCache.Store(partitionKey{net, k}, p)
+	}
+	return p
+}
+
+func build(net *topo.Network, k int, geoHint []int) *Partition {
+	n := net.NumNodes()
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	// Union-find over nodes.
+	parent := make([]int, n)
+	size := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	clusters := n
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra > rb {
+			ra, rb = rb, ra // root at the smaller id: deterministic labels
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+		clusters--
+	}
+	if len(geoHint) == n {
+		for v := 1; v < n; v++ {
+			for u := 0; u < v; u++ {
+				if geoHint[u] == geoHint[v] {
+					union(u, v)
+					break
+				}
+			}
+		}
+	}
+	maxSize := (5*n + 4*k - 1) / (4 * k) // ceil(1.25 n / k)
+	if maxSize < 2 {
+		maxSize = 2
+	}
+	for clusters > k {
+		// Total inter-cluster capacity per root pair.
+		type key struct{ a, b int }
+		cap := make(map[key]float64)
+		for _, l := range net.Links() {
+			a, b := find(int(l.Src)), find(int(l.Dst))
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			cap[key{a, b}] += l.Capacity
+		}
+		bestA, bestB, bestCap := -1, -1, -1.0
+		keys := make([]key, 0, len(cap))
+		for kk := range cap {
+			keys = append(keys, kk)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].a != keys[j].a {
+				return keys[i].a < keys[j].a
+			}
+			return keys[i].b < keys[j].b
+		})
+		for _, kk := range keys {
+			if size[kk.a]+size[kk.b] > maxSize {
+				continue
+			}
+			if c := cap[kk]; c > bestCap {
+				bestA, bestB, bestCap = kk.a, kk.b, c
+			}
+		}
+		if bestA < 0 {
+			// Every capacity-connected merge breached the balance cap
+			// (or the graph is disconnected across clusters): merge the
+			// two smallest clusters to guarantee progress.
+			roots := make([]int, 0, clusters)
+			for v := 0; v < n; v++ {
+				if find(v) == v {
+					roots = append(roots, v)
+				}
+			}
+			sort.Slice(roots, func(i, j int) bool {
+				if size[roots[i]] != size[roots[j]] {
+					return size[roots[i]] < size[roots[j]]
+				}
+				return roots[i] < roots[j]
+			})
+			bestA, bestB = roots[0], roots[1]
+		}
+		union(bestA, bestB)
+	}
+	// Dense region ids in order of smallest member node.
+	regionOf := make(map[int]int)
+	node := make([]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		r := find(v)
+		id, ok := regionOf[r]
+		if !ok {
+			id = next
+			regionOf[r] = id
+			next++
+		}
+		node[v] = id
+	}
+	p := &Partition{Regions: next, NodeRegion: node}
+	p.LinkRegion = make([]int, net.NumLinks())
+	for _, l := range net.Links() {
+		if a, b := node[l.Src], node[l.Dst]; a == b {
+			p.LinkRegion[l.ID] = a
+		} else {
+			p.LinkRegion[l.ID] = -1
+			p.CutLinks = append(p.CutLinks, l.ID)
+		}
+	}
+	return p
+}
+
+// Groups is the demand classification induced by a partition.
+type Groups struct {
+	// Intra[r] holds the demands whose every tunnel stays entirely
+	// inside region r — their LPs are independent of every other
+	// region's.
+	Intra [][]*demand.Demand
+	// Cross holds the demands whose tunnels touch more than one region
+	// (or a cut link); the coordination solve handles them.
+	Cross []*demand.Demand
+	// MaxSpan is the largest number of regions any single demand's
+	// tunnels touch.
+	MaxSpan int
+}
+
+// Classify splits the input's demands by the partition. A demand is
+// intra-region only if every link of every tunnel of every pair lies
+// inside one region; anything touching a cut link or a second region
+// is cross-region.
+func (p *Partition) Classify(in *alloc.Input) Groups {
+	g := Groups{Intra: make([][]*demand.Demand, p.Regions)}
+	var regions []int // scratch, reused across demands
+	for _, d := range in.Demands {
+		regions = regions[:0]
+		touch := func(r int) {
+			for _, x := range regions {
+				if x == r {
+					return
+				}
+			}
+			regions = append(regions, r)
+		}
+		cut := false
+		for pi := range d.Pairs {
+			touch(p.NodeRegion[d.Pairs[pi].Src])
+			touch(p.NodeRegion[d.Pairs[pi].Dst])
+			for _, t := range in.TunnelsFor(d, pi) {
+				for _, e := range t.Links {
+					if r := p.LinkRegion[e]; r < 0 {
+						cut = true
+					} else {
+						touch(r)
+					}
+				}
+			}
+		}
+		if len(regions) > g.MaxSpan {
+			g.MaxSpan = len(regions)
+		}
+		if !cut && len(regions) == 1 {
+			g.Intra[regions[0]] = append(g.Intra[regions[0]], d)
+		} else {
+			g.Cross = append(g.Cross, d)
+		}
+	}
+	return g
+}
+
+// String summarizes the partition.
+func (p *Partition) String() string {
+	return fmt.Sprintf("partition(%d regions, %d cut links)", p.Regions, len(p.CutLinks))
+}

@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bate/internal/alloc"
+	"bate/internal/demand"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// plantedRegion extracts the region index from a RingOfRegions node
+// name ("R3N7" -> "R3").
+func plantedRegion(name string) string {
+	return name[:strings.Index(name, "N")]
+}
+
+// TestNewRecoversPlantedRegions checks that the capacity-greedy merge
+// finds the ring-of-regions structure exactly: every planted region
+// maps to one partition region and the cut is exactly the border
+// trunks.
+func TestNewRecoversPlantedRegions(t *testing.T) {
+	net := topo.Synth100()
+	p := New(net, 10, nil)
+	if p.Regions != 10 {
+		t.Fatalf("Regions = %d, want 10", p.Regions)
+	}
+	// Same planted region <=> same partition region.
+	byPlanted := make(map[string]int)
+	for v := 0; v < net.NumNodes(); v++ {
+		planted := plantedRegion(net.NodeName(topo.NodeID(v)))
+		r := p.NodeRegion[v]
+		if prev, ok := byPlanted[planted]; ok && prev != r {
+			t.Fatalf("node %s: region %d, but %s already mapped to %d",
+				net.NodeName(topo.NodeID(v)), r, planted, prev)
+		}
+		byPlanted[planted] = r
+	}
+	if len(byPlanted) != 10 {
+		t.Fatalf("planted regions map to %d partition regions, want 10", len(byPlanted))
+	}
+	// Cut links are exactly the thin border trunks: 10 ring edges x 2
+	// bidirectional trunks = 40 directed links of borderCap.
+	if len(p.CutLinks) != 40 {
+		t.Fatalf("|CutLinks| = %d, want 40", len(p.CutLinks))
+	}
+	for _, id := range p.CutLinks {
+		l := net.Link(id)
+		if l.Capacity != 20000 {
+			t.Fatalf("cut link %d has capacity %v, want border trunk 20000", id, l.Capacity)
+		}
+		if p.LinkRegion[id] != -1 {
+			t.Fatalf("cut link %d has LinkRegion %d, want -1", id, p.LinkRegion[id])
+		}
+	}
+	for _, l := range net.Links() {
+		if r := p.LinkRegion[l.ID]; r >= 0 && p.NodeRegion[l.Src] != p.NodeRegion[l.Dst] {
+			t.Fatalf("link %d labeled region %d but spans regions %d-%d",
+				l.ID, r, p.NodeRegion[l.Src], p.NodeRegion[l.Dst])
+		}
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	net := topo.Synth100()
+	a, b := New(net, 10, nil), New(net, 10, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two New calls on the same inputs disagree")
+	}
+}
+
+// TestNewBalanceCap merges an unstructured mesh and checks no region
+// exceeds ceil(1.25 n / k) nodes.
+func TestNewBalanceCap(t *testing.T) {
+	net := topo.Rand100()
+	k := 8
+	p := New(net, k, nil)
+	if p.Regions < 2 {
+		t.Fatalf("Regions = %d, want >= 2", p.Regions)
+	}
+	maxSize := (5*net.NumNodes() + 4*k - 1) / (4 * k)
+	count := make([]int, p.Regions)
+	for _, r := range p.NodeRegion {
+		count[r]++
+	}
+	for r, c := range count {
+		if c > maxSize {
+			t.Fatalf("region %d has %d nodes, cap %d", r, c, maxSize)
+		}
+		if c == 0 {
+			t.Fatalf("region %d is empty", r)
+		}
+	}
+}
+
+func TestNewDegenerate(t *testing.T) {
+	net := topo.B4()
+	if p := New(net, 1, nil); p.Regions != 1 || len(p.CutLinks) != 0 {
+		t.Fatalf("k=1: got %d regions, %d cut links; want 1 region, 0 cuts", p.Regions, len(p.CutLinks))
+	}
+	// k >= n: every node its own region, every link cut.
+	p := New(net, net.NumNodes()+5, nil)
+	if p.Regions != net.NumNodes() {
+		t.Fatalf("k>n: Regions = %d, want %d", p.Regions, net.NumNodes())
+	}
+	if len(p.CutLinks) != net.NumLinks() {
+		t.Fatalf("k>n: %d cut links, want all %d", len(p.CutLinks), net.NumLinks())
+	}
+}
+
+func TestNewGeoHint(t *testing.T) {
+	net := topo.Synth100()
+	// Hint: planted region parity (2 labels). The partitioner must keep
+	// hinted clusters together while coarsening to k=2.
+	hint := make([]int, net.NumNodes())
+	for v := range hint {
+		r := int(plantedRegion(net.NodeName(topo.NodeID(v)))[1] - '0')
+		hint[v] = r % 2
+	}
+	p := New(net, 2, hint)
+	if p.Regions != 2 {
+		t.Fatalf("Regions = %d, want 2", p.Regions)
+	}
+	for v := 1; v < net.NumNodes(); v++ {
+		if hint[v] == hint[0] != (p.NodeRegion[v] == p.NodeRegion[0]) {
+			t.Fatalf("node %d: hint %d vs node0 hint %d, but regions %d vs %d",
+				v, hint[v], hint[0], p.NodeRegion[v], p.NodeRegion[0])
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	net := topo.RingOfRegions("T", 2, 5, 40000, 20000, 7)
+	tunnels := routing.Compute(net, routing.KShortest, 3)
+	p := New(net, 2, nil)
+	if p.Regions != 2 {
+		t.Fatalf("Regions = %d, want 2", p.Regions)
+	}
+	name := func(s string) topo.NodeID {
+		id, ok := net.NodeByName(s)
+		if !ok {
+			t.Fatalf("no node %s", s)
+		}
+		return id
+	}
+	intra := &demand.Demand{ID: 0, Target: 0.9,
+		Pairs: []demand.PairDemand{{Src: name("R1N1"), Dst: name("R1N3"), Bandwidth: 100}}}
+	cross := &demand.Demand{ID: 1, Target: 0.9,
+		Pairs: []demand.PairDemand{{Src: name("R1N1"), Dst: name("R2N2"), Bandwidth: 100}}}
+	in := &alloc.Input{Net: net, Tunnels: tunnels, Demands: []*demand.Demand{intra, cross}}
+	g := p.Classify(in)
+	r := p.NodeRegion[name("R1N1")]
+	if len(g.Intra[r]) != 1 || g.Intra[r][0] != intra {
+		t.Fatalf("intra demand not classified into region %d: %+v", r, g.Intra)
+	}
+	if len(g.Cross) != 1 || g.Cross[0] != cross {
+		t.Fatalf("cross demand not classified as cross: %+v", g.Cross)
+	}
+	if g.MaxSpan != 2 {
+		t.Fatalf("MaxSpan = %d, want 2", g.MaxSpan)
+	}
+}

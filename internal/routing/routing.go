@@ -120,11 +120,22 @@ func (ts *TunnelSet) All() []Tunnel { return ts.tunnels }
 // Compute builds the tunnel set for net using the given scheme with k
 // tunnels per pair (the paper defaults to 4-shortest paths).
 func Compute(net *topo.Network, scheme Scheme, k int) *TunnelSet {
+	return ComputeForPairs(net, scheme, k, net.Pairs())
+}
+
+// ComputeForPairs builds tunnels only for the given ordered pairs
+// (duplicates are computed once). All-pairs Compute runs n·(n-1) Yen
+// searches — prohibitive on the 1000-node scale topologies when a
+// workload only ever references a few hundred pairs.
+func ComputeForPairs(net *topo.Network, scheme Scheme, k int, pairs [][2]topo.NodeID) *TunnelSet {
 	if k <= 0 {
 		k = 4
 	}
 	ts := &TunnelSet{Net: net, Scheme: scheme, K: k, byPair: make(map[[2]topo.NodeID][]Tunnel)}
-	for _, pair := range net.Pairs() {
+	for _, pair := range pairs {
+		if _, done := ts.byPair[pair]; done {
+			continue
+		}
 		var tun []Tunnel
 		switch scheme {
 		case KShortest:

@@ -40,15 +40,17 @@ type classKey struct {
 
 func buildKey(net *topo.Network, groups []RiskGroup, tunnels []routing.Tunnel, maxFail int) classKey {
 	var buf [8]byte
+	// The topology digest is the Network's memoized fingerprint (node
+	// count, link endpoints, failure probabilities) mixed with the risk
+	// groups. Hashing the whole link list per lookup used to dominate
+	// lookup cost on large networks — O(E) per call even on a hit — and
+	// worse, partitioned scheduling issues one lookup per demand per
+	// region subproblem, all over the same *Network. The memoized
+	// fingerprint makes every subproblem hit the same entries for the
+	// cost of hashing only the tunnel lists.
 	th := fnv.New128a()
-	binary.LittleEndian.PutUint64(buf[:], uint64(net.NumNodes()))
-	th.Write(buf[:])
-	for _, l := range net.Links() {
-		binary.LittleEndian.PutUint64(buf[:], uint64(l.Src)<<32|uint64(uint32(l.Dst)))
-		th.Write(buf[:])
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(l.FailProb))
-		th.Write(buf[:])
-	}
+	fp := net.Fingerprint()
+	th.Write(fp[:])
 	for _, g := range groups {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(g.Prob))
 		th.Write(buf[:])

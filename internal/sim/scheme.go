@@ -12,6 +12,7 @@ import (
 	"bate/internal/alloc"
 	"bate/internal/bate"
 	"bate/internal/lp"
+	"bate/internal/partition"
 	"bate/internal/scenario"
 	"bate/internal/te"
 )
@@ -70,6 +71,9 @@ type TEConfig struct {
 	// by a few demands per round). Share one Scheduler across the
 	// rounds of a single simulation; it is not safe for concurrent use.
 	Scheduler *bate.Scheduler
+	// Partition, when non-nil, enables BATE's hierarchical
+	// (partitioned) scheduling; see bate.ScheduleOptions.Partition.
+	Partition *partition.Options
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -98,7 +102,7 @@ func (c TEConfig) Allocate(in *alloc.Input) (alloc.Allocation, error) {
 	}
 	switch c.Kind {
 	case KindBATE:
-		opts := bate.ScheduleOptions{MaxFail: c.MaxFail, Mode: c.Mode}
+		opts := bate.ScheduleOptions{MaxFail: c.MaxFail, Mode: c.Mode, Partition: c.Partition}
 		var a alloc.Allocation
 		var err error
 		if c.Scheduler != nil {

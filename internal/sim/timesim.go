@@ -483,13 +483,18 @@ func deliveredThisSecond(in *alloc.Input, rates sendRates, injector *FailureInje
 		surviving[d.ID] = nr
 	}
 	delivered, offered := deliveredWithCongestion(in, surviving)
-	// Congestion drops count as loss too.
+	// Congestion drops count as loss too. Sum in demand order, not map
+	// order: the two totals differ by ulps, and a run-to-run iteration
+	// order would flip the sign of a near-zero loss.
 	deliveredSum := 0.0
-	for _, per := range delivered {
-		for _, v := range per {
+	for _, d := range in.Demands {
+		for _, v := range delivered[d.ID] {
 			deliveredSum += v
 		}
 	}
 	acct.lost += offered - deliveredSum
+	if acct.lost < 0 {
+		acct.lost = 0
+	}
 	return delivered, acct
 }

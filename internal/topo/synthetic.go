@@ -1,0 +1,132 @@
+package topo
+
+import "fmt"
+
+// Synthetic 100/300/1000-node topologies for the hierarchical-scheduling
+// scale experiments. Paper-scale WANs (Table 4) top out at 25 nodes;
+// these generators produce deterministic larger graphs in two families:
+//
+//   - RingOfRegions: dense regional meshes joined in a ring by thinner
+//     border trunks — the structure partitioned scheduling exploits.
+//     Intra-region trunks are fatter than border trunks, so a
+//     capacity-greedy min-cut recovers the regions exactly.
+//   - FatRandom: a ring-plus-chords mesh with no planted structure, the
+//     adversarial case for partitioning (most demands cross any cut).
+//
+// Both are deterministic functions of their parameters (failure
+// probabilities come from the seeded heavy-tailed generator), so
+// benchmarks and chaos replays are reproducible byte-for-byte.
+
+// RingOfRegions builds `regions` meshes of `perRegion` nodes each,
+// joined in a ring: region r connects to region (r+1) mod regions by
+// two bidirectional border trunks. Node names are R<r>N<i> (1-based).
+// Intra-region trunks carry intraCap Mbps, border trunks borderCap;
+// callers wanting a partition-friendly graph keep borderCap < intraCap.
+func RingOfRegions(name string, regions, perRegion int, intraCap, borderCap float64, seed uint64) *Network {
+	if regions < 2 || perRegion < 3 {
+		panic(fmt.Sprintf("topo: RingOfRegions needs >=2 regions of >=3 nodes, got %dx%d", regions, perRegion))
+	}
+	b := NewBuilder(name)
+	names := make([][]string, regions)
+	for r := 0; r < regions; r++ {
+		names[r] = make([]string, perRegion)
+		for i := 0; i < perRegion; i++ {
+			names[r][i] = fmt.Sprintf("R%dN%d", r+1, i+1)
+			b.Node(names[r][i])
+		}
+	}
+	// Intra-region mesh: a ring plus stride-2 and stride-3 chords keeps
+	// diameters small (k-shortest tunnels stay short and local) and
+	// gives several disjoint paths inside every region.
+	type edge struct{ r, a, c int }
+	var intra []edge
+	for r := 0; r < regions; r++ {
+		seen := make(map[[2]int]bool)
+		add := func(a, c int) {
+			if a == c {
+				return
+			}
+			if a > c {
+				a, c = c, a
+			}
+			if seen[[2]int{a, c}] {
+				return
+			}
+			seen[[2]int{a, c}] = true
+			intra = append(intra, edge{r, a, c})
+		}
+		for i := 0; i < perRegion; i++ {
+			add(i, (i+1)%perRegion)
+		}
+		for _, stride := range []int{2, 3} {
+			if stride < perRegion {
+				for i := 0; i < perRegion; i++ {
+					add(i, (i+stride)%perRegion)
+				}
+			}
+		}
+	}
+	// Scale probabilities down 10x from the paper-scale defaults: the
+	// qualified scenario mass P(<= y network-wide failures) bounds every
+	// demand's achievable availability, and at 1000 nodes (~6400 links)
+	// the default rates leave P(<=2) near 0.3 — no target is feasible.
+	probs := heavyTailedProbs(len(intra)+2*regions, seed)
+	for i := range probs {
+		probs[i] *= 0.1
+	}
+	for i, e := range intra {
+		b.Bidi(names[e.r][e.a], names[e.r][e.c], intraCap, probs[i])
+	}
+	// Border trunks: two per ring edge, anchored at deterministic nodes
+	// so the inter-region cut is exactly 2*borderCap per direction. With
+	// exactly two regions the ring has one edge, not two, so the r=1
+	// trunks would duplicate r=0's.
+	ringEdges := regions
+	if regions == 2 {
+		ringEdges = 1
+	}
+	for r := 0; r < ringEdges; r++ {
+		next := (r + 1) % regions
+		p0 := probs[len(intra)+2*r]
+		p1 := probs[len(intra)+2*r+1]
+		b.Bidi(names[r][0], names[next][perRegion/2], borderCap, p0)
+		b.Bidi(names[r][perRegion/2], names[next][0], borderCap, p1)
+	}
+	return b.MustBuild()
+}
+
+// FatRandom builds an unstructured nodes-node mesh with roughly
+// degree*nodes/2 bidirectional edges (ring plus widening-stride
+// chords), mixed trunk capacities, and seeded heavy-tailed failure
+// probabilities.
+func FatRandom(name string, nodes, degree int, seed uint64) *Network {
+	edges := nodes * degree / 2
+	if edges < nodes {
+		edges = nodes
+	}
+	return meshBuilder(name, nodes, edges, []float64{10000, 20000, 40000}, seed)
+}
+
+// Synth100 returns the 100-node ring-of-regions scale topology:
+// 10 regions of 10 nodes.
+func Synth100() *Network {
+	return RingOfRegions("Synth100", 10, 10, 40000, 20000, 0x5E100100)
+}
+
+// Synth300 returns the 300-node ring-of-regions scale topology:
+// 15 regions of 20 nodes. This is the acceptance benchmark graph.
+func Synth300() *Network {
+	return RingOfRegions("Synth300", 15, 20, 40000, 20000, 0x5E300300)
+}
+
+// Synth1000 returns the 1000-node ring-of-regions scale topology:
+// 25 regions of 40 nodes.
+func Synth1000() *Network {
+	return RingOfRegions("Synth1000", 25, 40, 40000, 20000, 0x5E1000AA)
+}
+
+// Rand100 returns a 100-node unstructured fat random mesh.
+func Rand100() *Network { return FatRandom("Rand100", 100, 4, 0xFA100100) }
+
+// Rand300 returns a 300-node unstructured fat random mesh.
+func Rand300() *Network { return FatRandom("Rand300", 300, 4, 0xFA300300) }

@@ -4,9 +4,13 @@
 package topo
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a datacenter in a Network. IDs are dense and start
@@ -41,6 +45,9 @@ type Network struct {
 	out       [][]LinkID // outgoing links per node
 	in        [][]LinkID // incoming links per node
 	byPair    map[[2]NodeID]LinkID
+
+	fpOnce sync.Once
+	fp     [16]byte
 }
 
 // Name returns the topology name (e.g. "B4").
@@ -83,6 +90,30 @@ func (n *Network) LinkBetween(src, dst NodeID) (Link, bool) {
 		return Link{}, false
 	}
 	return n.links[id], true
+}
+
+// Fingerprint returns a 128-bit digest of the failure-relevant
+// structure of the network: the node count plus every link's endpoints
+// and failure probability (capacities are excluded — they never enter
+// scenario-class computation). Networks are immutable, so the digest is
+// computed once and memoized; hot callers such as the scenario class
+// cache key every lookup with it for the cost of a pointer read instead
+// of an O(links) hash.
+func (n *Network) Fingerprint() [16]byte {
+	n.fpOnce.Do(func() {
+		h := fnv.New128a()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(n.nodeNames)))
+		h.Write(buf[:])
+		for _, l := range n.links {
+			binary.LittleEndian.PutUint64(buf[:], uint64(l.Src)<<32|uint64(uint32(l.Dst)))
+			h.Write(buf[:])
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(l.FailProb))
+			h.Write(buf[:])
+		}
+		copy(n.fp[:], h.Sum(nil))
+	})
+	return n.fp
 }
 
 // Pairs returns every ordered (src, dst) node pair with src != dst, in

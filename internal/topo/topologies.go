@@ -187,11 +187,22 @@ func ByName(name string) (*Network, error) {
 		return ATT(), nil
 	case "FITI", "fiti":
 		return FITI(), nil
+	case "Synth100", "synth100":
+		return Synth100(), nil
+	case "Synth300", "synth300":
+		return Synth300(), nil
+	case "Synth1000", "synth1000":
+		return Synth1000(), nil
+	case "Rand100", "rand100":
+		return Rand100(), nil
+	case "Rand300", "rand300":
+		return Rand300(), nil
 	}
 	return nil, fmt.Errorf("topo: unknown topology %q", name)
 }
 
 // Names lists the built-in topology names accepted by ByName.
 func Names() []string {
-	return []string{"Toy4", "Testbed6", "B4", "IBM", "ATT", "FITI"}
+	return []string{"Toy4", "Testbed6", "B4", "IBM", "ATT", "FITI",
+		"Synth100", "Synth300", "Synth1000", "Rand100", "Rand300"}
 }
