@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bate/internal/controller"
+	"bate/internal/overload"
 	"bate/internal/parallel"
 	"bate/internal/partition"
 	"bate/internal/paxos"
@@ -47,6 +48,9 @@ func main() {
 	jsonWire := flag.Bool("json-wire", false, "answer every session in the JSON debug codec, ignoring binary negotiation (packet-capture friendly)")
 	partitions := flag.Int("partitions", 0, "hierarchical scheduling: split the topology into k regions solved in parallel (0/1 = global LP)")
 	partitionGap := flag.Float64("partition-gap", 0, "hierarchical scheduling: max relative optimality-gap bound before falling back to the global LP (0 = 2%)")
+	maxInflight := flag.Int("max-inflight", 0, "overload protection: admission gate base concurrency; shed excess client requests with retry-after hints instead of queueing unboundedly (0 = disabled)")
+	shedPrio := flag.String("shed-priority", "submit", "overload protection: least-critical class the gate may shed — submit (sheds submits and status polls) or status (sheds only status polls); withdrawals and link events are never shed (with -max-inflight)")
+	rateLimit := flag.Float64("rate-limit", 0, "overload protection: per-client token-bucket rate (requests/sec, 0 = unlimited; with -max-inflight)")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -110,6 +114,19 @@ func main() {
 	if *partitions > 1 {
 		cfg.Partition = &partition.Options{Regions: *partitions, GapThreshold: *partitionGap}
 		log.Printf("bate-controller: hierarchical scheduling over %d regions", *partitions)
+	}
+	if *maxInflight > 0 {
+		prio, err := overload.ParsePriority(*shedPrio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Overload = &overload.Options{
+			MaxInflight:   *maxInflight,
+			ShedPriority:  prio,
+			RatePerClient: *rateLimit,
+		}
+		log.Printf("bate-controller: admission gate: %d slots (adaptive), shedding %s and below, %g req/s per client",
+			*maxInflight, prio, *rateLimit)
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, net0, store.Options{NoSync: *noSync})

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"bate/internal/store"
 	"bate/internal/topo"
@@ -24,6 +26,7 @@ import (
 func main() {
 	addr := flag.String("controller", "localhost:7001", "controller address")
 	wireName := flag.String("wire", "binary", "wire codec to negotiate: binary, or json for debugging with a packet capture")
+	retryMax := flag.Int("client-retry-max", 8, "retries when the controller sheds the request with a retry-after hint (overloaded controller); each retry backs off by the hinted delay with jitter")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -60,14 +63,10 @@ func main() {
 		if *charge == 0 {
 			*charge = *bw
 		}
-		err := conn.Send(&wire.Message{Type: wire.TypeSubmit, Submit: &wire.Submit{
+		reply, err := sendRetry(conn, &wire.Message{Type: wire.TypeSubmit, Submit: &wire.Submit{
 			Src: *src, Dst: *dst, Bandwidth: *bw, Target: *target,
 			Charge: *charge, RefundFrac: *refund,
-		}})
-		if err != nil {
-			log.Fatal(err)
-		}
-		reply, err := conn.Recv()
+		}}, *retryMax)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -82,10 +81,7 @@ func main() {
 			os.Exit(1)
 		}
 	case "status":
-		if err := conn.Send(&wire.Message{Type: wire.TypeStatus}); err != nil {
-			log.Fatal(err)
-		}
-		reply, err := conn.Recv()
+		reply, err := sendRetry(conn, &wire.Message{Type: wire.TypeStatus}, *retryMax)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,15 +104,46 @@ func main() {
 		if *id < 0 {
 			log.Fatal("batectl: -id is required")
 		}
-		if err := conn.Send(&wire.Message{Type: wire.TypeWithdraw, WithdrawID: *id}); err != nil {
-			log.Fatal(err)
-		}
-		if _, err := conn.Recv(); err != nil {
+		if _, err := sendRetry(conn, &wire.Message{Type: wire.TypeWithdraw, WithdrawID: *id}, *retryMax); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("withdrawn: id=%d\n", *id)
 	default:
 		usage()
+	}
+}
+
+// sendRetry sends m and waits for the reply, honoring the overload
+// protocol: a TypeRetryAfter reply means the controller shed the
+// request, so back off by the hinted delay (with jitter, so retrying
+// clients do not re-collide) and resend, up to retryMax times.
+func sendRetry(conn *wire.Conn, m *wire.Message, retryMax int) (*wire.Message, error) {
+	for attempt := 0; ; attempt++ {
+		if err := conn.Send(m); err != nil {
+			return nil, err
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if reply.Type != wire.TypeRetryAfter {
+			return reply, nil
+		}
+		hint, reason := 50*time.Millisecond, "overloaded"
+		if reply.RetryAfter != nil {
+			if reply.RetryAfter.RetryAfterMs > 0 {
+				hint = time.Duration(reply.RetryAfter.RetryAfterMs) * time.Millisecond
+			}
+			if reply.RetryAfter.Reason != "" {
+				reason = reply.RetryAfter.Reason
+			}
+		}
+		if attempt >= retryMax {
+			return nil, fmt.Errorf("controller shed the request %d times (last: %s); giving up", attempt+1, reason)
+		}
+		d := time.Duration(float64(hint) * (0.5 + rand.Float64()))
+		log.Printf("batectl: controller overloaded (%s), retrying in %v (%d/%d)", reason, d.Round(time.Millisecond), attempt+1, retryMax)
+		time.Sleep(d)
 	}
 }
 
@@ -192,9 +219,9 @@ func printSummary(sum *store.Summary) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  batectl [-controller addr] submit -src DC1 -dst DC4 -bw 500 [-target 0.999] [-charge N] [-refund 0.1]
-  batectl [-controller addr] status
-  batectl [-controller addr] withdraw -id N
+  batectl [-controller addr] [-client-retry-max N] submit -src DC1 -dst DC4 -bw 500 [-target 0.999] [-charge N] [-refund 0.1]
+  batectl [-controller addr] [-client-retry-max N] status
+  batectl [-controller addr] [-client-retry-max N] withdraw -id N
   batectl store inspect -dir DIR [-topology NAME]
   batectl store compact -dir DIR [-topology NAME]`)
 	os.Exit(2)

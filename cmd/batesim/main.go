@@ -8,6 +8,7 @@
 //	batesim -mode time  -topology Testbed6 -te BATE -horizon 600 -rate 2
 //	batesim -mode event -topology B4 -te TEAVAR -admission none -rate 3
 //	batesim -mode load  -clients 100000 -wire both -bench-out BENCH_wire.json
+//	batesim -mode load  -overload -ramp 5 -bench-out BENCH_overload.json
 package main
 
 import (
@@ -18,12 +19,14 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"bate/internal/alloc"
 	"bate/internal/bate"
 	"bate/internal/chaos/soak"
 	"bate/internal/demand"
 	"bate/internal/metrics"
+	"bate/internal/overload"
 	"bate/internal/parallel"
 	"bate/internal/partition"
 	"bate/internal/routing"
@@ -78,9 +81,15 @@ func main() {
 	wireName := flag.String("wire", "both", "load mode: codec to drive — binary, json, or both")
 	statusEvery := flag.Int("status-every", 0, "load mode: status poll every N batches per conn (0 = default, <0 = off)")
 	realAdm := flag.Bool("load-real", false, "load mode: run the real admission pipeline instead of stub admission")
-	benchOut := flag.String("bench-out", "", "load mode: write the WireBenchReport JSON here")
-	baseline := flag.String("baseline", "", "load mode: committed WireBenchReport to gate against")
+	benchOut := flag.String("bench-out", "", "load mode: write the bench report JSON here (WireBenchReport, or OverloadBenchReport with -overload)")
+	baseline := flag.String("baseline", "", "load mode: committed bench report to gate against")
 	tolerance := flag.Float64("tolerance", 0.2, "load mode: fractional regression tolerance for -baseline")
+	overloadRun := flag.Bool("overload", false, "load mode: run the overload/backpressure scenario (1x calibration then a -ramp× flood against the admission gate) instead of the codec throughput harness")
+	maxInflight := flag.Int("max-inflight", 4, "overload scenario: admission gate base concurrency (AIMD may grow it up to 4×)")
+	ramp := flag.Int("ramp", 5, "overload scenario: offered-load multiple of calibrated capacity for the flood phase")
+	shedPrio := flag.String("shed-priority", "submit", "overload scenario: least-critical class the gate may shed (submit sheds submits+status, status sheds only status; withdrawals are never shed)")
+	clientRetryMax := flag.Int("client-retry-max", 8, "overload scenario: consecutive retry-afters a client tolerates per submission before abandoning it")
+	overloadSec := flag.Float64("overload-sec", 2, "overload scenario: wall-clock seconds per phase")
 	partitions := flag.Int("partitions", 0, "hierarchical scheduling: split the topology into k regions solved in parallel (0/1 = global LP)")
 	partitionGap := flag.Float64("partition-gap", 0, "hierarchical scheduling: max relative optimality-gap bound before falling back to the global LP (0 = 2%)")
 	flag.Parse()
@@ -96,6 +105,11 @@ func main() {
 		return
 	}
 	if *mode == "load" {
+		if *overloadRun {
+			runOverloadBench(*topoName, *maxInflight, *ramp, *shedPrio, *clientRetryMax,
+				*overloadSec, *seed, *benchOut, *baseline, *tolerance)
+			return
+		}
 		runWireLoad(*topoName, *clients, *conns, *batch, *statusEvery, *wireName, *realAdm, *seed,
 			*benchOut, *baseline, *tolerance)
 		return
@@ -293,6 +307,69 @@ func runWireLoad(topoName string, clients, conns, batch, statusEvery int, wireNa
 			os.Exit(1)
 		}
 		fmt.Printf("wire-bench gate: within ±%.0f%% of %s\n", tolerance*100, baseline)
+	}
+}
+
+// runOverloadBench runs the overload scenario (batesim -mode load
+// -overload): calibrate goodput at 1x, flood at -ramp× capacity, and
+// check that the admission gate sheds lowest-priority-first while
+// goodput holds ≥90% of calibration, optionally gating against a
+// committed OverloadBenchReport baseline.
+func runOverloadBench(topoName string, maxInflight, ramp int, shedPrio string, retryMax int, durationSec float64, seed int64, benchOut, baseline string, tolerance float64) {
+	net0, err := topo.Resolve(topoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prio, err := overload.ParsePriority(shedPrio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sim.RunOverloadSim(sim.OverloadConfig{
+		Net: net0, Tunnels: routing.Compute(net0, routing.KShortest, 4),
+		MaxInflight: maxInflight, Ramp: ramp, ShedPriority: prio,
+		RetryMax: retryMax, Seed: seed,
+		Duration: time.Duration(durationSec * float64(time.Second)),
+	})
+	if err != nil {
+		log.Fatalf("batesim: overload: %v", err)
+	}
+	for _, res := range []*sim.OverloadResult{report.Baseline, report.Overload} {
+		fmt.Printf("phase=%s clients=%d: %.0f admitted/sec (%d offered, %d shed: %d submit/%d status/%d critical, %d gave up), p50=%.3fms p99=%.3fms\n",
+			res.Phase, res.Clients, res.GoodputPerSec, res.Offered,
+			res.ShedSubmit+res.ShedStatus+res.ShedCritical,
+			res.ShedSubmit, res.ShedStatus, res.ShedCritical, res.GaveUp,
+			res.P50AckMs, res.P99AckMs)
+	}
+	fmt.Printf("goodput ratio %.2fx of calibrated capacity at %dx offered load; gate: %d admitted, %d shed, %d queue timeouts, limit %d\n",
+		report.GoodputRatio, report.Ramp, report.Gate.Admitted,
+		report.Gate.ShedByPrio[overload.PCritical]+report.Gate.ShedByPrio[overload.PSubmit]+report.Gate.ShedByPrio[overload.PStatus],
+		report.Gate.Timeouts, report.Gate.Limit)
+	if benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("batesim: wrote %s", benchOut)
+	}
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base sim.OverloadBenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			log.Fatalf("batesim: parse %s: %v", baseline, err)
+		}
+		if regs := sim.CompareOverloadBench(report, &base, tolerance); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("overload-bench gate: within ±%.0f%% of %s\n", tolerance*100, baseline)
 	}
 }
 

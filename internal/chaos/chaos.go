@@ -9,7 +9,10 @@
 //     writes and fsync errors (fs.go), and a torn-record artifact
 //     generator feeding the WAL fuzz corpus (artifacts.go);
 //   - the solver: a budget gate forcing RecoverOptimal / the
-//     scheduling LP to "time out" on a deterministic cadence.
+//     scheduling LP to "time out" on a deterministic cadence;
+//   - admission: a budget gate forcing the overload gate to shed
+//     every Nth sheddable request, so the retry-after protocol and
+//     priority floor replay deterministically from a seed.
 //
 // Every decision derives from the seed through counter-indexed
 // hashing, never from shared mutable RNG state, so a replay with the
@@ -45,6 +48,7 @@ var (
 	mMsgDrops       = metrics.NewCounter("chaos.msg_drops")
 	mMsgDups        = metrics.NewCounter("chaos.msg_dups")
 	mMsgReorders    = metrics.NewCounter("chaos.msg_reorders")
+	mAdmitDenials   = metrics.NewCounter("chaos.admission_denials")
 )
 
 // Injector derives deterministic fault decisions from a seed. Each
@@ -149,6 +153,54 @@ func (s *SolverBudget) Calls(op string) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.calls[op]
+}
+
+// AdmissionConfig tunes the admission-budget front.
+type AdmissionConfig struct {
+	// EveryN sheds every Nth sheddable admission per priority class (0
+	// or 1 disables). N >= 2 guarantees the attempt after a denial
+	// passes this front, so a retrying client always terminates.
+	EveryN int
+}
+
+// AdmissionBudget forces priority-aware load sheds on a deterministic
+// cadence — the admission-control sibling of SolverBudget. Hand its
+// Gate method to overload.Options.ShedGate via a closure mapping the
+// priority to its String(). Decisions are counter-indexed per class,
+// never time- or queue-state-based, so a replay with the same seed
+// sheds the same requests.
+type AdmissionBudget struct {
+	cfg AdmissionConfig
+
+	mu    sync.Mutex
+	calls map[string]uint64
+}
+
+// NewAdmissionBudget returns an admission-budget injector.
+func NewAdmissionBudget(cfg AdmissionConfig) *AdmissionBudget {
+	return &AdmissionBudget{cfg: cfg, calls: make(map[string]uint64)}
+}
+
+// Gate counts sheddable acquires per priority class and sheds every
+// Nth. The gate only consults it for sheddable classes, so critical
+// traffic (withdrawals, link events) can never be injected away.
+func (a *AdmissionBudget) Gate(class string) bool {
+	a.mu.Lock()
+	idx := a.calls[class]
+	a.calls[class] = idx + 1
+	a.mu.Unlock()
+	if everyNth(idx, a.cfg.EveryN) {
+		mAdmitDenials.Inc()
+		return true
+	}
+	return false
+}
+
+// Calls returns how many times class has been gated so far.
+func (a *AdmissionBudget) Calls(class string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.calls[class]
 }
 
 // Partition is a directional connectivity cut between two named

@@ -104,6 +104,34 @@ func TestSolverBudgetGate(t *testing.T) {
 	}
 }
 
+func TestAdmissionBudgetGate(t *testing.T) {
+	ab := NewAdmissionBudget(AdmissionConfig{EveryN: 3})
+	var sheds []int
+	for i := 0; i < 9; i++ {
+		if ab.Gate("submit") {
+			sheds = append(sheds, i)
+		}
+	}
+	if len(sheds) != 3 || sheds[0] != 2 || sheds[1] != 5 || sheds[2] != 8 {
+		t.Fatalf("sheds = %v, want [2 5 8]", sheds)
+	}
+	// Per-class counters: a fresh class gets its clean calls first, so
+	// one class's flood cannot starve another's budget.
+	if ab.Gate("status") {
+		t.Fatal("first call on new class shed")
+	}
+	if ab.Calls("submit") != 9 || ab.Calls("status") != 1 {
+		t.Fatalf("calls = %d/%d", ab.Calls("submit"), ab.Calls("status"))
+	}
+	// Disabled budgets never shed.
+	off := NewAdmissionBudget(AdmissionConfig{})
+	for i := 0; i < 8; i++ {
+		if off.Gate("submit") {
+			t.Fatal("disabled budget shed")
+		}
+	}
+}
+
 func TestLinkOutagesDeterministicAndSorted(t *testing.T) {
 	a := LinkOutages(11, 16, 100, 12)
 	b := LinkOutages(11, 16, 100, 12)

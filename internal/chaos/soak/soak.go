@@ -23,6 +23,7 @@ import (
 	"bate/internal/chaos"
 	"bate/internal/controller"
 	"bate/internal/metrics"
+	"bate/internal/overload"
 	"bate/internal/partition"
 	"bate/internal/paxos"
 	"bate/internal/routing"
@@ -56,6 +57,12 @@ type Config struct {
 	// deterministic, so a partitioned run of the same seed must still
 	// replay byte-identically.
 	Partitions int
+	// Overload enables the admission gate with the chaos admission
+	// budget as its shed gate: every Nth sheddable request is shed with
+	// an explicit retry-after, on a counter cadence — never from queue
+	// state, which would replay differently — so the same seed still
+	// reaches a byte-identical end state through the retries.
+	Overload bool
 	// Logf receives narrative; nil is silent.
 	Logf func(string, ...interface{})
 }
@@ -71,13 +78,14 @@ func (cfg Config) codec() wire.Codec {
 // Schedule is the JSON fault-schedule artifact: everything needed to
 // reason about (or re-run) a failing seed.
 type Schedule struct {
-	Seed     int64              `json:"seed"`
-	Election chaos.NetConfig    `json:"election_net"`
-	Wire     chaos.NetConfig    `json:"wire_net"`
-	FS       chaos.FSConfig     `json:"fs"`
-	Solver   chaos.SolverConfig `json:"solver"`
-	Demands  []DemandPlan       `json:"demands"`
-	Events   []LinkEventPlan    `json:"events"`
+	Seed      int64                 `json:"seed"`
+	Election  chaos.NetConfig       `json:"election_net"`
+	Wire      chaos.NetConfig       `json:"wire_net"`
+	FS        chaos.FSConfig        `json:"fs"`
+	Solver    chaos.SolverConfig    `json:"solver"`
+	Admission chaos.AdmissionConfig `json:"admission"`
+	Demands   []DemandPlan          `json:"demands"`
+	Events    []LinkEventPlan       `json:"events"`
 }
 
 // DemandPlan is one planned client submission.
@@ -119,6 +127,14 @@ type Report struct {
 	StoreRepairs  int64
 	AppendRetries int64
 	MaxRecoveryMs int64
+
+	// Overload-variant observations: injected shed decisions, total
+	// gate sheds, and the retry-after replies the clients actually saw
+	// and honored. Sheds on the lossy connection can be lost in
+	// transit, so ClientSheds <= GateSheds.
+	AdmissionDenials int64
+	GateSheds        int64
+	ClientSheds      int64
 
 	// Digest is the sha256 of the compacted snapshot.json — the
 	// byte-identical-replay witness.
@@ -162,6 +178,10 @@ func Run(cfg Config) (*Report, error) {
 	}
 	fsCfg := chaos.FSConfig{WriteEveryN: 5, SyncEveryN: 7}
 	solverCfg := chaos.SolverConfig{EveryN: 2}
+	admissionCfg := chaos.AdmissionConfig{}
+	if cfg.Overload {
+		admissionCfg.EveryN = 3
+	}
 
 	plans := demandPlans(n, inj, cfg.Demands)
 	links := pickLinks(n, inj, 4)
@@ -170,7 +190,8 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.ArtifactPath != "" {
 		sched := Schedule{
 			Seed: cfg.Seed, Election: electionCfg, Wire: wireCfg,
-			FS: fsCfg, Solver: solverCfg, Demands: plans, Events: events,
+			FS: fsCfg, Solver: solverCfg, Admission: admissionCfg,
+			Demands: plans, Events: events,
 		}
 		if err := writeJSON(cfg.ArtifactPath, &sched); err != nil {
 			return nil, fmt.Errorf("soak: write artifact: %w", err)
@@ -208,6 +229,17 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Partitions > 1 {
 		popts = &partition.Options{Regions: cfg.Partitions}
 	}
+	var ovOpts *overload.Options
+	if cfg.Overload {
+		admitBudget := chaos.NewAdmissionBudget(admissionCfg)
+		ovOpts = &overload.Options{
+			// Ample concurrency for a serial client: every shed in this
+			// soak comes from the seeded budget, never from queue state,
+			// which timing could replay differently.
+			MaxInflight: 64,
+			ShedGate:    func(p overload.Priority) bool { return admitBudget.Gate(p.String()) },
+		}
+	}
 	ctl, err := controller.New(controller.Config{
 		Net: n, Tunnels: ts, MaxFail: 2, BackupDepth: 1,
 		Store: st, FrameTimeout: 10 * time.Second,
@@ -215,6 +247,7 @@ func Run(cfg Config) (*Report, error) {
 		SolverGate:       budget.Gate,
 		ForceJSONWire:    cfg.JSONWire,
 		Partition:        popts,
+		Overload:         ovOpts,
 		Logf:             logf,
 	})
 	if err != nil {
@@ -302,7 +335,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	// ---- Phase 9: final state via the clean connection. ----
-	status, err := clean.roundTrip(&wire.Message{Type: wire.TypeStatus})
+	status, err := clean.statusWithRetry()
 	if err != nil || status.Status == nil {
 		return nil, fmt.Errorf("soak: final status: %v", err)
 	}
@@ -348,6 +381,9 @@ func Run(cfg Config) (*Report, error) {
 	rep.StoreRepairs = delta("store.append_repairs")
 	rep.AppendRetries = delta("controller.append_retries")
 	rep.MaxRecoveryMs = after["bate.recovery_max_ms"]
+	rep.AdmissionDenials = delta("chaos.admission_denials")
+	rep.GateSheds = delta("overload.shed_total")
+	rep.ClientSheds = cl.sheds + clean.sheds
 	return rep, nil
 }
 
@@ -507,6 +543,7 @@ type chaosClient struct {
 	codec wire.Codec
 	conn  *wire.Conn
 	seq   uint64
+	sheds int64
 }
 
 func (cl *chaosClient) ensure() error {
@@ -561,8 +598,9 @@ func (cl *chaosClient) roundTrip(m *wire.Message) (*wire.Message, error) {
 // cleanConn is a fault-free control connection (status queries and
 // dedup lookups must not themselves be subject to chaos).
 type cleanConn struct {
-	conn *wire.Conn
-	seq  uint64
+	conn  *wire.Conn
+	seq   uint64
+	sheds int64
 }
 
 func dialClean(addr, role, dc string, codec wire.Codec) (*cleanConn, error) {
@@ -590,6 +628,25 @@ func (cc *cleanConn) roundTrip(m *wire.Message) (*wire.Message, error) {
 
 func (cc *cleanConn) Close() { cc.conn.Close() }
 
+// statusWithRetry polls status, honoring retry-after sheds: the clean
+// connection is still a client-role session, so its status polls are
+// sheddable by the injected admission budget.
+func (cc *cleanConn) statusWithRetry() (*wire.Message, error) {
+	for attempt := 0; attempt < 8; attempt++ {
+		r, err := cc.roundTrip(&wire.Message{Type: wire.TypeStatus})
+		if err != nil {
+			return nil, err
+		}
+		if r.Type == wire.TypeRetryAfter {
+			cc.sheds++
+			sleepHint(r.RetryAfter)
+			continue
+		}
+		return r, nil
+	}
+	return nil, fmt.Errorf("soak: status shed on every attempt")
+}
+
 // submitWithRetry pushes one demand through the lossy client. Before
 // every retry it checks, over the clean connection, whether an earlier
 // attempt actually landed (recognized by the demand's unique
@@ -608,6 +665,14 @@ func submitWithRetry(cl *chaosClient, clean *cleanConn, p DemandPlan) (int, bool
 		if err != nil {
 			continue
 		}
+		if r.Type == wire.TypeRetryAfter {
+			// Shed before dispatch: the controller holds no book entry,
+			// so a plain resend cannot double-admit. The admission budget
+			// never sheds twice in a row, so the retry gets through.
+			cl.sheds++
+			sleepHint(r.RetryAfter)
+			continue
+		}
 		if r.Type != wire.TypeAdmitResult || r.AdmitResult == nil {
 			continue
 		}
@@ -620,7 +685,7 @@ func submitWithRetry(cl *chaosClient, clean *cleanConn, p DemandPlan) (int, bool
 }
 
 func findByBandwidth(clean *cleanConn, bw float64) (int, bool) {
-	r, err := clean.roundTrip(&wire.Message{Type: wire.TypeStatus})
+	r, err := clean.statusWithRetry()
 	if err != nil || r.Status == nil {
 		return 0, false
 	}
@@ -643,8 +708,28 @@ func withdrawWithRetry(cl *chaosClient, id int) error {
 		if r.Type == wire.TypePong {
 			return nil
 		}
+		if r.Type == wire.TypeRetryAfter {
+			// Withdrawals are critical-priority, so the gate never sheds
+			// them by injection; this only fires under genuine pressure
+			// (never in the soak config, which has ample slots).
+			cl.sheds++
+			sleepHint(r.RetryAfter)
+		}
 	}
 	return fmt.Errorf("soak: withdraw %d never acked", id)
+}
+
+// sleepHint honors a retry-after hint, defaulting to 20ms and capping
+// at 200ms so a hostile hint cannot stall the soak.
+func sleepHint(ra *wire.RetryAfter) {
+	d := 20 * time.Millisecond
+	if ra != nil && ra.RetryAfterMs > 0 {
+		d = time.Duration(ra.RetryAfterMs) * time.Millisecond
+	}
+	if d > 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	time.Sleep(d)
 }
 
 // monitor is a clean broker-role session used to report link events,

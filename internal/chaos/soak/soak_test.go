@@ -216,6 +216,90 @@ func TestChaosSoakPartitioned(t *testing.T) {
 	}
 }
 
+// TestChaosSoakOverload runs the soak with the admission gate wired to
+// the seeded admission budget: every third sheddable request is shed
+// with an explicit retry-after. Shedding must stay deterministic (same
+// seed replays byte-identical through the retries), must never touch
+// critical traffic, and must never lose or double-admit a demand — the
+// final book is still exactly acked-minus-withdrawn.
+func TestChaosSoakOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	const deadline = 750 * time.Millisecond
+	logf := func(string, ...interface{}) {}
+	if os.Getenv("CHAOS_VERBOSE") != "" {
+		logf = t.Logf
+	}
+	seed := chaosSeeds(t)[0]
+	runOnce := func(tag string, overload bool) *Report {
+		rep, err := Run(Config{
+			Seed: seed, Dir: t.TempDir(),
+			RecoveryDeadline: deadline,
+			Overload:         overload,
+			Logf:             logf,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		return rep
+	}
+	ov := runOnce("overload", true)
+	if !ov.LeaderAgreed {
+		t.Fatal("overload soak: replicas did not agree on a leader")
+	}
+	if ov.Digest == "" {
+		t.Fatal("overload soak: no end-state digest")
+	}
+	// The budget must actually have fired, every shed must be explicit
+	// (the gate counter equals the injected denials: nothing shed for
+	// any other reason in this ample-slot config), and the clients must
+	// have seen at least one retry-after — but possibly fewer than the
+	// gate sent, since sheds on the lossy connection can be lost.
+	if ov.AdmissionDenials < 1 {
+		t.Errorf("admission budget never fired (denials = %d)", ov.AdmissionDenials)
+	}
+	if ov.GateSheds != ov.AdmissionDenials {
+		t.Errorf("gate sheds %d != injected denials %d — a shed came from queue state, which cannot replay", ov.GateSheds, ov.AdmissionDenials)
+	}
+	if ov.ClientSheds < 1 || ov.ClientSheds > ov.GateSheds {
+		t.Errorf("clients saw %d sheds, want between 1 and the gate's %d", ov.ClientSheds, ov.GateSheds)
+	}
+	// Shedding with retries must not bend the book invariant.
+	if want := surviving(ov.AckedIDs, ov.WithdrawnIDs); !reflect.DeepEqual(ov.FinalIDs, want) {
+		t.Errorf("overload final book %v, want acked-minus-withdrawn %v", ov.FinalIDs, want)
+	}
+
+	// Same seed, fresh directory: the retries replay byte-identical,
+	// down to the injected shed count.
+	replay := runOnce("overload-replay", true)
+	if replay.Digest != ov.Digest {
+		t.Errorf("overload replay digest %s != original %s", replay.Digest, ov.Digest)
+	}
+	if !reflect.DeepEqual(replay.AckedIDs, ov.AckedIDs) {
+		t.Errorf("overload replay acked %v != original %v", replay.AckedIDs, ov.AckedIDs)
+	}
+	if !reflect.DeepEqual(replay.FinalIDs, ov.FinalIDs) {
+		t.Errorf("overload replay book %v != original %v", replay.FinalIDs, ov.FinalIDs)
+	}
+	if replay.AdmissionDenials != ov.AdmissionDenials {
+		t.Errorf("overload replay denials %d != original %d", replay.AdmissionDenials, ov.AdmissionDenials)
+	}
+
+	// Against the gate-less soak every discrete decision must match:
+	// shedding delays requests, it never changes their outcome.
+	plain := runOnce("plain", false)
+	if !reflect.DeepEqual(plain.AckedIDs, ov.AckedIDs) {
+		t.Errorf("overload acked %v != plain %v", ov.AckedIDs, plain.AckedIDs)
+	}
+	if !reflect.DeepEqual(plain.FinalIDs, ov.FinalIDs) {
+		t.Errorf("overload book %v != plain %v", ov.FinalIDs, plain.FinalIDs)
+	}
+	if plain.Rejected != ov.Rejected {
+		t.Errorf("overload rejected %d != plain %d", ov.Rejected, plain.Rejected)
+	}
+}
+
 // surviving returns acked minus withdrawn, sorted (both inputs are).
 func surviving(acked, withdrawn []int) []int {
 	gone := make(map[int]bool, len(withdrawn))

@@ -21,6 +21,7 @@ import (
 	"bate/internal/bate"
 	"bate/internal/demand"
 	"bate/internal/metrics"
+	"bate/internal/overload"
 	"bate/internal/partition"
 	"bate/internal/routing"
 	"bate/internal/store"
@@ -86,6 +87,22 @@ type Config struct {
 	// declines fall back to the global solve transparently. See
 	// bate.ScheduleOptions.Partition.
 	Partition *partition.Options
+	// Overload, when non-nil, puts the admission gate of
+	// internal/overload in front of every client session: a bounded
+	// priority queue (withdraw > submit > status) with CoDel-style
+	// sojourn shedding, per-client rate limits and an adaptive
+	// concurrency ceiling. Shed requests are answered with explicit
+	// TypeRetryAfter frames — never silently dropped. Under sustained
+	// overload the controller additionally serves status from the last
+	// snapshot, coalesces fresh single submits into shared AdmitBatch
+	// calls, and defers periodic reschedules. Nil disables all of it.
+	Overload *overload.Options
+	// StubWork simulates per-request admission cost in StubAdmission
+	// mode: every submit (or coalesced batch — the batch pays ONE
+	// unit, which is what makes coalescing raise goodput) sleeps this
+	// long outside the controller lock. The overload harness uses it
+	// to give the controller a known capacity. Zero disables.
+	StubWork time.Duration
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...interface{})
 }
@@ -98,6 +115,12 @@ var (
 	mPeerDisconnects = metrics.NewCounter("controller.peer_disconnects")
 	mFrameErrors     = metrics.NewCounter("controller.frame_errors")
 	mOversizeFrames  = metrics.NewCounter("controller.oversize_frames")
+
+	// Overload degradations.
+	mStatusSnapshot  = metrics.NewCounter("controller.status_from_snapshot")
+	mSubmitCoalesced = metrics.NewCounter("controller.submits_coalesced")
+	mDeferredResched = metrics.NewCounter("controller.deferred_reschedules")
+	mSlowBrokerEvict = metrics.NewCounter("controller.slow_broker_evictions")
 )
 
 // countRecvErr classifies the error that ended a session's receive
@@ -161,6 +184,32 @@ type Controller struct {
 	epoch    uint64
 	nextID   int
 	restored bool // state came from the store; reschedule once on Serve
+
+	// Overload control (nil gate = disabled). submitq feeds the
+	// submit coalescer; statusCache holds the last full status reply
+	// for degraded service under pressure.
+	gate    *overload.Gate
+	submitq chan pendingSubmit
+
+	statusMu    sync.Mutex
+	statusCache *wire.StatusReply
+
+	// Session accounting: every handleConn goroutine is registered so
+	// Serve teardown can close live sessions and drain in-flight
+	// requests instead of racing them.
+	sessMu   sync.Mutex
+	conns    map[*wire.Conn]struct{}
+	sessions sync.WaitGroup
+}
+
+// pendingSubmit is one fresh submission parked for batch coalescing;
+// the submitter's gate slot travels with it and is released by the
+// coalescer.
+type pendingSubmit struct {
+	conn  *wire.Conn
+	seq   uint64
+	sub   *wire.Submit
+	start time.Time
 }
 
 // New creates a controller.
@@ -186,6 +235,11 @@ func New(cfg Config) (*Controller, error) {
 		current:   alloc.Allocation{},
 		brokers:   make(map[string]*wire.Conn),
 		linkDown:  make(map[topo.LinkID]bool),
+		conns:     make(map[*wire.Conn]struct{}),
+	}
+	if cfg.Overload != nil {
+		c.gate = overload.NewGate(*cfg.Overload)
+		c.submitq = make(chan pendingSubmit, 256)
 	}
 	if cfg.Store != nil {
 		// Durable restart / warm failover: resume with the replayed
@@ -228,6 +282,10 @@ func (c *Controller) Serve(ctx context.Context, ln net.Listener) error {
 	if c.cfg.Store != nil && c.cfg.CompactEvery > 0 {
 		go c.compactLoop(ctx)
 	}
+	if c.gate != nil {
+		go c.coalesceLoop(ctx)
+	}
+	defer c.drainSessions()
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
@@ -236,8 +294,37 @@ func (c *Controller) Serve(ctx context.Context, ln net.Listener) error {
 			}
 			return err
 		}
-		go c.handleConn(ctx, wire.New(nc))
+		conn := wire.New(nc)
+		c.sessMu.Lock()
+		c.conns[conn] = struct{}{}
+		c.sessMu.Unlock()
+		c.sessions.Add(1)
+		go func() {
+			defer c.sessions.Done()
+			defer func() {
+				c.sessMu.Lock()
+				delete(c.conns, conn)
+				c.sessMu.Unlock()
+			}()
+			c.handleConn(ctx, conn)
+		}()
 	}
+}
+
+// drainSessions runs at Serve teardown: it sheds every queued
+// admission waiter, closes the live session connections (unblocking
+// their reader goroutines), and waits for every in-flight request
+// handler to finish. Shutdown therefore drains, never races.
+func (c *Controller) drainSessions() {
+	if c.gate != nil {
+		c.gate.Close()
+	}
+	c.sessMu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.sessMu.Unlock()
+	c.sessions.Wait()
 }
 
 func (c *Controller) scheduleLoop(ctx context.Context) {
@@ -248,6 +335,14 @@ func (c *Controller) scheduleLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
+			// Non-urgent work yields to admission under pressure: a
+			// deferred reschedule costs allocation freshness, a starved
+			// request path costs clients. The next calm tick catches up.
+			if c.gate != nil && c.gate.Overloaded() {
+				mDeferredResched.Inc()
+				c.logf("controller: reschedule deferred under overload")
+				continue
+			}
 			if err := c.reschedule(); err != nil {
 				c.logf("controller: reschedule: %v", err)
 			}
@@ -372,32 +467,187 @@ func (c *Controller) serveBroker(conn *wire.Conn, dc string) {
 }
 
 func (c *Controller) serveClient(conn *wire.Conn) {
+	client := ""
+	if addr := conn.RemoteAddr(); addr != nil {
+		client = addr.String()
+	}
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			countRecvErr(err)
 			return
 		}
-		switch m.Type {
-		case wire.TypeSubmit:
-			// The reply carries the controller-assigned demand id;
-			// clients correlate via Seq.
-			res := c.submit(m.Submit)
-			conn.Send(&wire.Message{Type: wire.TypeAdmitResult, Seq: m.Seq, AdmitResult: res})
-		case wire.TypeSubmitBatch:
-			res := c.submitBatch(m.SubmitBatch)
-			conn.Send(&wire.Message{Type: wire.TypeAdmitBatchResult, Seq: m.Seq, AdmitBatchResult: res})
-		case wire.TypeWithdraw:
-			if err := c.withdraw(m.WithdrawID); err != nil {
-				conn.Send(&wire.Message{Type: wire.TypeError, Seq: m.Seq, Error: err.Error()})
-			} else {
-				conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
-			}
-		case wire.TypeStatus:
-			conn.Send(&wire.Message{Type: wire.TypeStatusReply, Seq: m.Seq, Status: c.status()})
-		default:
-			conn.Send(&wire.Message{Type: wire.TypeError, Error: "unexpected " + string(m.Type)})
+		c.handleClientMsg(conn, client, m)
+	}
+}
+
+// msgPriority maps a client message type to its admission class:
+// withdrawals are never shed (dropping one leaks booked bandwidth),
+// submissions cost a customer, status polls cost only observability.
+func msgPriority(t wire.Type) overload.Priority {
+	switch t {
+	case wire.TypeWithdraw:
+		return overload.PCritical
+	case wire.TypeStatus:
+		return overload.PStatus
+	}
+	return overload.PSubmit
+}
+
+// handleClientMsg runs one client request through the admission gate
+// (when configured) and dispatches it. Every shed is answered with an
+// explicit TypeRetryAfter frame carrying the backoff hint and reason.
+func (c *Controller) handleClientMsg(conn *wire.Conn, client string, m *wire.Message) {
+	if c.gate == nil {
+		c.dispatchClient(conn, m)
+		return
+	}
+	// Degraded status under pressure: answer from the last full reply
+	// without competing for an execution slot. Correct-but-stale beats
+	// shed — a poll never observes anything atomic anyway.
+	if m.Type == wire.TypeStatus && c.gate.Overloaded() {
+		if cached := c.cachedStatus(); cached != nil {
+			mStatusSnapshot.Inc()
+			conn.Send(&wire.Message{Type: wire.TypeStatusReply, Seq: m.Seq, Status: cached})
+			return
 		}
+	}
+	dec := c.gate.Acquire(client, msgPriority(m.Type), time.Duration(m.DeadlineMs)*time.Millisecond)
+	if !dec.OK {
+		conn.Send(&wire.Message{Type: wire.TypeRetryAfter, Seq: m.Seq,
+			RetryAfter: &wire.RetryAfter{RetryAfterMs: dec.RetryAfterMs, Reason: dec.Reason}})
+		return
+	}
+	// Under sustained overload, fresh single submits coalesce into a
+	// shared AdmitBatch: one lock acquisition and one admission-work
+	// unit amortize over the whole batch. Resubmissions (DemandID set)
+	// stay on the direct path — only submit() detects duplicates.
+	if m.Type == wire.TypeSubmit && m.Submit != nil && m.Submit.DemandID == 0 &&
+		c.submitq != nil && c.gate.Overloaded() {
+		select {
+		case c.submitq <- pendingSubmit{conn: conn, seq: m.Seq, sub: m.Submit, start: time.Now()}:
+			return // the coalescer answers and releases the slot
+		default:
+			// Coalescer saturated; fall through to the direct path.
+		}
+	}
+	start := time.Now()
+	c.dispatchClient(conn, m)
+	c.gate.Release(time.Since(start))
+}
+
+// dispatchClient is the ungated request dispatch.
+func (c *Controller) dispatchClient(conn *wire.Conn, m *wire.Message) {
+	switch m.Type {
+	case wire.TypeSubmit:
+		// The reply carries the controller-assigned demand id;
+		// clients correlate via Seq.
+		c.stubWorkDelay()
+		res := c.submit(m.Submit)
+		conn.Send(&wire.Message{Type: wire.TypeAdmitResult, Seq: m.Seq, AdmitResult: res})
+	case wire.TypeSubmitBatch:
+		c.stubWorkDelay()
+		res := c.submitBatch(m.SubmitBatch)
+		conn.Send(&wire.Message{Type: wire.TypeAdmitBatchResult, Seq: m.Seq, AdmitBatchResult: res})
+	case wire.TypeWithdraw:
+		if err := c.withdraw(m.WithdrawID); err != nil {
+			conn.Send(&wire.Message{Type: wire.TypeError, Seq: m.Seq, Error: err.Error()})
+		} else {
+			conn.Send(&wire.Message{Type: wire.TypePong, Seq: m.Seq})
+		}
+	case wire.TypeStatus:
+		reply := c.status()
+		c.setStatusCache(reply)
+		conn.Send(&wire.Message{Type: wire.TypeStatusReply, Seq: m.Seq, Status: reply})
+	default:
+		conn.Send(&wire.Message{Type: wire.TypeError, Error: "unexpected " + string(m.Type)})
+	}
+}
+
+// stubWorkDelay simulates admission cost for the load harness. It
+// runs outside the controller lock so capacity scales with the
+// concurrency ceiling, as real solver work would.
+func (c *Controller) stubWorkDelay() {
+	if c.cfg.StubWork > 0 {
+		time.Sleep(c.cfg.StubWork)
+	}
+}
+
+func (c *Controller) setStatusCache(r *wire.StatusReply) {
+	c.statusMu.Lock()
+	c.statusCache = r
+	c.statusMu.Unlock()
+}
+
+func (c *Controller) cachedStatus() *wire.StatusReply {
+	c.statusMu.Lock()
+	defer c.statusMu.Unlock()
+	return c.statusCache
+}
+
+// coalesceLoop is the submit coalescer: it greedily drains whatever
+// fresh submissions are parked on submitq into one AdmitBatch call.
+// Each item arrived holding a gate slot; the coalescer answers each
+// submitter individually (index-aligned) and releases the slots with
+// the amortized latency, which is what lets the AIMD ceiling see the
+// improvement coalescing buys.
+func (c *Controller) coalesceLoop(ctx context.Context) {
+	const maxCoalesce = 64
+	for {
+		var first pendingSubmit
+		select {
+		case <-ctx.Done():
+			c.drainSubmitQueue()
+			return
+		case first = <-c.submitq:
+		}
+		batch := []pendingSubmit{first}
+		for len(batch) < maxCoalesce {
+			grab := false
+			select {
+			case p := <-c.submitq:
+				batch = append(batch, p)
+				grab = true
+			default:
+			}
+			if !grab {
+				break
+			}
+		}
+		c.runCoalesced(batch)
+	}
+}
+
+// drainSubmitQueue answers every parked submission with an explicit
+// retry-after at shutdown: a request that entered the gate is never
+// silently dropped.
+func (c *Controller) drainSubmitQueue() {
+	for {
+		select {
+		case p := <-c.submitq:
+			p.conn.Send(&wire.Message{Type: wire.TypeRetryAfter, Seq: p.seq,
+				RetryAfter: &wire.RetryAfter{RetryAfterMs: 100, Reason: "shutdown"}})
+			c.gate.Release(time.Since(p.start))
+		default:
+			return
+		}
+	}
+}
+
+func (c *Controller) runCoalesced(batch []pendingSubmit) {
+	c.stubWorkDelay() // one work unit amortized over the whole batch
+	subs := make([]wire.Submit, len(batch))
+	for i, p := range batch {
+		subs[i] = *p.sub
+	}
+	res := c.submitBatch(subs)
+	if len(batch) > 1 {
+		mSubmitCoalesced.Add(int64(len(batch) - 1))
+	}
+	for i, p := range batch {
+		r := res[i]
+		p.conn.Send(&wire.Message{Type: wire.TypeAdmitResult, Seq: p.seq, AdmitResult: &r})
+		c.gate.Release(time.Since(p.start))
 	}
 }
 
@@ -757,6 +1007,17 @@ func (c *Controller) pushAllocationLocked(a alloc.Allocation, backup bool) {
 		msg := c.allocMessageLocked(dc, a, backup)
 		if err := conn.Send(msg); err != nil {
 			c.logf("controller: push to %s: %v", dc, err)
+			// Slow-peer isolation: a broker whose bounded send queue
+			// stayed full past the grace is evicted so it cannot pin
+			// frame buffers or stall future pushes. Its reconnect loop
+			// brings it back with a fresh session and the full current
+			// allocation.
+			if errors.Is(err, wire.ErrSendQueueFull) {
+				delete(c.brokers, dc)
+				mSlowBrokerEvict.Inc()
+				c.logf("controller: evicted slow broker %s", dc)
+				go conn.Close() // Close drains briefly; don't hold c.mu for it
+			}
 		}
 	}
 }
@@ -821,6 +1082,15 @@ func (c *Controller) Snapshot() (demands int, epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.demands), c.epoch
+}
+
+// OverloadSnapshot returns the admission gate's counters; ok is false
+// when overload control is disabled.
+func (c *Controller) OverloadSnapshot() (overload.Counters, bool) {
+	if c.gate == nil {
+		return overload.Counters{}, false
+	}
+	return c.gate.Snapshot(), true
 }
 
 // status reports every admitted demand with its current availability

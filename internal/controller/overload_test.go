@@ -1,0 +1,298 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bate/internal/overload"
+	"bate/internal/routing"
+	"bate/internal/topo"
+	"bate/internal/wire"
+)
+
+// startOverloaded launches a controller with a tight admission gate
+// and stub admission, returning its address.
+func startOverloaded(t *testing.T, opts overload.Options, stubWork time.Duration) (*Controller, string, context.CancelFunc) {
+	t.Helper()
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	ctrl, err := New(Config{
+		Net: n, Tunnels: ts, MaxFail: 2, Logf: silent,
+		StubAdmission: true, StubWork: stubWork, Overload: &opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go ctrl.Serve(ctx, ln)
+	return ctrl, ln.Addr().String(), cancel
+}
+
+func dialClient(t *testing.T, addr string) *wire.Conn {
+	t.Helper()
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client", Codec: wire.CodecBinary}}); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestOverloadShedsWithRetryAfter floods a one-slot controller and
+// checks that every request is answered — admitted or an explicit
+// TypeRetryAfter — and that shed replies carry a positive hint.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	ctrl, addr, _ := startOverloaded(t, overload.Options{
+		MaxInflight: 1, MaxCeiling: 1, QueueBound: 1,
+		QueueTimeout: 10 * time.Millisecond, LatencyTarget: -1,
+	}, 20*time.Millisecond)
+
+	const clients, perClient = 4, 8
+	var (
+		mu                    sync.Mutex
+		admitted, shed, other int
+		sawHint               bool
+		unanswered            int
+		wg                    sync.WaitGroup
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn := dialClient(t, addr)
+			for j := 0; j < perClient; j++ {
+				if err := conn.Send(&wire.Message{Type: wire.TypeSubmit, Seq: uint64(j + 1),
+					Submit: &wire.Submit{Src: "DC1", Dst: "DC2", Bandwidth: 1, Target: 0.9}}); err != nil {
+					return
+				}
+				reply, err := conn.Recv()
+				mu.Lock()
+				switch {
+				case err != nil:
+					unanswered++
+				case reply.Type == wire.TypeAdmitResult:
+					admitted++
+				case reply.Type == wire.TypeRetryAfter:
+					shed++
+					if reply.RetryAfter != nil && reply.RetryAfter.RetryAfterMs > 0 {
+						sawHint = true
+					}
+					if reply.Seq != uint64(j+1) {
+						t.Errorf("retry-after Seq = %d, want %d", reply.Seq, j+1)
+					}
+				default:
+					other++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if unanswered != 0 || other != 0 {
+		t.Fatalf("unanswered=%d other=%d, want 0/0", unanswered, other)
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if shed == 0 {
+		t.Fatal("one-slot gate under 4x flood shed nothing")
+	}
+	if !sawHint {
+		t.Fatal("no shed reply carried a retry-after hint")
+	}
+	snap, ok := ctrl.OverloadSnapshot()
+	if !ok {
+		t.Fatal("overload snapshot unavailable despite configured gate")
+	}
+	if snap.ShedByPrio[overload.PCritical] != 0 {
+		t.Fatalf("critical sheds = %d, want 0", snap.ShedByPrio[overload.PCritical])
+	}
+}
+
+// TestWithdrawNeverShed verifies the priority floor end to end:
+// withdrawals queue through the same flood that sheds submits.
+func TestWithdrawNeverShed(t *testing.T) {
+	_, addr, _ := startOverloaded(t, overload.Options{
+		MaxInflight: 1, MaxCeiling: 1, QueueBound: 1,
+		QueueTimeout: 10 * time.Millisecond, LatencyTarget: -1,
+	}, 5*time.Millisecond)
+	// Background flood keeps the slot busy.
+	stop := make(chan struct{})
+	var floodWG sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		floodWG.Add(1)
+		go func() {
+			defer floodWG.Done()
+			conn := dialClient(t, addr)
+			for seq := uint64(1); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := conn.Send(&wire.Message{Type: wire.TypeSubmit, Seq: seq,
+					Submit: &wire.Submit{Src: "DC1", Dst: "DC2", Bandwidth: 1, Target: 0.9}}); err != nil {
+					return
+				}
+				if _, err := conn.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	defer func() { close(stop); floodWG.Wait() }()
+
+	conn := dialClient(t, addr)
+	for i := 0; i < 10; i++ {
+		if err := conn.Send(&wire.Message{Type: wire.TypeWithdraw, Seq: uint64(100 + i), WithdrawID: 1}); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Type == wire.TypeRetryAfter {
+			t.Fatalf("withdraw %d was shed: %+v", i, reply.RetryAfter)
+		}
+	}
+}
+
+// TestServeDrainsSessionsOnShutdown: cancelling the serve context
+// must close live sessions and return only after in-flight handlers
+// finish — the handleConn WaitGroup satellite.
+func TestServeDrainsSessionsOnShutdown(t *testing.T) {
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	ctrl, err := New(Config{Net: n, Tunnels: ts, MaxFail: 2, Logf: silent, StubAdmission: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- ctrl.Serve(ctx, ln) }()
+
+	conn := dialClient(t, ln.Addr().String())
+	if _, err := submitOne(conn, 1); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not drain sessions within 5s of cancel")
+	}
+	// The session was force-closed by the drain: the client sees EOF
+	// rather than hanging forever.
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("drained session still delivered frames")
+	}
+}
+
+func submitOne(conn *wire.Conn, seq uint64) (*wire.Message, error) {
+	if err := conn.Send(&wire.Message{Type: wire.TypeSubmit, Seq: seq,
+		Submit: &wire.Submit{Src: "DC1", Dst: "DC2", Bandwidth: 1, Target: 0.9}}); err != nil {
+		return nil, err
+	}
+	return conn.Recv()
+}
+
+// TestSlowBrokerEvicted: a broker whose send queue wedges is removed
+// from the push set (white-box — the wedge is produced directly).
+func TestSlowBrokerEvicted(t *testing.T) {
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	ctrl, err := New(Config{Net: n, Tunnels: ts, MaxFail: 2, Logf: silent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge a coalescing conn: nobody reads the pipe, so the writer
+	// blocks on flush and the bounded queue fills.
+	a, b := net.Pipe()
+	defer b.Close()
+	wc := wire.New(a)
+	wc.SetCodec(wire.CodecBinary)
+	wc.SetEnqueueGrace(time.Millisecond)
+	wc.EnableCoalescing()
+	// Frames larger than the bufio buffer force the writer to block on
+	// the very first flush instead of absorbing the burst.
+	pad := make([]byte, 8192)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	var wedged bool
+	for i := 0; i < wire.SendQueueDepth+50; i++ {
+		if err := wc.Send(&wire.Message{Type: wire.TypeError, Seq: uint64(i), Error: string(pad)}); err != nil {
+			if !errors.Is(err, wire.ErrSendQueueFull) {
+				t.Fatalf("wedge err = %v", err)
+			}
+			wedged = true
+			break
+		}
+	}
+	if !wedged {
+		t.Fatal("could not wedge the broker conn")
+	}
+	ctrl.mu.Lock()
+	ctrl.brokers["DC1"] = wc
+	ctrl.pushAllLocked(false)
+	_, still := ctrl.brokers["DC1"]
+	ctrl.mu.Unlock()
+	if still {
+		t.Fatal("slow broker survived a failed push")
+	}
+}
+
+// TestStatusFromSnapshotUnderOverload: with the gate saturated, a
+// status poll is served from the cached reply without a slot.
+func TestStatusFromSnapshotUnderOverload(t *testing.T) {
+	n := topo.Testbed()
+	ts := routing.Compute(n, routing.KShortest, 4)
+	ctrl, err := New(Config{
+		Net: n, Tunnels: ts, MaxFail: 2, Logf: silent, StubAdmission: true,
+		Overload: &overload.Options{MaxInflight: 1, MaxCeiling: 1, LatencyTarget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := &wire.StatusReply{Epoch: 777}
+	ctrl.setStatusCache(cached)
+	// Saturate the gate: one acquired slot = at the ceiling.
+	if d := ctrl.gate.Acquire("x", overload.PSubmit, 0); !d.OK {
+		t.Fatalf("saturating acquire shed: %+v", d)
+	}
+	defer ctrl.gate.Release(time.Millisecond)
+
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	server, client := wire.New(a), wire.New(b)
+	go ctrl.handleClientMsg(server, "c", &wire.Message{Type: wire.TypeStatus, Seq: 9})
+	client.SetDeadline(time.Now().Add(5 * time.Second))
+	reply, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != wire.TypeStatusReply || reply.Status == nil || reply.Status.Epoch != 777 {
+		t.Fatalf("reply %+v, want cached epoch 777", reply)
+	}
+}

@@ -1,0 +1,72 @@
+package overload
+
+import (
+	"time"
+)
+
+// buckets is a per-client token-bucket table. Access is guarded by
+// the owning Gate's mutex, so the table itself is unsynchronized.
+type buckets struct {
+	rate  float64 // tokens per second
+	burst float64
+	clock func() time.Time
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the table so a flood of one-shot client
+// addresses cannot balloon memory; past the bound the oldest-refilled
+// entry is recycled.
+const maxClients = 16384
+
+func newBuckets(rate, burst float64, clock func() time.Time) *buckets {
+	return &buckets{rate: rate, burst: burst, clock: clock, m: make(map[string]*bucket)}
+}
+
+// allow takes one token from key's bucket, refilling by elapsed time
+// first. A brand-new client starts with a full burst.
+func (t *buckets) allow(key string) bool {
+	now := t.clock()
+	b, ok := t.m[key]
+	if !ok {
+		if len(t.m) >= maxClients {
+			t.evictOldest()
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.m[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictOldest drops the entry with the stalest refill time — the
+// client least likely to still be connected.
+func (t *buckets) evictOldest() {
+	var (
+		oldestKey string
+		oldest    time.Time
+		first     = true
+	)
+	for k, b := range t.m {
+		if first || b.last.Before(oldest) {
+			oldestKey, oldest, first = k, b.last, false
+		}
+	}
+	if oldestKey != "" {
+		delete(t.m, oldestKey)
+	}
+}

@@ -1,0 +1,415 @@
+// Overload harness: measures how the controller's admission gate
+// behaves when offered load exceeds capacity. Two phases run against
+// identically configured controllers: a 1x calibration phase whose
+// client population matches the gate's concurrency (measuring the
+// controller's sustainable goodput), and an overload phase whose
+// population is Ramp× larger. The acceptance bar from the paper-style
+// robustness goal: goodput under Ramp× offered load stays ≥90% of the
+// calibrated capacity, survivors keep a bounded p99, and every shed
+// is an explicit retry-after — lowest priority first, never a
+// withdrawal.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"bate/internal/controller"
+	"bate/internal/metrics"
+	"bate/internal/overload"
+	"bate/internal/routing"
+	"bate/internal/topo"
+	"bate/internal/wire"
+)
+
+// survivorP99BoundMs is the hard latency bound for admitted requests
+// under overload: queue sojourn is capped by the gate's queue timeout,
+// so a p99 anywhere near this bound means shedding stopped protecting
+// the queue. Generous enough for loaded CI machines, far below the
+// multi-second latencies an unbounded queue produces.
+const survivorP99BoundMs = 500.0
+
+// OverloadConfig parameterizes RunOverloadSim.
+type OverloadConfig struct {
+	// Net/Tunnels default to the paper's 6-DC testbed with 4-shortest
+	// tunnels.
+	Net     *topo.Network
+	Tunnels *routing.TunnelSet
+	// MaxInflight is the gate's base concurrency (default 4); the AIMD
+	// ceiling may grow it up to the gate's default 4× headroom when
+	// observed latencies stay under target.
+	MaxInflight int
+	// StubWork is the simulated per-admission service time (default
+	// 2ms); with MaxInflight it fixes the controller's capacity at
+	// roughly MaxInflight/StubWork admissions per second.
+	StubWork time.Duration
+	// Ramp multiplies the client population for the overload phase
+	// (default 5 — the 5x scenario from the issue).
+	Ramp int
+	// Duration is the wall-clock length of each phase (default 2s).
+	Duration time.Duration
+	// ShedPriority is the least-critical priority class the gate may
+	// shed (default PSubmit; PCritical is never sheddable regardless).
+	ShedPriority overload.Priority
+	// RetryMax is how many consecutive retry-afters a client tolerates
+	// for one submission intent before abandoning it (default 8).
+	// Abandonments are counted, never silent.
+	RetryMax int
+	// Seed makes the client op mix and backoff jitter deterministic
+	// (default 1).
+	Seed int64
+}
+
+// OverloadResult is one phase's client-side measurements.
+type OverloadResult struct {
+	Phase      string  `json:"phase"`
+	Clients    int     `json:"clients"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Offered counts submit attempts, including retries after sheds.
+	Offered  int64 `json:"offered"`
+	Admitted int64 `json:"admitted"`
+	// Withdrawn tracks the withdraw issued for every admitted demand;
+	// the two must match for the book to stay clean.
+	Withdrawn   int64 `json:"withdrawn"`
+	StatusPolls int64 `json:"status_polls"`
+	// Shed counts explicit TypeRetryAfter replies by the priority class
+	// of the request they rejected.
+	ShedSubmit   int64 `json:"shed_submit"`
+	ShedStatus   int64 `json:"shed_status"`
+	ShedCritical int64 `json:"shed_critical"`
+	// GaveUp counts submission intents abandoned after RetryMax
+	// consecutive sheds.
+	GaveUp int64 `json:"gave_up"`
+	// GoodputPerSec is admitted demands per wall-clock second.
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// P50AckMs/P99AckMs are submit→admit round-trip percentiles for
+	// survivors (admitted requests only).
+	P50AckMs float64 `json:"p50_ack_ms"`
+	P99AckMs float64 `json:"p99_ack_ms"`
+}
+
+// OverloadBenchReport pairs the calibration and overload phases with
+// the derived ratios the CI gate checks. As with WireBenchReport,
+// only machine-portable quantities gate: the overload/calibration
+// goodput ratio and the shed-priority invariants transfer across
+// hosts; absolute rates do not.
+type OverloadBenchReport struct {
+	Topology    string          `json:"topology"`
+	MaxInflight int             `json:"max_inflight"`
+	Ramp        int             `json:"ramp"`
+	Baseline    *OverloadResult `json:"baseline_1x,omitempty"`
+	Overload    *OverloadResult `json:"overload,omitempty"`
+	// GoodputRatio = overload-phase goodput over calibrated goodput.
+	// The acceptance floor is 0.90; submit coalescing typically pushes
+	// it above 1.0.
+	GoodputRatio float64 `json:"goodput_ratio"`
+	// SurvivorP99Ms is the overload phase's admitted-request p99.
+	SurvivorP99Ms float64 `json:"survivor_p99_ms"`
+	ShedTotal     int64   `json:"shed_total"`
+	ShedCritical  int64   `json:"shed_critical"`
+	// Gate is the overload-phase controller's gate counter snapshot —
+	// the server-side view the client-side tallies must agree with.
+	Gate overload.Counters `json:"gate"`
+}
+
+type overloadClientStats struct {
+	offered, admitted, withdrawn, polls  int64
+	shedSubmit, shedStatus, shedCritical int64
+	gaveUp                               int64
+	ackMs                                []float64
+	err                                  error
+}
+
+// RunOverloadSim runs both phases and derives the report.
+func RunOverloadSim(cfg OverloadConfig) (*OverloadBenchReport, error) {
+	if cfg.Net == nil {
+		cfg.Net = topo.Testbed()
+		cfg.Tunnels = routing.Compute(cfg.Net, routing.KShortest, 4)
+	}
+	if cfg.Tunnels == nil {
+		cfg.Tunnels = routing.Compute(cfg.Net, routing.KShortest, 4)
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.StubWork <= 0 {
+		cfg.StubWork = 2 * time.Millisecond
+	}
+	if cfg.Ramp <= 1 {
+		cfg.Ramp = 5
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	base, _, err := runOverloadPhase(cfg, "1x", cfg.MaxInflight)
+	if err != nil {
+		return nil, fmt.Errorf("overloadsim: calibration: %w", err)
+	}
+	// A closed-loop client saturates about one execution slot, and the
+	// AIMD ceiling can grow capacity to ceilingFactor× the base
+	// concurrency. Sizing the overload population at Ramp× the fully
+	// adapted concurrency keeps offered load Ramp× over capacity even
+	// after the gate has adapted, so shedding is sustained rather than
+	// a ramp-up transient.
+	const ceilingFactor = 4 // the gate's default MaxCeiling headroom
+	over, gate, err := runOverloadPhase(cfg, fmt.Sprintf("%dx", cfg.Ramp), cfg.MaxInflight*ceilingFactor*cfg.Ramp)
+	if err != nil {
+		return nil, fmt.Errorf("overloadsim: overload: %w", err)
+	}
+
+	rep := &OverloadBenchReport{
+		Topology:    cfg.Net.Name(),
+		MaxInflight: cfg.MaxInflight,
+		Ramp:        cfg.Ramp,
+		Baseline:    base,
+		Overload:    over,
+		Gate:        gate,
+	}
+	if base.GoodputPerSec > 0 {
+		rep.GoodputRatio = over.GoodputPerSec / base.GoodputPerSec
+	}
+	rep.SurvivorP99Ms = over.P99AckMs
+	rep.ShedTotal = over.ShedSubmit + over.ShedStatus + over.ShedCritical
+	rep.ShedCritical = over.ShedCritical + gate.ShedByPrio[overload.PCritical]
+	return rep, nil
+}
+
+// runOverloadPhase starts a fresh gated controller and drives it with
+// the given closed-loop client population for cfg.Duration.
+func runOverloadPhase(cfg OverloadConfig, phase string, clients int) (*OverloadResult, overload.Counters, error) {
+	silentf := func(string, ...interface{}) {}
+	ctrl, err := controller.New(controller.Config{
+		Net: cfg.Net, Tunnels: cfg.Tunnels, MaxFail: 1,
+		StubAdmission: true, StubWork: cfg.StubWork, Logf: silentf,
+		Overload: &overload.Options{
+			// The AIMD ceiling stays enabled (default 4× headroom): under
+			// overload the coalescer's amortized release latencies are what
+			// let the ceiling grow, which is the mechanism that keeps
+			// goodput at capacity while the queue sheds the excess.
+			MaxInflight:  cfg.MaxInflight,
+			QueueBound:   2 * cfg.MaxInflight,
+			QueueTimeout: 25 * time.Millisecond,
+			ShedPriority: cfg.ShedPriority,
+		},
+	})
+	if err != nil {
+		return nil, overload.Counters{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, overload.Counters{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go ctrl.Serve(ctx, ln)
+	addr := ln.Addr().String()
+
+	stats := make([]overloadClientStats, clients)
+	start := time.Now()
+	stopAt := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &stats[i]
+			st.err = driveOverloadClient(addr, cfg, int64(i), stopAt, st)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	gate, _ := ctrl.OverloadSnapshot()
+	cancel()
+
+	res := &OverloadResult{Phase: phase, Clients: clients, ElapsedSec: elapsed.Seconds()}
+	var ackMs []float64
+	for i := range stats {
+		st := &stats[i]
+		if st.err != nil {
+			return nil, gate, fmt.Errorf("client %d: %w", i, st.err)
+		}
+		res.Offered += st.offered
+		res.Admitted += st.admitted
+		res.Withdrawn += st.withdrawn
+		res.StatusPolls += st.polls
+		res.ShedSubmit += st.shedSubmit
+		res.ShedStatus += st.shedStatus
+		res.ShedCritical += st.shedCritical
+		res.GaveUp += st.gaveUp
+		ackMs = append(ackMs, st.ackMs...)
+	}
+	if res.ElapsedSec > 0 {
+		res.GoodputPerSec = float64(res.Admitted) / res.ElapsedSec
+	}
+	if len(ackMs) > 0 {
+		cdf := metrics.NewCDF(ackMs)
+		res.P50AckMs = cdf.Quantile(0.5)
+		res.P99AckMs = cdf.Quantile(0.99)
+	}
+	return res, gate, nil
+}
+
+// driveOverloadClient is one closed-loop client: mostly fresh single
+// submits (each immediately withdrawn when admitted, keeping the book
+// and demand-id space small), with a status poll mixed in every ninth
+// op. Sheds back off by the server's hint plus seeded jitter — the
+// cooperative half of the protocol.
+func driveOverloadClient(addr string, cfg OverloadConfig, id int64, stopAt time.Time, st *overloadClientStats) error {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(&wire.Message{Type: wire.TypeHello, Hello: &wire.Hello{Role: "client", Codec: wire.CodecBinary}}); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + id*104729))
+	var seq uint64
+	retries := 0
+	for i := 0; time.Now().Before(stopAt); i++ {
+		seq++
+		var sent wire.Type
+		if i%9 == 8 {
+			sent = wire.TypeStatus
+			err = conn.Send(&wire.Message{Type: wire.TypeStatus, Seq: seq})
+		} else {
+			sent = wire.TypeSubmit
+			st.offered++
+			// The deadline rides the v2 binary header; the gate tightens
+			// the queue sojourn bound to it.
+			err = conn.Send(&wire.Message{Type: wire.TypeSubmit, Seq: seq, DeadlineMs: 200,
+				Submit: &wire.Submit{Src: "DC1", Dst: "DC2",
+					Bandwidth: 10 + rng.Float64()*40, Target: 0.99, Charge: 10, RefundFrac: 0.5}})
+		}
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		reply, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if reply.Seq != seq {
+			return fmt.Errorf("reply seq %d for request %d", reply.Seq, seq)
+		}
+		switch reply.Type {
+		case wire.TypeRetryAfter:
+			switch sent {
+			case wire.TypeSubmit:
+				st.shedSubmit++
+				retries++
+				if retries > cfg.RetryMax {
+					st.gaveUp++
+					retries = 0
+				}
+			case wire.TypeStatus:
+				st.shedStatus++
+			default:
+				st.shedCritical++
+			}
+			backoffAfterShed(reply.RetryAfter, rng, stopAt)
+		case wire.TypeAdmitResult:
+			retries = 0
+			st.ackMs = append(st.ackMs, float64(time.Since(t0).Microseconds())/1000)
+			if reply.AdmitResult == nil || !reply.AdmitResult.Admitted {
+				break // stub admission rejected: counted as offered, not admitted
+			}
+			st.admitted++
+			seq++
+			if err := conn.Send(&wire.Message{Type: wire.TypeWithdraw, Seq: seq, WithdrawID: reply.AdmitResult.DemandID}); err != nil {
+				return err
+			}
+			wreply, err := conn.Recv()
+			if err != nil {
+				return err
+			}
+			switch wreply.Type {
+			case wire.TypePong:
+				st.withdrawn++
+			case wire.TypeRetryAfter:
+				// Withdrawals are PCritical and must never shed; record the
+				// violation for the gate to fail on.
+				st.shedCritical++
+			default:
+				return fmt.Errorf("withdraw reply %s", wreply.Type)
+			}
+		case wire.TypeStatusReply:
+			st.polls++
+		case wire.TypeError:
+			return fmt.Errorf("controller error: %s", reply.Error)
+		default:
+			return fmt.Errorf("unexpected reply %s", reply.Type)
+		}
+	}
+	return nil
+}
+
+// backoffAfterShed sleeps for the server's retry-after hint scaled by
+// seeded jitter in [0.5, 1.5), clamped so a shed near the phase end
+// does not overshoot the run.
+func backoffAfterShed(ra *wire.RetryAfter, rng *rand.Rand, stopAt time.Time) {
+	hint := 25 * time.Millisecond
+	if ra != nil && ra.RetryAfterMs > 0 {
+		hint = time.Duration(ra.RetryAfterMs) * time.Millisecond
+	}
+	d := time.Duration(float64(hint) * (0.5 + rng.Float64()))
+	if max := time.Until(stopAt); d > max {
+		d = max
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// CompareOverloadBench checks cur against the committed baseline with
+// a fractional tolerance (0.2 = ±20%) and returns one message per
+// regression (empty = gate passes). Two classes of check: absolute
+// invariants from the issue's acceptance bar (goodput floor, bounded
+// survivor p99, lowest-priority-first shedding) and the
+// machine-portable goodput ratio against the baseline.
+func CompareOverloadBench(cur, base *OverloadBenchReport, tol float64) []string {
+	var regressions []string
+	if cur == nil || base == nil {
+		return []string{"missing report"}
+	}
+	if cur.GoodputRatio < 0.9 {
+		regressions = append(regressions, fmt.Sprintf(
+			"goodput at %dx offered load is %.2fx of calibrated capacity, below the 0.90 floor",
+			cur.Ramp, cur.GoodputRatio))
+	}
+	if base.GoodputRatio > 0 && cur.GoodputRatio < base.GoodputRatio*(1-tol) {
+		regressions = append(regressions, fmt.Sprintf(
+			"goodput ratio %.2f below baseline %.2f (tolerance %.0f%%)",
+			cur.GoodputRatio, base.GoodputRatio, tol*100))
+	}
+	if cur.ShedTotal == 0 {
+		regressions = append(regressions, "overload phase shed nothing — offered load never exceeded capacity")
+	}
+	if cur.ShedCritical != 0 {
+		regressions = append(regressions, fmt.Sprintf(
+			"%d critical requests shed — withdrawals must never be dropped", cur.ShedCritical))
+	}
+	if cur.SurvivorP99Ms > survivorP99BoundMs {
+		regressions = append(regressions, fmt.Sprintf(
+			"survivor p99 %.1fms exceeds the %.0fms bound", cur.SurvivorP99Ms, survivorP99BoundMs))
+	}
+	if cur.Overload != nil && cur.Overload.Admitted <= 0 {
+		regressions = append(regressions, "overload phase admitted nothing")
+	}
+	if cur.Overload != nil && cur.Overload.Withdrawn != cur.Overload.Admitted {
+		regressions = append(regressions, fmt.Sprintf(
+			"book imbalance: %d admitted vs %d withdrawn",
+			cur.Overload.Admitted, cur.Overload.Withdrawn))
+	}
+	return regressions
+}

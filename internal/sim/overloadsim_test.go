@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bate/internal/overload"
+)
+
+// TestOverloadSimGoodputAndSheds runs the full 1x/5x scenario at a
+// test-sized duration and checks the issue's acceptance bar: goodput
+// under 5x offered load stays ≥90% of calibrated capacity, shedding
+// happens, is explicit, and never touches the critical class, and the
+// demand book balances (every admission withdrawn, nothing silent).
+func TestOverloadSimGoodputAndSheds(t *testing.T) {
+	rep, err := RunOverloadSim(OverloadConfig{
+		MaxInflight: 4, StubWork: 2 * time.Millisecond,
+		Ramp: 5, Duration: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("goodput %.0f/s at 1x -> %.0f/s at 5x (ratio %.2f), sheds %d (submit %d, status %d), survivor p99 %.1fms",
+		rep.Baseline.GoodputPerSec, rep.Overload.GoodputPerSec, rep.GoodputRatio,
+		rep.ShedTotal, rep.Overload.ShedSubmit, rep.Overload.ShedStatus, rep.SurvivorP99Ms)
+	if rep.Baseline.Admitted == 0 {
+		t.Fatalf("calibration admitted nothing: %+v", rep.Baseline)
+	}
+	if rep.GoodputRatio < 0.9 {
+		t.Fatalf("goodput ratio %.2f (overload %.0f/s vs calibrated %.0f/s), want ≥0.90",
+			rep.GoodputRatio, rep.Overload.GoodputPerSec, rep.Baseline.GoodputPerSec)
+	}
+	if rep.ShedTotal == 0 {
+		t.Fatal("5x offered load produced no sheds")
+	}
+	if rep.ShedCritical != 0 {
+		t.Fatalf("critical sheds = %d, want 0", rep.ShedCritical)
+	}
+	if rep.Gate.ShedByPrio[overload.PCritical] != 0 {
+		t.Fatalf("gate counted %d critical sheds", rep.Gate.ShedByPrio[overload.PCritical])
+	}
+	if rep.SurvivorP99Ms <= 0 || rep.SurvivorP99Ms > survivorP99BoundMs {
+		t.Fatalf("survivor p99 = %.1fms, want in (0, %.0f]", rep.SurvivorP99Ms, survivorP99BoundMs)
+	}
+	for _, res := range []*OverloadResult{rep.Baseline, rep.Overload} {
+		if res.Withdrawn != res.Admitted {
+			t.Fatalf("%s phase: %d admitted vs %d withdrawn", res.Phase, res.Admitted, res.Withdrawn)
+		}
+		// Client-side accounting is closed: every offered submit was
+		// admitted, explicitly shed, or (stub-)rejected — never silent.
+		if res.Admitted+res.ShedSubmit > res.Offered {
+			t.Fatalf("%s phase books more outcomes than offers: %+v", res.Phase, res)
+		}
+	}
+	// The gate passes on its own output.
+	if regs := CompareOverloadBench(rep, rep, 0.2); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %v", regs)
+	}
+}
+
+func TestCompareOverloadBench(t *testing.T) {
+	good := &OverloadBenchReport{
+		Ramp: 5, GoodputRatio: 1.5, SurvivorP99Ms: 30, ShedTotal: 500,
+		Overload: &OverloadResult{Admitted: 1000, Withdrawn: 1000},
+	}
+	if regs := CompareOverloadBench(good, good, 0.2); len(regs) != 0 {
+		t.Fatalf("clean report regressed: %v", regs)
+	}
+	cases := []struct {
+		name string
+		mut  func(r *OverloadBenchReport)
+	}{
+		{"goodput below floor", func(r *OverloadBenchReport) { r.GoodputRatio = 0.8 }},
+		{"goodput ratio regression", func(r *OverloadBenchReport) { r.GoodputRatio = 1.0 }},
+		{"no sheds", func(r *OverloadBenchReport) { r.ShedTotal = 0 }},
+		{"critical shed", func(r *OverloadBenchReport) { r.ShedCritical = 1 }},
+		{"unbounded p99", func(r *OverloadBenchReport) { r.SurvivorP99Ms = survivorP99BoundMs + 1 }},
+		{"book imbalance", func(r *OverloadBenchReport) { r.Overload = &OverloadResult{Admitted: 10, Withdrawn: 9} }},
+	}
+	for _, tc := range cases {
+		bad := *good
+		if good.Overload != nil {
+			o := *good.Overload
+			bad.Overload = &o
+		}
+		tc.mut(&bad)
+		if regs := CompareOverloadBench(&bad, good, 0.2); len(regs) == 0 {
+			t.Errorf("%s passed the gate", tc.name)
+		}
+	}
+	if regs := CompareOverloadBench(nil, good, 0.2); len(regs) == 0 {
+		t.Error("nil report passed the gate")
+	}
+}

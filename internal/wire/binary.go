@@ -46,9 +46,15 @@ func ParseCodec(s string) (Codec, error) {
 }
 
 // Binary frame header: [magic][version][tag][uvarint body length].
+// Version 1 bodies start with a uvarint Seq; version 2 bodies carry a
+// uvarint DeadlineMs between the Seq and the payload. A sender emits
+// version 2 only for frames that actually carry a deadline, so peers
+// that never set one keep producing (and only ever need to accept)
+// version 1 — the deadline extension deploys without a flag day.
 const (
-	binaryMagic   = 0xBA // never the top byte of a JSON length prefix
-	binaryVersion = 1
+	binaryMagic           = 0xBA // never the top byte of a JSON length prefix
+	binaryVersion         = 1
+	binaryVersionDeadline = 2
 )
 
 // Message-type tags. tagJSONMsg wraps any message the binary codec
@@ -70,6 +76,7 @@ const (
 	tagStatus           = 13
 	tagStatusReply      = 14
 	tagJSONMsg          = 15
+	tagRetryAfter       = 16
 )
 
 // typeTag maps a message type to its binary tag; the second result is
@@ -104,6 +111,8 @@ func typeTag(t Type) (byte, bool) {
 		return tagStatus, true
 	case TypeStatusReply:
 		return tagStatusReply, true
+	case TypeRetryAfter:
+		return tagRetryAfter, true
 	}
 	return tagJSONMsg, false
 }
@@ -427,21 +436,30 @@ func readStatusReply(r *breader) StatusReply {
 // ---- frame body encode/decode -------------------------------------
 
 // appendBinaryBody appends the binary body for m (uvarint Seq plus a
-// type-specific payload) and returns the buffer with the tag to place
-// in the frame header. Pointer payloads carry a one-byte presence
-// flag so a nil payload survives a round trip exactly as JSON's
-// omitempty does — the cross-codec fuzz target depends on that.
-func appendBinaryBody(b []byte, m *Message) ([]byte, byte, error) {
+// type-specific payload) and returns the buffer with the tag and
+// header version to place in the frame header. Pointer payloads carry
+// a one-byte presence flag so a nil payload survives a round trip
+// exactly as JSON's omitempty does — the cross-codec fuzz target
+// depends on that. A non-zero DeadlineMs promotes the frame to header
+// version 2 and rides as a uvarint right after the Seq; tagJSONMsg
+// frames stay version 1 because the embedded JSON already carries the
+// deadline field.
+func appendBinaryBody(b []byte, m *Message) ([]byte, byte, byte, error) {
 	tag, ok := typeTag(m.Type)
 	if !ok {
 		data, err := json.Marshal(m)
 		if err != nil {
-			return b, 0, fmt.Errorf("wire: marshal: %w", err)
+			return b, 0, 0, fmt.Errorf("wire: marshal: %w", err)
 		}
 		b = binary.AppendUvarint(b, m.Seq)
-		return append(b, data...), tagJSONMsg, nil
+		return append(b, data...), tagJSONMsg, binaryVersion, nil
 	}
+	ver := byte(binaryVersion)
 	b = binary.AppendUvarint(b, m.Seq)
+	if m.DeadlineMs > 0 {
+		ver = binaryVersionDeadline
+		b = binary.AppendUvarint(b, uint64(m.DeadlineMs))
+	}
 	switch tag {
 	case tagHello:
 		if b = appendBool(b, m.Hello != nil); m.Hello != nil {
@@ -489,16 +507,26 @@ func appendBinaryBody(b []byte, m *Message) ([]byte, byte, error) {
 		if b = appendBool(b, m.Status != nil); m.Status != nil {
 			b = appendStatusReply(b, m.Status)
 		}
+	case tagRetryAfter:
+		if b = appendBool(b, m.RetryAfter != nil); m.RetryAfter != nil {
+			b = binary.AppendVarint(b, m.RetryAfter.RetryAfterMs)
+			b = appendStr(b, m.RetryAfter.Reason)
+		}
 	}
-	return b, tag, nil
+	return b, tag, ver, nil
 }
 
-// decodeBinaryBody decodes a binary frame body. Trailing bytes after
-// the decoded payload are ignored so a newer peer may append fields
-// without breaking older decoders. intern may be nil.
-func decodeBinaryBody(tag byte, body []byte, intern map[string]string) (*Message, error) {
+// decodeBinaryBody decodes a binary frame body under header version
+// ver. Trailing bytes after the decoded payload are ignored so a
+// newer peer may append fields without breaking older decoders.
+// intern may be nil.
+func decodeBinaryBody(tag, ver byte, body []byte, intern map[string]string) (*Message, error) {
 	r := &breader{b: body, intern: intern}
 	seq := r.uvarint()
+	var deadlineMs int64
+	if ver >= binaryVersionDeadline {
+		deadlineMs = int64(r.uvarint())
+	}
 	if tag == tagJSONMsg {
 		if r.err != nil {
 			return nil, r.err
@@ -508,9 +536,12 @@ func decodeBinaryBody(tag byte, body []byte, intern map[string]string) (*Message
 			return nil, fmt.Errorf("%w: embedded json: %v", ErrBadFrame, err)
 		}
 		m.Seq = seq
+		if m.DeadlineMs == 0 {
+			m.DeadlineMs = deadlineMs
+		}
 		return &m, nil
 	}
-	m := &Message{Seq: seq}
+	m := &Message{Seq: seq, DeadlineMs: deadlineMs}
 	switch tag {
 	case tagHello:
 		m.Type = TypeHello
@@ -583,6 +614,12 @@ func decodeBinaryBody(tag byte, body []byte, intern map[string]string) (*Message
 		if r.bool() {
 			s := readStatusReply(r)
 			m.Status = &s
+		}
+	case tagRetryAfter:
+		m.Type = TypeRetryAfter
+		if r.bool() {
+			ra := RetryAfter{RetryAfterMs: r.svarint(), Reason: r.str()}
+			m.RetryAfter = &ra
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadFrame, tag)

@@ -49,6 +49,11 @@ func allMessages() []*Message {
 		// Nil payloads must survive a round trip as nil (presence flag).
 		{Type: TypeSubmit, Seq: 16},
 		{Type: TypeAllocUpdate, Seq: 17, Alloc: &AllocUpdate{Epoch: 1}},
+		{Type: TypeRetryAfter, Seq: 18, RetryAfter: &RetryAfter{RetryAfterMs: 150, Reason: "queue-full"}},
+		{Type: TypeRetryAfter, Seq: 19},
+		// Deadline-carrying frames ride header version 2.
+		{Type: TypeSubmit, Seq: 20, DeadlineMs: 250, Submit: &Submit{DemandID: 5, Src: "DC1", Dst: "DC2", Bandwidth: 10, Target: 0.99}},
+		{Type: TypeStatus, Seq: 21, DeadlineMs: 40},
 	}
 }
 
@@ -413,7 +418,7 @@ func TestDecodeIgnoresTrailingBytes(t *testing.T) {
 	body := binary.AppendUvarint(nil, 42) // seq
 	body = binary.AppendVarint(body, 7)   // withdraw id
 	body = append(body, 0xde, 0xad)       // future fields
-	m, err := decodeBinaryBody(tagWithdraw, body, nil)
+	m, err := decodeBinaryBody(tagWithdraw, binaryVersion, body, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,4 +28,10 @@ var (
 	// ErrBadFrame reports a frame whose body failed to decode under
 	// the codec its header named.
 	ErrBadFrame = errors.New("wire: malformed frame body")
+
+	// ErrSendQueueFull reports a coalescing writer whose bounded queue
+	// stayed full past the enqueue grace: the peer has stopped
+	// draining. The error is sticky — the connection is considered
+	// wedged and its owner should evict the peer.
+	ErrSendQueueFull = errors.New("wire: send queue full (slow peer)")
 )

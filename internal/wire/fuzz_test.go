@@ -141,6 +141,8 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			{Type: TypeStats, Seq: seq, Stats: &Stats{DC: src, Rates: map[string]float64{method: rate}}},
 			{Type: TypeWithdraw, Seq: seq, WithdrawID: id},
 			{Type: TypeError, Seq: seq, Error: method},
+			{Type: TypeSubmit, Seq: seq, DeadlineMs: int64(epoch % (1 << 40)), Submit: &Submit{DemandID: id, Src: src, Dst: dst, Bandwidth: bw, Target: target}},
+			{Type: TypeRetryAfter, Seq: seq, RetryAfter: &RetryAfter{RetryAfterMs: int64(id), Reason: method}},
 			{Type: TypeStatusReply, Seq: seq, Status: &StatusReply{Epoch: epoch, Demands: []DemandStatus{{DemandID: id, Src: src, Dst: dst, Bandwidth: bw, Target: target, Achieved: rate, Allocated: bw}}, Counters: map[string]int64{method: int64(id)}}},
 		}
 		for _, m := range msgs {

@@ -56,6 +56,10 @@ const (
 	TypePaxos            Type = "paxos"  // controller-replica election traffic
 	TypeStatus           Type = "status" // client -> controller: demand status query
 	TypeStatusReply      Type = "status-reply"
+	// TypeRetryAfter is the controller's explicit overload reject: the
+	// request was shed (never silently dropped) and the client should
+	// retry after the hinted backoff plus its own jitter.
+	TypeRetryAfter Type = "retry-after"
 )
 
 // Hello announces a peer. Role is "broker" or "client"; DC names the
@@ -149,6 +153,15 @@ type StatusReply struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
+// RetryAfter is the payload of a TypeRetryAfter frame: an explicit
+// overload reject. RetryAfterMs is the controller's backoff hint
+// (clients add their own jitter so shed herds do not re-arrive in
+// sync); Reason names the shed cause (see internal/overload).
+type RetryAfter struct {
+	RetryAfterMs int64  `json:"retry_after_ms"`
+	Reason       string `json:"reason,omitempty"`
+}
+
 // PaxosMsg carries one Paxos protocol message between controller
 // replicas (§4: master election). Paxos frames ride the tagJSONMsg
 // fallback under the binary codec; election traffic is too rare to
@@ -169,8 +182,17 @@ type PaxosMsg struct {
 // Message is the frame envelope; exactly one payload field matching
 // Type is set.
 type Message struct {
-	Type        Type         `json:"type"`
-	Seq         uint64       `json:"seq,omitempty"`
+	Type Type   `json:"type"`
+	Seq  uint64 `json:"seq,omitempty"`
+	// DeadlineMs is the sender's request budget in milliseconds: how
+	// long the sender is still willing to wait for the answer. The
+	// controller's admission gate sheds a request it cannot start
+	// within this budget instead of doing work nobody will read. Zero
+	// means no deadline. On the binary codec a non-zero deadline
+	// promotes the frame to header version 2 (older frames stay
+	// version 1, so peers that never set deadlines interoperate
+	// unchanged); on JSON it is just another optional field.
+	DeadlineMs  int64        `json:"deadline_ms,omitempty"`
 	Hello       *Hello       `json:"hello,omitempty"`
 	Submit      *Submit      `json:"submit,omitempty"`
 	AdmitResult *AdmitResult `json:"admit_result,omitempty"`
@@ -183,6 +205,7 @@ type Message struct {
 	Stats            *Stats        `json:"stats,omitempty"`
 	Paxos            *PaxosMsg     `json:"paxos,omitempty"`
 	Status           *StatusReply  `json:"status,omitempty"`
+	RetryAfter       *RetryAfter   `json:"retry_after,omitempty"`
 	WithdrawID       int           `json:"withdraw_id,omitempty"`
 	Error            string        `json:"error,omitempty"`
 }
@@ -200,6 +223,7 @@ var (
 	mOversize   = metrics.NewCounter("wire.frame_too_large")
 	mShortReads = metrics.NewCounter("wire.short_reads")
 	mDecodeErrs = metrics.NewCounter("wire.decode_errors")
+	mEnqRejects = metrics.NewCounter("wire.enqueue_rejects")
 )
 
 // bufPool recycles frame encode/decode buffers across connections.
@@ -250,6 +274,7 @@ type Conn struct {
 	// per burst instead of once per frame.
 	coalesce bool
 	sendq    chan qframe
+	qgrace   time.Duration
 	closing  chan struct{}
 	drained  chan struct{}
 	werr     atomic.Value // sticky write error (error)
@@ -334,11 +359,29 @@ func (c *Conn) EnableCoalescing() {
 		return
 	}
 	c.coalesce = true
-	c.sendq = make(chan qframe, 256)
+	c.sendq = make(chan qframe, SendQueueDepth)
+	if c.qgrace == 0 {
+		c.qgrace = DefaultEnqueueGrace
+	}
 	c.closing = make(chan struct{})
 	c.drained = make(chan struct{})
 	go c.writeLoop()
 }
+
+// Coalescing-writer bounds. SendQueueDepth is the hard cap on queued
+// frames per connection; DefaultEnqueueGrace is how long a Send waits
+// for a place in a full queue before declaring the peer slow. Together
+// they bound how many pooled frame buffers one stalled peer can pin:
+// depth × MaxFrame worst-case, instead of "until Close" before.
+const (
+	SendQueueDepth      = 256
+	DefaultEnqueueGrace = 100 * time.Millisecond
+)
+
+// SetEnqueueGrace overrides DefaultEnqueueGrace (how long a Send may
+// block on a full coalescing queue before failing with
+// ErrSendQueueFull). Call before EnableCoalescing.
+func (c *Conn) SetEnqueueGrace(d time.Duration) { c.qgrace = d }
 
 // encodeFrame appends one framed message to b under the given codec.
 // It returns the (possibly grown) buffer and the offset where the
@@ -360,7 +403,7 @@ func encodeFrame(b []byte, m *Message, codec Codec) ([]byte, int, error) {
 	}
 	const maxHdr = 3 + binary.MaxVarintLen32
 	b = append(b, make([]byte, maxHdr)...)
-	b, tag, err := appendBinaryBody(b, m)
+	b, tag, ver, err := appendBinaryBody(b, m)
 	if err != nil {
 		return b, 0, err
 	}
@@ -372,7 +415,7 @@ func encodeFrame(b []byte, m *Message, codec Codec) ([]byte, int, error) {
 	vn := binary.PutUvarint(vbuf[:], uint64(bodyLen))
 	off := maxHdr - 3 - vn
 	b[off] = binaryMagic
-	b[off+1] = binaryVersion
+	b[off+1] = ver
 	b[off+2] = tag
 	copy(b[off+3:maxHdr], vbuf[:vn])
 	return b, off, nil
@@ -428,7 +471,12 @@ func (c *Conn) writeFrame(f qframe) error {
 	return nil
 }
 
-// enqueue hands a frame to the coalescing writer.
+// enqueue hands a frame to the coalescing writer. The queue is
+// bounded: a frame that cannot find a place within the enqueue grace
+// means the peer has stopped draining its TCP window, and the
+// connection fails sticky with ErrSendQueueFull so the owner (the
+// controller's broker push path) can evict the slow peer instead of
+// letting it pin frame buffers indefinitely.
 func (c *Conn) enqueue(f qframe) error {
 	if e, ok := c.werr.Load().(error); ok && e != nil {
 		putBuf(f.bp)
@@ -440,6 +488,21 @@ func (c *Conn) enqueue(f qframe) error {
 	case <-c.closing:
 		putBuf(f.bp)
 		return net.ErrClosed
+	default:
+	}
+	timer := time.NewTimer(c.qgrace)
+	defer timer.Stop()
+	select {
+	case c.sendq <- f:
+		return nil
+	case <-c.closing:
+		putBuf(f.bp)
+		return net.ErrClosed
+	case <-timer.C:
+		putBuf(f.bp)
+		mEnqRejects.Inc()
+		c.werr.Store(ErrSendQueueFull)
+		return fmt.Errorf("wire: enqueue: %w", ErrSendQueueFull)
 	}
 }
 
@@ -576,7 +639,7 @@ func (c *Conn) recvBinary() (*Message, error) {
 		mShortReads.Inc()
 		return nil, fmt.Errorf("wire: read version: %w: %w", ErrShortRead, err)
 	}
-	if ver != binaryVersion {
+	if ver < binaryVersion || ver > binaryVersionDeadline {
 		mDecodeErrs.Inc()
 		return nil, fmt.Errorf("wire: frame version %d: %w", ver, ErrBadVersion)
 	}
@@ -617,7 +680,7 @@ func (c *Conn) recvBinary() (*Message, error) {
 	if c.strIntern == nil {
 		c.strIntern = make(map[string]string, 64)
 	}
-	m, err := decodeBinaryBody(tag, body, c.strIntern)
+	m, err := decodeBinaryBody(tag, ver, body, c.strIntern)
 	putBuf(bp)
 	if err != nil {
 		mDecodeErrs.Inc()
