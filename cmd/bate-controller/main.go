@@ -51,6 +51,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "overload protection: admission gate base concurrency; shed excess client requests with retry-after hints instead of queueing unboundedly (0 = disabled)")
 	shedPrio := flag.String("shed-priority", "submit", "overload protection: least-critical class the gate may shed — submit (sheds submits and status polls) or status (sheds only status polls); withdrawals and link events are never shed (with -max-inflight)")
 	rateLimit := flag.Float64("rate-limit", 0, "overload protection: per-client token-bucket rate (requests/sec, 0 = unlimited; with -max-inflight)")
+	batchLP := flag.Bool("batch-lp", false, "route reschedules above the batch row threshold through the batched matrix-form first-order solver (PDHG) with a transparent simplex fallback")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -110,6 +111,10 @@ func main() {
 		Net: net0, Tunnels: tunnels, MaxFail: *maxFail, SchedulePeriod: *period,
 		RecoveryDeadline: *recoveryDeadline,
 		ForceJSONWire:    *jsonWire,
+		BatchLP:          *batchLP,
+	}
+	if *batchLP {
+		log.Printf("bate-controller: batched first-order scheduling engine enabled")
 	}
 	if *partitions > 1 {
 		cfg.Partition = &partition.Options{Regions: *partitions, GapThreshold: *partitionGap}

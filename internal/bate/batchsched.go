@@ -1,0 +1,380 @@
+package bate
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"bate/internal/alloc"
+	"bate/internal/demand"
+	"bate/internal/lp"
+	"bate/internal/lp/batch"
+	"bate/internal/metrics"
+	"bate/internal/parallel"
+	"bate/internal/scenario"
+)
+
+// The batched matrix-form scheduling path: instead of lowering Eq. 7
+// through lp.Problem one constraint object at a time, the LP is
+// assembled directly into the batch package's blocked form — all
+// scenario classes of a (demand, pair) become one dense
+// (classes × tunnels) block sharing the pair's tunnel columns — and
+// solved by the first-order PDHG backend in matrix-vector passes.
+//
+// A first-order solution is ε-feasible, not vertex-exact, so the
+// assembly shaves every link capacity by a small margin and a
+// polishing pass afterwards upscales each demand's flows uniformly
+// until its Eq. 1 delivery and Eq. 3-4 relaxed availability hold
+// exactly (the margin guarantees the upscale never breaches a true
+// capacity). Rounds where the solver fails to converge or polishing
+// cannot close the gap fall back to the simplex path transparently.
+
+var (
+	batchRounds    = metrics.NewCounter("bate.batch_rounds")
+	batchFellBack  = metrics.NewCounter("bate.batch_fallbacks")
+	batchUpscales  = metrics.NewCounter("bate.batch_polish_upscales")
+	batchSmallSkip = metrics.NewCounter("bate.batch_small_skips")
+)
+
+const (
+	// batchCapMargin is the relative capacity shave the batch assembly
+	// applies (caps · (1-margin)); polishing spends at most 90% of it
+	// on upscales, so polished loads stay strictly under true caps.
+	batchCapMargin = 5e-4
+	// batchEpsFeas is the solver's per-row relative feasibility
+	// tolerance: each row's violation stays under this fraction of the
+	// row's own scale, so a demand row's deficit is at most ~2·eps of
+	// its bandwidth — an order of magnitude inside the upscale headroom
+	// polishing has (0.9·batchCapMargin).
+	batchEpsFeas = 1e-5
+	// batchEpsGap is the relative duality-gap tolerance. PDHG closes
+	// feasibility quickly but crawls on the last digits of the gap for
+	// degenerate (tie-broken) objectives, so the gap tolerance is
+	// looser: a 1e-4 relative gap is far inside the 1e-3 objective
+	// tolerance the crosscheck suite certifies against the simplex.
+	batchEpsGap = 1e-4
+	// batchEpsDual is the relative dual-feasibility tolerance. The gap
+	// already certifies optimality and polishing retires primal debt,
+	// so a dual-residual tail crawl (degenerate reduced costs pinned
+	// near zero) is not worth tens of thousands of extra iterations.
+	batchEpsDual = 1e-5
+	// batchMaxIters is the PDHG iteration cap for scheduling rounds.
+	// Large deep-tree instances land at ~20k iterations; the cap keeps
+	// 3x headroom so timing jitter in the restart schedule can't tip a
+	// production round into the simplex fallback.
+	batchMaxIters = 75000
+)
+
+// scheduleBatch runs one batched matrix-form scheduling round.
+// handled=false means the round should be (re)solved on the simplex
+// path: the instance is under the size threshold, the first-order
+// solve did not converge, or polishing could not certify feasibility.
+// handled=true with a non-nil error is a real abort (Cancel fired).
+func scheduleBatch(in *alloc.Input, opts ScheduleOptions, stats *ScheduleStats) (alloc.Allocation, bool, error) {
+	targeted := make([]*demand.Demand, 0, len(in.Demands))
+	for _, d := range in.Demands {
+		if d.Target > 0 {
+			targeted = append(targeted, d)
+		}
+	}
+	classes := make([][]scenario.Class, len(targeted))
+	pool := parallel.Default()
+	err := pool.ForEach(context.Background(), len(targeted), func(i int) error {
+		cls, hit, cerr := scenario.CachedClassesFor(in.Net, opts.Groups, in.AllTunnelsFor(targeted[i]), opts.MaxFail)
+		if cerr != nil {
+			return fmt.Errorf("bate: classes for demand %d: %w", targeted[i].ID, cerr)
+		}
+		classes[i] = cls
+		_ = hit
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	if stats != nil {
+		// Re-consult the cache serially for hit accounting (all warm now).
+		for _, d := range targeted {
+			_, hit, _ := scenario.CachedClassesFor(in.Net, opts.Groups, in.AllTunnelsFor(d), opts.MaxFail)
+			if hit {
+				stats.ClassCacheHits++
+			} else {
+				stats.ClassCacheMisses++
+			}
+		}
+	}
+
+	f, flowCol, _ := assembleScheduleForm(in, targeted, classes, alloc.FullCapacities(in))
+	minRows := opts.BatchMinRows
+	if minRows <= 0 {
+		minRows = lp.DefaultBatchMinRows
+	}
+	if f.NumRows < minRows {
+		batchSmallSkip.Inc()
+		return nil, false, nil
+	}
+	batchRounds.Inc()
+	res := batch.Solve(f, batch.Options{
+		MaxIters: batchMaxIters,
+		EpsFeas:  batchEpsFeas, EpsDual: batchEpsDual, EpsGap: batchEpsGap,
+		Cancel: opts.Cancel,
+	})
+	if stats != nil {
+		stats.Variables = f.NumCols
+		stats.Constraints = f.NumRows
+		stats.Iterations = res.Iterations
+	}
+	switch res.Status {
+	case batch.Aborted:
+		return nil, true, fmt.Errorf("bate: schedule: %w", lp.ErrAborted)
+	case batch.IterLimit:
+		batchFellBack.Inc()
+		return nil, false, nil
+	}
+
+	a := extractBatchAlloc(in, flowCol, res.X)
+	if !polishBatchAlloc(in, targeted, classes, a) {
+		batchFellBack.Inc()
+		return nil, false, nil
+	}
+	// Half the verification tolerance used by the property tests, so a
+	// polished round can never be within rounding of their threshold.
+	if a.CheckCapacity(in, 5e-7) != nil {
+		batchFellBack.Inc()
+		return nil, false, nil
+	}
+	return a, true, nil
+}
+
+// assembleScheduleForm lowers the Eq. 7 scheduling LP into the
+// blocked matrix form: flow columns in AddFlowVarsIndexed order, then
+// one B column per (targeted demand, class); capacity rows (shaved by
+// batchCapMargin), Eq. 1 demand rows, and per-(demand, pair) Eq. 3-4
+// availability blocks over all scenario classes — one shared tunnel
+// column pattern per block, each class row carrying its own B column
+// as the scattered extra entry — plus the Σ p·B ≥ β row per demand.
+// It returns the form, the flow column index per (demand id, pair,
+// tunnel), and the first B column.
+func assembleScheduleForm(in *alloc.Input, targeted []*demand.Demand, classes [][]scenario.Class, caps []float64) (*batch.Form, map[int][][]int, int) {
+	// Column layout.
+	nFlow := 0
+	flowCol := make(map[int][][]int, len(in.Demands))
+	linkCols := make([][]int, in.Net.NumLinks())
+	for _, d := range in.Demands {
+		rows := make([][]int, len(d.Pairs))
+		for pi := range d.Pairs {
+			tunnels := in.TunnelsFor(d, pi)
+			rows[pi] = make([]int, len(tunnels))
+			for ti, t := range tunnels {
+				rows[pi][ti] = nFlow
+				for _, e := range t.Links {
+					linkCols[e] = append(linkCols[e], nFlow)
+				}
+				nFlow++
+			}
+		}
+		flowCol[d.ID] = rows
+	}
+	bCol0 := nFlow
+	nB := 0
+	for i := range targeted {
+		nB += len(classes[i])
+	}
+
+	b := batch.NewBuilder(nFlow + nB)
+	for j := 0; j < nFlow; j++ {
+		b.SetCost(j, 1)
+	}
+	bc := bCol0
+	for i, d := range targeted {
+		bonus := availabilityBonus(d)
+		for _, cls := range classes[i] {
+			b.SetCost(bc, -bonus*cls.Prob)
+			b.SetBounds(bc, 0, 1)
+			bc++
+		}
+	}
+
+	// Capacity rows, shaved by the polish margin.
+	ones := make([]float64, 0, 64)
+	for _, l := range in.Net.Links() {
+		cols := linkCols[l.ID]
+		if len(cols) == 0 {
+			continue
+		}
+		for len(ones) < len(cols) {
+			ones = append(ones, 1)
+		}
+		b.AddRowLE(cols, ones[:len(cols)], caps[l.ID]*(1-batchCapMargin))
+	}
+	// Eq. 1 demand rows.
+	for _, d := range in.Demands {
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth <= 0 {
+				continue
+			}
+			cols := flowCol[d.ID][pi]
+			for len(ones) < len(cols) {
+				ones = append(ones, 1)
+			}
+			b.AddRow(batch.GE, cols, ones[:len(cols)], pr.Bandwidth)
+		}
+	}
+	// Eq. 3-4 availability blocks.
+	bc = bCol0
+	for i, d := range targeted {
+		cls := classes[i]
+		nc := len(cls)
+		bit0 := 0
+		for pi, pr := range d.Pairs {
+			nt := len(in.TunnelsFor(d, pi))
+			if pr.Bandwidth <= 0 {
+				bit0 += nt
+				continue
+			}
+			cols := flowCol[d.ID][pi]
+			vals := make([]float64, nc*nt)
+			xcol := make([]int, nc)
+			xval := make([]float64, nc)
+			for ci, c := range cls {
+				for ti := 0; ti < nt; ti++ {
+					if c.TunnelUp(bit0 + ti) {
+						vals[ci*nt+ti] = 1
+					}
+				}
+				xcol[ci] = bc + ci
+				xval[ci] = -pr.Bandwidth
+			}
+			b.AddBlockGE(cols, vals, xcol, xval, make([]float64, nc))
+			bit0 += nt
+		}
+		availCols := make([]int, nc)
+		probs := make([]float64, nc)
+		for ci, c := range cls {
+			availCols[ci] = bc + ci
+			probs[ci] = c.Prob
+		}
+		b.AddRow(batch.GE, availCols, probs, d.Target)
+		bc += nc
+	}
+	return b.Build(), flowCol, bCol0
+}
+
+// extractBatchAlloc reads the flow columns into an Allocation,
+// dropping sub-epsilon noise exactly like alloc.FlowVars.Extract.
+func extractBatchAlloc(in *alloc.Input, flowCol map[int][][]int, x []float64) alloc.Allocation {
+	a := make(alloc.Allocation, len(flowCol))
+	for id, rows := range flowCol {
+		nr := make([][]float64, len(rows))
+		for pi, r := range rows {
+			nr[pi] = make([]float64, len(r))
+			for ti, col := range r {
+				if v := x[col]; v > 1e-7 {
+					nr[pi][ti] = v
+				}
+			}
+		}
+		a[id] = nr
+	}
+	return a
+}
+
+// polishBatchAlloc retires the first-order solution's ε-feasibility
+// debt at the allocation level: per demand, flows are scaled up
+// uniformly (never down) until every pair delivers its full Eq. 1
+// bandwidth and the Eq. 3-4 relaxed availability meets the target
+// with slack over the verification tolerance. The scale is capped at
+// 90% of the capacity margin the assembly shaved, so polished loads
+// remain under true capacities. Returns false when the cap is not
+// enough — the caller's cue to fall back to the simplex path.
+func polishBatchAlloc(in *alloc.Input, targeted []*demand.Demand, classes [][]scenario.Class, a alloc.Allocation) bool {
+	sMax := 1 + 0.9*batchCapMargin
+	classIdx := make(map[int]int, len(targeted))
+	for i, d := range targeted {
+		classIdx[d.ID] = i
+	}
+	for _, d := range in.Demands {
+		rows := a[d.ID]
+		// Pair delivery deficits (Eq. 1).
+		s := 1.0
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth <= 0 {
+				continue
+			}
+			sum := 0.0
+			for _, f := range rows[pi] {
+				sum += f
+			}
+			if sum <= 0 {
+				return false // nothing to scale; simplex must decide
+			}
+			if need := pr.Bandwidth / sum; need > s {
+				s = need
+			}
+		}
+		// Availability (Eq. 3-4), targeted demands only.
+		if ti, ok := classIdx[d.ID]; ok {
+			cls := classes[ti]
+			// The availability function is nondecreasing in the uniform
+			// scale; find the smallest scale in [s, sMax] with margin
+			// over the -1e-6 verification tolerance.
+			const slack = 5e-7
+			if batchAvailAt(in, d, cls, rows, sMax) < d.Target-slack {
+				return false
+			}
+			if batchAvailAt(in, d, cls, rows, s) < d.Target-slack {
+				lo, hi := s, sMax
+				for k := 0; k < 50; k++ {
+					mid := (lo + hi) / 2
+					if batchAvailAt(in, d, cls, rows, mid) < d.Target-slack {
+						lo = mid
+					} else {
+						hi = mid
+					}
+				}
+				s = hi
+			}
+		}
+		if s > sMax {
+			return false
+		}
+		if s > 1 {
+			batchUpscales.Inc()
+			for pi := range rows {
+				for ti := range rows[pi] {
+					rows[pi][ti] *= s
+				}
+			}
+		}
+	}
+	return true
+}
+
+// batchAvailAt evaluates the relaxed availability of demand d when
+// every flow is scaled by s: Σ_class p · min over pairs of
+// min(1, s·delivered/b).
+func batchAvailAt(in *alloc.Input, d *demand.Demand, cls []scenario.Class, rows [][]float64, s float64) float64 {
+	total := 0.0
+	for _, c := range cls {
+		bmin := 1.0
+		bit := 0
+		for pi, pr := range d.Pairs {
+			nt := len(in.TunnelsFor(d, pi))
+			delivered := 0.0
+			for ti := 0; ti < nt; ti++ {
+				if c.TunnelUp(bit) {
+					delivered += rows[pi][ti]
+				}
+				bit++
+			}
+			if pr.Bandwidth > 0 {
+				if r := s * delivered / pr.Bandwidth; r < bmin {
+					bmin = r
+				}
+			}
+		}
+		if bmin > 0 {
+			total += c.Prob * bmin
+		}
+	}
+	return math.Min(1, total)
+}

@@ -1,0 +1,142 @@
+package bate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bate/internal/alloc"
+	"bate/internal/lp"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// checkBatchProperties asserts the batched matrix-form schedule's
+// safety invariants against the revised-simplex solve on one input:
+// capacity is never violated, every demand meets its availability
+// target within the verification tolerance, and the objective matches
+// the simplex optimum within first-order tolerance.
+func checkBatchProperties(t *testing.T, name string, in *alloc.Input) {
+	t.Helper()
+	rOpts := ScheduleOptions{MaxFail: 2, Engine: lp.EngineRevised}
+	ref, _, err := Schedule(in, rOpts)
+	if err != nil {
+		t.Fatalf("%s: revised schedule: %v", name, err)
+	}
+	bOpts := rOpts
+	bOpts.Engine = lp.EngineBatch
+	bOpts.BatchMinRows = 1 // force the batch path regardless of size
+	got, stats, err := Schedule(in, bOpts)
+	if err != nil {
+		t.Fatalf("%s: batch schedule: %v", name, err)
+	}
+	if err := got.CheckCapacity(in, 1e-6); err != nil {
+		t.Fatalf("%s: batch: %v", name, err)
+	}
+	for _, d := range in.Demands {
+		av, err := alloc.RelaxedAvailability(in, got, d, rOpts.MaxFail)
+		if err != nil {
+			t.Fatalf("%s: availability of demand %d: %v", name, d.ID, err)
+		}
+		if av < d.Target-1e-6 {
+			t.Fatalf("%s: batch: demand %d availability %.8f < target %.6f (iters %d)",
+				name, d.ID, av, d.Target, stats.Iterations)
+		}
+	}
+	// Eq. 7 minimizes total bandwidth; the polished first-order total
+	// may sit slightly off the vertex optimum in either direction.
+	rTotal, bTotal := ref.Total(), got.Total()
+	if tol := 1e-3*rTotal + 1e-6; bTotal > rTotal+tol || bTotal < rTotal-tol {
+		t.Fatalf("%s: batch total %.6f vs revised %.6f (tol %.6f)", name, bTotal, rTotal, tol)
+	}
+}
+
+// TestBatchScheduleProperties sweeps the paper topologies plus 50
+// seeded random meshes, comparing the batch path against the revised
+// simplex on every one.
+func TestBatchScheduleProperties(t *testing.T) {
+	for _, name := range []string{"B4", "ATT", "FITI"} {
+		net, err := topo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(len(name))))
+		in := &alloc.Input{
+			Net:     net,
+			Tunnels: routing.Compute(net, routing.KShortest, 3),
+			Demands: partitionTestWorkload(net, 6, rng),
+		}
+		checkBatchProperties(t, name, in)
+	}
+	for seed := 0; seed < 50; seed++ {
+		name := fmt.Sprintf("FatRandom#%d", seed)
+		net := topo.FatRandom(name, 12, 3, uint64(seed)*0x9E3779B9+7)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		in := &alloc.Input{
+			Net:     net,
+			Tunnels: routing.Compute(net, routing.KShortest, 3),
+			Demands: partitionTestWorkload(net, 5, rng),
+		}
+		checkBatchProperties(t, name, in)
+	}
+}
+
+// TestBatchScheduleSmallIdenticalToRevised: under the default size
+// threshold the batch engine must be the revised solve, allocation
+// bytes included (the k=1 guarantee of the batch rollout).
+func TestBatchScheduleSmallIdenticalToRevised(t *testing.T) {
+	net, err := topo.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	in := &alloc.Input{
+		Net:     net,
+		Tunnels: routing.Compute(net, routing.KShortest, 3),
+		Demands: partitionTestWorkload(net, 4, rng),
+	}
+	ref, _, err := Schedule(in, ScheduleOptions{MaxFail: 1, Engine: lp.EngineRevised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Schedule(in, ScheduleOptions{MaxFail: 1, Engine: lp.EngineBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("small-instance batch allocation differs from the revised solve")
+	}
+}
+
+// TestBatchScheduleCancelAborts: a firing Cancel aborts the round
+// with lp.ErrAborted instead of delivering a partial allocation.
+func TestBatchScheduleCancelAborts(t *testing.T) {
+	net, err := topo.ByName("ATT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	in := &alloc.Input{
+		Net:     net,
+		Tunnels: routing.Compute(net, routing.KShortest, 3),
+		Demands: partitionTestWorkload(net, 6, rng),
+	}
+	stop := errors.New("deadline")
+	_, _, err = Schedule(in, ScheduleOptions{
+		MaxFail: 2, Engine: lp.EngineBatch, BatchMinRows: 1,
+		Cancel: func() error { return stop },
+	})
+	if !errors.Is(err, lp.ErrAborted) {
+		t.Fatalf("err = %v, want lp.ErrAborted", err)
+	}
+	// The revised path honours the same hook.
+	_, _, err = Schedule(in, ScheduleOptions{
+		MaxFail: 2, Engine: lp.EngineRevised,
+		Cancel: func() error { return stop },
+	})
+	if !errors.Is(err, lp.ErrAborted) {
+		t.Fatalf("revised: err = %v, want lp.ErrAborted", err)
+	}
+}

@@ -1,6 +1,7 @@
 package bate
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -126,9 +127,10 @@ func Recover(in *alloc.Input, down []topo.LinkID, opts RecoverOptions) (*Recover
 
 // recoverOptimalBudgeted races the node-budgeted MILP against the
 // share of the deadline the greedy floor can spare. Returns nil when
-// the stage is skipped (gate denial), errors, or loses the race — the
-// abandoned solve finishes in the background bounded by its node
-// budget, and its result is discarded.
+// the stage is skipped (gate denial), errors, or loses the race. The
+// deadline also feeds the solver's Cancel hook, so a losing solve
+// aborts mid-pivot instead of burning a core in the background until
+// its node budget runs out.
 func recoverOptimalBudgeted(in *alloc.Input, down []topo.LinkID, opts *RecoverOptions, start time.Time) *RecoveryResult {
 	if opts.Gate != nil {
 		if err := opts.Gate("recover"); err != nil {
@@ -142,13 +144,15 @@ func recoverOptimalBudgeted(in *alloc.Input, down []topo.LinkID, opts *RecoverOp
 		opts.logf("bate: recovery for %v: no deadline budget left for optimal stage", down)
 		return nil
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
 	type outcome struct {
 		r   *RecoveryResult
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		r, err := RecoverOptimalOpts(in, down, lp.Options{MaxNodes: opts.maxNodes()})
+		r, err := RecoverOptimalOpts(in, down, lp.Options{MaxNodes: opts.maxNodes(), Cancel: ctx.Err})
 		ch <- outcome{r, err}
 	}()
 	t := time.NewTimer(budget)

@@ -54,8 +54,20 @@ type ScheduleOptions struct {
 	Groups []scenario.RiskGroup
 	// Engine selects the LP engine. The zero value (lp.EngineAuto)
 	// keeps the dense reference tableau; lp.EngineRevised opts into the
-	// sparse revised simplex (required for warm starts).
+	// sparse revised simplex (required for warm starts);
+	// lp.EngineBatch routes large Aggregated-mode rounds through the
+	// batched matrix-form assembly and the first-order PDHG backend
+	// (small rounds and non-converging rounds fall back to the
+	// revised simplex, keeping small instances byte-identical).
 	Engine lp.Engine
+	// BatchMinRows overrides the batch engine's size threshold
+	// (0 = lp.DefaultBatchMinRows; 1 forces batching — tests only).
+	BatchMinRows int
+	// Cancel, when non-nil, is polled inside the LP iteration loops;
+	// a non-nil return aborts the round with lp.ErrAborted (the caller
+	// keeps its current allocation). Deadline contexts and the chaos
+	// mid-solve watcher hook in here.
+	Cancel func() error
 	// Gate, when non-nil, is consulted ("schedule") before the solve;
 	// an error aborts it. The chaos solver-budget front hooks in here,
 	// and callers must treat the error as "keep the current
@@ -132,7 +144,9 @@ func NewScheduler() *Scheduler { return &Scheduler{pstate: &partition.State{}} }
 
 // Schedule is Schedule with cross-call basis reuse.
 func (s *Scheduler) Schedule(in *alloc.Input, opts ScheduleOptions) (alloc.Allocation, *ScheduleStats, error) {
-	opts.Engine = lp.EngineRevised
+	if opts.Engine == lp.EngineAuto {
+		opts.Engine = lp.EngineRevised
+	}
 	if s.pstate == nil {
 		s.pstate = &partition.State{}
 	}
@@ -181,6 +195,24 @@ func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOu
 			return nil, nil, fmt.Errorf("bate: partitioned schedule: %w", err)
 		}
 	}
+	if opts.Engine == lp.EngineBatch && opts.Mode == Aggregated {
+		stats := &ScheduleStats{PoolWorkers: parallel.Default().Size(), PartitionFallback: fellBack}
+		a, handled, err := scheduleBatch(in, opts, stats)
+		if handled {
+			if err != nil {
+				return nil, stats, err
+			}
+			schedules.Inc()
+			stats.Elapsed = time.Since(start)
+			if basisOut != nil {
+				*basisOut = nil // first-order solves carry no basis
+			}
+			return a, stats, nil
+		}
+		// Too small or unconverged: the simplex path below decides the
+		// round, exactly as if EngineRevised had been requested.
+		opts.Engine = lp.EngineRevised
+	}
 	p := lp.NewProblem()
 	stats := &ScheduleStats{PoolWorkers: parallel.Default().Size(), PartitionFallback: fellBack}
 	fv, _, err := buildScheduleLP(p, in, opts, alloc.FullCapacities(in), stats)
@@ -189,7 +221,7 @@ func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOu
 	}
 	schedules.Inc()
 	stats.Variables, stats.Constraints = p.NumVariables(), p.NumConstraints()
-	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine, Warm: warm})
+	sol, err := p.SolveOpts(lp.Options{Engine: opts.Engine, Warm: warm, Cancel: opts.Cancel, BatchMinRows: opts.BatchMinRows})
 	stats.Elapsed = time.Since(start)
 	if sol != nil {
 		stats.Iterations = sol.Iterations
@@ -257,8 +289,15 @@ func buildScheduleLP(p *lp.Problem, in *alloc.Input, opts ScheduleOptions, caps 
 // subSolver adapts the scheduling-LP formulation to the partition
 // package's SubSolver callback: one subproblem is the same LP over a
 // demand subset with caller-chosen capacities, solved on the revised
-// engine so region bases warm-start across rounds.
+// engine so region bases warm-start across rounds — or, when the
+// round opted into lp.EngineBatch, on the batch engine, whose
+// first-order duals still feed the stitching gap bound (sub-threshold
+// regions quietly stay on the simplex).
 func subSolver(opts ScheduleOptions) partition.SubSolver {
+	eng := lp.EngineRevised
+	if opts.Engine == lp.EngineBatch {
+		eng = lp.EngineBatch
+	}
 	return func(sub *alloc.Input, caps []float64, warm *lp.Basis) (*partition.SubResult, error) {
 		p := lp.NewProblem()
 		stats := &ScheduleStats{}
@@ -266,7 +305,7 @@ func subSolver(opts ScheduleOptions) partition.SubSolver {
 		if err != nil {
 			return nil, err
 		}
-		sol, err := p.SolveOpts(lp.Options{Engine: lp.EngineRevised, Warm: warm})
+		sol, err := p.SolveOpts(lp.Options{Engine: eng, Warm: warm, Cancel: opts.Cancel, BatchMinRows: opts.BatchMinRows})
 		if err != nil {
 			return nil, err
 		}

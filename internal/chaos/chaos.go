@@ -117,6 +117,13 @@ type SolverConfig struct {
 	// disables). N >= 2 guarantees the call after a denial succeeds,
 	// which is what lets the degraded-mode ladder always terminate.
 	EveryN int
+	// MidSolveEveryN aborts every Nth solve mid-iteration through the
+	// lp Cancel hook (0 or 1 disables): the PivotWatcher for solve k
+	// returns an injected error on its very first poll iff
+	// everyNth(k, N), exercising the Aborted path rather than the
+	// gate-denial path. Counted separately from EveryN so the two
+	// cadences compose deterministically.
+	MidSolveEveryN int
 }
 
 // SolverBudget forces solver "timeouts" on a deterministic cadence.
@@ -153,6 +160,35 @@ func (s *SolverBudget) Calls(op string) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.calls[op]
+}
+
+// PivotWatcher returns a Cancel closure for one solve of the given
+// operation kind, to be passed as lp.Options.Cancel. The solve's
+// ordinal is taken at PivotWatcher time (counter key "mid:"+op), and
+// the closure denies every poll of every MidSolveEveryN-th solve —
+// deterministic in the solve ordinal, independent of pivot timing, so
+// replays abort the same solves. With MidSolveEveryN disabled the
+// closure is nil, costing the solver nothing.
+func (s *SolverBudget) PivotWatcher(op string) func() error {
+	if s.cfg.MidSolveEveryN <= 1 {
+		return nil
+	}
+	key := "mid:" + op
+	s.mu.Lock()
+	idx := s.calls[key]
+	s.calls[key] = idx + 1
+	s.mu.Unlock()
+	if !everyNth(idx, s.cfg.MidSolveEveryN) {
+		return nil
+	}
+	fired := false
+	return func() error {
+		if !fired {
+			fired = true
+			mSolverDenials.Inc()
+		}
+		return fmt.Errorf("mid-solve budget exhausted for %s (solve %d): %w", op, idx, ErrInjected)
+	}
 }
 
 // AdmissionConfig tunes the admission-budget front.

@@ -104,6 +104,52 @@ func TestSolverBudgetGate(t *testing.T) {
 	}
 }
 
+func TestSolverBudgetPivotWatcher(t *testing.T) {
+	// Disabled (0 or 1): nil closures, no counter taken, so enabling
+	// the front later cannot shift the gate cadence of a replay.
+	for _, n := range []int{0, 1} {
+		sb := NewSolverBudget(SolverConfig{MidSolveEveryN: n})
+		if c := sb.PivotWatcher("schedule"); c != nil {
+			t.Fatalf("MidSolveEveryN=%d: watcher not nil", n)
+		}
+		if got := sb.Calls("mid:schedule"); got != 0 {
+			t.Fatalf("MidSolveEveryN=%d: counter advanced to %d while disabled", n, got)
+		}
+	}
+
+	sb := NewSolverBudget(SolverConfig{MidSolveEveryN: 3})
+	var aborted []int
+	for i := 0; i < 9; i++ {
+		cancel := sb.PivotWatcher("schedule")
+		if cancel == nil {
+			continue
+		}
+		// The closure must deny every poll of the doomed solve, not
+		// just the first, so any pivot cadence observes the abort.
+		for poll := 0; poll < 3; poll++ {
+			err := cancel()
+			if err == nil {
+				t.Fatalf("solve %d poll %d: doomed solve not denied", i, poll)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("denial not wrapped in ErrInjected: %v", err)
+			}
+		}
+		aborted = append(aborted, i)
+	}
+	if len(aborted) != 3 || aborted[0] != 2 || aborted[1] != 5 || aborted[2] != 8 {
+		t.Fatalf("aborted solves = %v, want [2 5 8]", aborted)
+	}
+	// The mid-solve counter is keyed separately from the gate's, so
+	// the two fronts compose without shifting each other's cadence.
+	if err := sb.Gate("schedule"); err != nil {
+		t.Fatalf("gate denied with EveryN disabled: %v", err)
+	}
+	if sb.Calls("mid:schedule") != 9 || sb.Calls("schedule") != 1 {
+		t.Fatalf("calls = %d/%d, want 9/1", sb.Calls("mid:schedule"), sb.Calls("schedule"))
+	}
+}
+
 func TestAdmissionBudgetGate(t *testing.T) {
 	ab := NewAdmissionBudget(AdmissionConfig{EveryN: 3})
 	var sheds []int

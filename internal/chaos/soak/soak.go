@@ -63,6 +63,13 @@ type Config struct {
 	// state, which would replay differently — so the same seed still
 	// reaches a byte-identical end state through the retries.
 	Overload bool
+	// MidSolvePivots, when > 1, arms the solver budget's mid-solve
+	// front: every Nth solver-backed operation is aborted from inside
+	// the pivot loop (via the controller's SolverWatch hook) instead of
+	// gated at the door. Like the gate, the cadence is a deterministic
+	// counter, so the same seed replays byte-identically; zero leaves
+	// the pivot watcher inert and digests unchanged.
+	MidSolvePivots int
 	// Logf receives narrative; nil is silent.
 	Logf func(string, ...interface{})
 }
@@ -177,7 +184,7 @@ func Run(cfg Config) (*Report, error) {
 		Partitions: []chaos.Partition{{From: "broker-DC1", To: "controller", Start: 400 * time.Millisecond, End: 900 * time.Millisecond}},
 	}
 	fsCfg := chaos.FSConfig{WriteEveryN: 5, SyncEveryN: 7}
-	solverCfg := chaos.SolverConfig{EveryN: 2}
+	solverCfg := chaos.SolverConfig{EveryN: 2, MidSolveEveryN: cfg.MidSolvePivots}
 	admissionCfg := chaos.AdmissionConfig{}
 	if cfg.Overload {
 		admissionCfg.EveryN = 3
@@ -245,6 +252,7 @@ func Run(cfg Config) (*Report, error) {
 		Store: st, FrameTimeout: 10 * time.Second,
 		RecoveryDeadline: cfg.RecoveryDeadline,
 		SolverGate:       budget.Gate,
+		SolverWatch:      budget.PivotWatcher,
 		ForceJSONWire:    cfg.JSONWire,
 		Partition:        popts,
 		Overload:         ovOpts,
@@ -324,6 +332,25 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("soak: second reschedule was not gated")
 	} else {
 		logf("soak: gated reschedule degraded as expected: %v", err)
+	}
+
+	// ---- Phase 7b: with the mid-solve front armed, one more
+	// reschedule exercises it. Solve index 2 passes the door gate
+	// (EveryN 2 denies odd indices), so its fate is decided purely by
+	// the pivot watcher's own cadence — with MidSolvePivots 3 it is
+	// doomed from inside the pivot loop and must degrade exactly like
+	// a gate denial, keeping the current allocation. ----
+	if cfg.MidSolvePivots > 1 {
+		err := ctl.Reschedule()
+		doomed := 2%cfg.MidSolvePivots == cfg.MidSolvePivots-1
+		switch {
+		case doomed && err == nil:
+			return nil, fmt.Errorf("soak: mid-solve-doomed reschedule was not aborted")
+		case !doomed && err != nil:
+			return nil, fmt.Errorf("soak: mid-solve reschedule: %w", err)
+		case err != nil:
+			logf("soak: mid-solve abort degraded as expected: %v", err)
+		}
 	}
 
 	// ---- Phase 8: withdrawals over the lossy connection. ----

@@ -216,6 +216,74 @@ func TestChaosSoakPartitioned(t *testing.T) {
 	}
 }
 
+// TestChaosSoakMidSolve runs the soak with the solver budget's
+// mid-solve front armed: the pivot watcher dooms every third schedule
+// from inside the simplex pivot loop (through the controller's
+// SolverWatch hook), which must degrade exactly like a door-gate
+// denial — the current allocation survives, the abort is counted, and
+// the same seed still replays byte-identically.
+func TestChaosSoakMidSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	const deadline = 750 * time.Millisecond
+	logf := func(string, ...interface{}) {}
+	if os.Getenv("CHAOS_VERBOSE") != "" {
+		logf = t.Logf
+	}
+	seed := chaosSeeds(t)[0]
+	runOnce := func(tag string, pivots int) *Report {
+		rep, err := Run(Config{
+			Seed: seed, Dir: t.TempDir(),
+			RecoveryDeadline: deadline,
+			MidSolvePivots:   pivots,
+			Logf:             logf,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		return rep
+	}
+	mid := runOnce("mid-solve", 3)
+	if !mid.LeaderAgreed {
+		t.Fatal("mid-solve soak: replicas did not agree on a leader")
+	}
+	if mid.Digest == "" {
+		t.Fatal("mid-solve soak: no end-state digest")
+	}
+	// Aborting a solve mid-pivot must not bend the book invariant.
+	if want := surviving(mid.AckedIDs, mid.WithdrawnIDs); !reflect.DeepEqual(mid.FinalIDs, want) {
+		t.Errorf("mid-solve final book %v, want acked-minus-withdrawn %v", mid.FinalIDs, want)
+	}
+
+	// Same seed, same cadence, fresh directory: byte-identical, down
+	// to the injected abort count.
+	replay := runOnce("mid-solve-replay", 3)
+	if replay.Digest != mid.Digest {
+		t.Errorf("mid-solve replay digest %s != original %s", replay.Digest, mid.Digest)
+	}
+	if replay.SolverDenials != mid.SolverDenials {
+		t.Errorf("mid-solve replay denials %d != original %d", replay.SolverDenials, mid.SolverDenials)
+	}
+
+	// Against the unarmed soak: exactly one extra denial (the doomed
+	// phase-7b solve), and every discrete decision unchanged — a
+	// mid-pivot abort costs allocation freshness, never book state.
+	plain := runOnce("plain", 0)
+	if mid.SolverDenials != plain.SolverDenials+1 {
+		t.Errorf("mid-solve denials %d, want plain's %d + 1", mid.SolverDenials, plain.SolverDenials)
+	}
+	if !reflect.DeepEqual(plain.AckedIDs, mid.AckedIDs) {
+		t.Errorf("mid-solve acked %v != plain %v", mid.AckedIDs, plain.AckedIDs)
+	}
+	if !reflect.DeepEqual(plain.FinalIDs, mid.FinalIDs) {
+		t.Errorf("mid-solve book %v != plain %v", mid.FinalIDs, plain.FinalIDs)
+	}
+	if plain.Rejected != mid.Rejected {
+		t.Errorf("mid-solve rejected %d != plain %d", mid.Rejected, plain.Rejected)
+	}
+}
+
 // TestChaosSoakOverload runs the soak with the admission gate wired to
 // the seeded admission budget: every third sheddable request is shed
 // with an explicit retry-after. Shedding must stay deterministic (same

@@ -20,6 +20,7 @@ import (
 	"bate/internal/alloc"
 	"bate/internal/bate"
 	"bate/internal/demand"
+	"bate/internal/lp"
 	"bate/internal/metrics"
 	"bate/internal/overload"
 	"bate/internal/partition"
@@ -70,6 +71,18 @@ type Config struct {
 	// ladder) instead of running. The chaos solver-budget front hooks
 	// in here.
 	SolverGate func(op string) error
+	// SolverWatch, when non-nil, supplies a per-solve cancellation
+	// probe for solver-backed operations: the returned func is polled
+	// from inside the pivot/iteration loop and an error aborts the
+	// solve mid-flight (the reschedule then keeps the current
+	// allocation). The chaos mid-solve front hooks in here; nil
+	// returned probes cost nothing.
+	SolverWatch func(op string) func() error
+	// BatchLP routes every reschedule through the batched matrix-form
+	// first-order engine (lp.EngineBatch): instances above the batch
+	// row threshold solve via PDHG with a transparent revised-simplex
+	// fallback, smaller ones take the exact simplex path unchanged.
+	BatchLP bool
 	// StubAdmission admits every structurally valid demand without
 	// consulting the solver (method "stub"). The wire load harness uses
 	// it so throughput numbers measure the control channel, not LP
@@ -295,6 +308,11 @@ func (c *Controller) Serve(ctx context.Context, ln net.Listener) error {
 			return err
 		}
 		conn := wire.New(nc)
+		// Sessions are pipelined (batch submits, withdraw bursts,
+		// status polls), so replies coalesce into one flush per burst.
+		// Enabled here, before the conn is registered for teardown:
+		// EnableCoalescing must not race a drainSessions Close.
+		conn.EnableCoalescing()
 		c.sessMu.Lock()
 		c.conns[conn] = struct{}{}
 		c.sessMu.Unlock()
@@ -398,10 +416,8 @@ func (c *Controller) handleConn(ctx context.Context, conn *wire.Conn) {
 	case c.cfg.FrameTimeout == 0:
 		conn.SetIdleTimeout(30 * time.Second)
 	}
-	// Sessions are pipelined (batch submits, withdraw bursts, status
-	// polls), so replies coalesce into one flush per burst. Codec
-	// negotiation rides the peer's Hello unless operators forced JSON.
-	conn.EnableCoalescing()
+	// Codec negotiation rides the peer's Hello unless operators
+	// forced JSON.
 	if c.cfg.ForceJSONWire {
 		conn.LockCodec(wire.CodecJSON)
 	}
@@ -896,9 +912,16 @@ func (c *Controller) reschedule() error {
 		c.pushAllLocked(false)
 		return nil
 	}
-	a, stats, err := c.scheduler.Schedule(in, bate.ScheduleOptions{
+	sopts := bate.ScheduleOptions{
 		MaxFail: c.cfg.MaxFail, Gate: c.cfg.SolverGate, Partition: c.cfg.Partition,
-	})
+	}
+	if c.cfg.BatchLP {
+		sopts.Engine = lp.EngineBatch
+	}
+	if c.cfg.SolverWatch != nil {
+		sopts.Cancel = c.cfg.SolverWatch("schedule")
+	}
+	a, stats, err := c.scheduler.Schedule(in, sopts)
 	if err != nil {
 		// A gated or failed solve keeps the current allocation — stale
 		// but feasible beats absent.

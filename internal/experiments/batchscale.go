@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bate/internal/alloc"
+	"bate/internal/bate"
+	"bate/internal/lp"
+	"bate/internal/lp/batch"
+	"bate/internal/metrics"
+	"bate/internal/partition"
+	"bate/internal/routing"
+	"bate/internal/scenario"
+	"bate/internal/topo"
+)
+
+// batchMaxFail is the scenario-tree depth of the batchscale matrix:
+// all failure classes up to three concurrent link failures, the
+// deepest tree the scenario model enumerates at these tunnel fans.
+const batchMaxFail = 3
+
+// batchTunnelFan is the per-pair tunnel count. Four is the widest fan
+// whose relevant-link count stays under the scenario enumerator's
+// subset limit on the 1000-node graph.
+const batchTunnelFan = 4
+
+// BatchCase is one topology of the batchscale table.
+type BatchCase struct {
+	Name    string
+	Build   func() *topo.Network
+	Regions int
+	Demands int
+}
+
+// BatchCases returns the batchscale measurement matrix: the synthetic
+// ring-of-regions topologies at 100/300/1000 nodes under deep
+// scenario trees (MaxFail 3, 4-wide tunnel fans). Workloads are
+// heavier than partitionscale's because the first-order solver's
+// advantage grows with LP size; Quick shrinks to the 100-node graph,
+// the CI smoke scale.
+func BatchCases(quick bool) []BatchCase {
+	if quick {
+		return []BatchCase{
+			{Name: "Synth100", Build: topo.Synth100, Regions: 10, Demands: 120},
+		}
+	}
+	return []BatchCase{
+		{Name: "Synth100", Build: topo.Synth100, Regions: 10, Demands: 120},
+		{Name: "Synth300", Build: topo.Synth300, Regions: 15, Demands: 220},
+		{Name: "Synth1000", Build: topo.Synth1000, Regions: 25, Demands: 500},
+	}
+}
+
+// BatchInput builds the case's scheduling input: the locality-biased
+// partitionscale workload with a wider 4-shortest tunnel fan for
+// exactly the workload's pairs.
+func BatchInput(c BatchCase, seed int64) *alloc.Input {
+	net := c.Build()
+	part := partition.New(net, c.Regions, nil)
+	ds := PartitionWorkload(net, part, c.Demands, uint64(seed)*0x9E3779B9+1)
+	var pairs [][2]topo.NodeID
+	for _, d := range ds {
+		for _, p := range d.Pairs {
+			pairs = append(pairs, [2]topo.NodeID{p.Src, p.Dst})
+		}
+	}
+	tunnels := routing.ComputeForPairs(net, routing.KShortest, batchTunnelFan, pairs)
+	return &alloc.Input{Net: net, Tunnels: tunnels, Demands: ds}
+}
+
+// countBatchViolations verifies the batch schedule the same way the
+// property suite does: capacity within 1e-6 and every demand's
+// relaxed availability within 1e-6 of its target. The returned count
+// must be zero for the report to be acceptable.
+func countBatchViolations(in *alloc.Input, a alloc.Allocation) (int, error) {
+	violations := 0
+	if err := a.CheckCapacity(in, 1e-6); err != nil {
+		violations++
+	}
+	for _, d := range in.Demands {
+		av, err := alloc.RelaxedAvailability(in, a, d, batchMaxFail)
+		if err != nil {
+			return violations, fmt.Errorf("batchscale: availability of demand %d: %w", d.ID, err)
+		}
+		if av < d.Target-1e-6 {
+			violations++
+		}
+	}
+	return violations, nil
+}
+
+// MeasureBatch times the revised-simplex scheduling solve against the
+// batched first-order solve on one case and returns the BenchRow. The
+// scenario class cache is pre-warmed for every demand so both sides
+// measure LP cost, not class enumeration; repeats takes the fastest
+// run per side. The batch side's allocation is re-verified for
+// capacity and availability; failures land in Violations.
+func MeasureBatch(c BatchCase, seed int64, repeats int) (batch.BenchRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	in := BatchInput(c, seed)
+	net, ds := in.Net, in.Demands
+	for _, d := range ds {
+		if _, _, err := scenario.CachedClassesFor(net, nil, in.AllTunnelsFor(d), batchMaxFail); err != nil {
+			return batch.BenchRow{}, fmt.Errorf("batchscale: warm classes: %w", err)
+		}
+	}
+
+	rOpts := bate.ScheduleOptions{MaxFail: batchMaxFail, Engine: lp.EngineRevised}
+	var rAlloc alloc.Allocation
+	revisedBest := time.Duration(0)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		a, _, err := bate.Schedule(in, rOpts)
+		el := time.Since(start)
+		if err != nil {
+			return batch.BenchRow{}, fmt.Errorf("batchscale: revised solve: %w", err)
+		}
+		if r == 0 || el < revisedBest {
+			revisedBest, rAlloc = el, a
+		}
+	}
+
+	bOpts := rOpts
+	bOpts.Engine = lp.EngineBatch
+	var bAlloc alloc.Allocation
+	var bStats *bate.ScheduleStats
+	batchBest := time.Duration(0)
+	fallbacks := int64(0)
+	for r := 0; r < repeats; r++ {
+		before := metrics.Snapshot()["bate.batch_fallbacks"]
+		start := time.Now()
+		a, stats, err := bate.Schedule(in, bOpts)
+		el := time.Since(start)
+		if err != nil {
+			return batch.BenchRow{}, fmt.Errorf("batchscale: batch solve: %w", err)
+		}
+		fallbacks += metrics.Snapshot()["bate.batch_fallbacks"] - before
+		if r == 0 || el < batchBest {
+			batchBest, bAlloc, bStats = el, a, stats
+		}
+	}
+
+	violations, err := countBatchViolations(in, bAlloc)
+	if err != nil {
+		return batch.BenchRow{}, err
+	}
+	rTotal, bTotal := rAlloc.Total(), bAlloc.Total()
+	gap := 0.0
+	if rTotal > 0 {
+		gap = (bTotal - rTotal) / rTotal
+	}
+	row := batch.BenchRow{
+		Topology:   c.Name,
+		Nodes:      net.NumNodes(),
+		Links:      net.NumLinks(),
+		Demands:    len(ds),
+		MaxFail:    batchMaxFail,
+		Rows:       bStats.Constraints,
+		Cols:       bStats.Variables,
+		RevisedMs:  float64(revisedBest.Microseconds()) / 1000,
+		BatchMs:    float64(batchBest.Microseconds()) / 1000,
+		RevisedObj: rTotal,
+		BatchObj:   bTotal,
+		ObjGap:     gap,
+		Iterations: bStats.Iterations,
+		Violations: violations,
+		Fallbacks:  int(fallbacks),
+	}
+	if row.BatchMs > 0 {
+		row.Speedup = row.RevisedMs / row.BatchMs
+	}
+	return row, nil
+}
+
+// BatchScale is the batchscale runner: the batched matrix-form
+// first-order scheduling solver against the revised simplex on the
+// 100/300/1000-node synthetic topologies with deep scenario trees,
+// optionally written to (and gated against) a BENCH_batch.json
+// report.
+func BatchScale(w io.Writer, opts Options) error {
+	fmt.Fprintln(w, "Batched first-order scheduling: PDHG vs revised simplex (deep scenario trees)")
+	scale := "full"
+	if opts.Quick {
+		scale = "smoke"
+	}
+	repeats := opts.repeats(3, 1)
+	t := metrics.NewTable("topology", "nodes", "demands", "lp rows",
+		"revised (ms)", "batch (ms)", "speedup", "obj gap", "iters", "viol", "fallbacks")
+	report := &batch.BenchReport{Scale: scale}
+	for _, c := range BatchCases(opts.Quick) {
+		row, err := MeasureBatch(c, opts.Seed, repeats)
+		if err != nil {
+			return err
+		}
+		report.Rows = append(report.Rows, row)
+		t.AddRow(row.Topology,
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.Demands),
+			fmt.Sprintf("%d", row.Rows),
+			fmt.Sprintf("%.1f", row.RevisedMs),
+			fmt.Sprintf("%.1f", row.BatchMs),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.5f", row.ObjGap),
+			fmt.Sprintf("%d", row.Iterations),
+			fmt.Sprintf("%d", row.Violations),
+			fmt.Sprintf("%d", row.Fallbacks))
+	}
+	fmt.Fprint(w, t.String())
+	if opts.BenchOut != "" {
+		if err := batch.WriteBench(opts.BenchOut, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", opts.BenchOut)
+	}
+	if opts.Baseline != "" {
+		base, err := batch.ReadBench(opts.Baseline)
+		if err != nil {
+			return err
+		}
+		tol := opts.Tolerance
+		if tol <= 0 {
+			tol = 0.2
+		}
+		if regs := batch.CompareBench(report, base, tol); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(w, "REGRESSION: %s\n", r)
+			}
+			return fmt.Errorf("batchscale: %d regression(s) vs %s", len(regs), opts.Baseline)
+		}
+		fmt.Fprintf(w, "solver-bench gate: within ±%.0f%% of %s\n", tol*100, opts.Baseline)
+	}
+	return nil
+}

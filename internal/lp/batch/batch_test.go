@@ -1,0 +1,151 @@
+package batch
+
+import (
+	"math"
+	"testing"
+)
+
+// adjointForm builds a form mixing single rows and a multi-row block
+// with extra scattered entries, for kernel identities.
+func adjointForm() *Form {
+	b := NewBuilder(6)
+	b.AddRow(GE, []int{0, 2, 4}, []float64{1, -2, 3}, 1)
+	b.AddRowLE([]int{1, 3}, []float64{2, 5}, 7)
+	b.AddBlockGE(
+		[]int{0, 1, 2},
+		[]float64{
+			1, 0, 2,
+			0, 3, 1,
+			4, 1, 0,
+		},
+		[]int{3, 4, -1},
+		[]float64{-1.5, 2.5, 0},
+		[]float64{0, 0, 0},
+	)
+	b.AddRow(EQ, []int{5}, []float64{1}, 2)
+	return b.Build()
+}
+
+func TestKernelAdjoint(t *testing.T) {
+	f := adjointForm()
+	x := []float64{1, -2, 3, 0.5, -1, 2}
+	y := []float64{2, -1, 0.5, 3, -2, 1}
+	if len(y) != f.NumRows {
+		t.Fatalf("form has %d rows, want %d", f.NumRows, len(y))
+	}
+	kx := make([]float64, f.NumRows)
+	kty := make([]float64, f.NumCols)
+	scr := f.Scratch()
+	f.MulK(x, kx, scr)
+	f.MulKT(y, kty, scr)
+	lhs, rhs := 0.0, 0.0
+	for i, v := range kx {
+		lhs += y[i] * v
+	}
+	for j, v := range kty {
+		rhs += x[j] * v
+	}
+	if math.Abs(lhs-rhs) > 1e-12*(1+math.Abs(lhs)) {
+		t.Fatalf("adjoint identity violated: y'Kx=%g x'K'y=%g", lhs, rhs)
+	}
+}
+
+func TestBlockEquivalentToRows(t *testing.T) {
+	// The same matrix assembled as one block vs individual rows must
+	// produce identical MulK results.
+	cols := []int{1, 3, 4}
+	vals := []float64{
+		1, 2, 0,
+		0, 1, 3,
+	}
+	xcol := []int{0, 2}
+	xval := []float64{-1, 4}
+
+	bb := NewBuilder(5)
+	bb.AddBlockGE(cols, vals, xcol, xval, []float64{1, 2})
+	fb := bb.Build()
+
+	rb := NewBuilder(5)
+	rb.AddRow(GE, []int{1, 3, 0}, []float64{1, 2, -1}, 1)
+	rb.AddRow(GE, []int{3, 4, 2}, []float64{1, 3, 4}, 2)
+	fr := rb.Build()
+
+	x := []float64{1, 2, 3, 4, 5}
+	ob := make([]float64, 2)
+	or := make([]float64, 2)
+	fb.MulK(x, ob, fb.Scratch())
+	fr.MulK(x, or, fr.Scratch())
+	for i := range ob {
+		if math.Abs(ob[i]-or[i]) > 1e-12 {
+			t.Fatalf("row %d: block %g vs rows %g", i, ob[i], or[i])
+		}
+	}
+}
+
+func TestSolveTinyLP(t *testing.T) {
+	// min x0 + 2*x1  s.t.  x0 + x1 >= 1,  x0 <= 0.4  ⇒ x = (0.4, 0.6), obj 1.6
+	b := NewBuilder(2)
+	b.SetCost(0, 1)
+	b.SetCost(1, 2)
+	b.SetBounds(0, 0, 0.4)
+	b.AddRow(GE, []int{0, 1}, []float64{1, 1}, 1)
+	res := Solve(b.Build(), Options{EpsFeas: 1e-8, EpsGap: 1e-8})
+	if res.Status != Converged {
+		t.Fatalf("status %v, residuals p=%g d=%g g=%g", res.Status, res.PrimalRes, res.DualRes, res.Gap)
+	}
+	if math.Abs(res.Objective-1.6) > 1e-5 {
+		t.Fatalf("objective %g, want 1.6", res.Objective)
+	}
+	if math.Abs(res.X[0]-0.4) > 1e-4 || math.Abs(res.X[1]-0.6) > 1e-4 {
+		t.Fatalf("x = %v, want (0.4, 0.6)", res.X)
+	}
+	// GE dual: loosening the >= 1 row by one unit saves 2 (x1's cost).
+	if math.Abs(res.Y[0]-2) > 1e-3 {
+		t.Fatalf("dual %g, want 2", res.Y[0])
+	}
+}
+
+func TestSolveEqualityRow(t *testing.T) {
+	// min x0 + x1  s.t.  x0 - x1 == 0.5, x0 + x1 >= 1  ⇒ (0.75, 0.25)
+	b := NewBuilder(2)
+	b.SetCost(0, 1)
+	b.SetCost(1, 1)
+	b.AddRow(EQ, []int{0, 1}, []float64{1, -1}, 0.5)
+	b.AddRow(GE, []int{0, 1}, []float64{1, 1}, 1)
+	res := Solve(b.Build(), Options{EpsFeas: 1e-8, EpsGap: 1e-8})
+	if res.Status != Converged {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.X[0]-0.75) > 1e-4 || math.Abs(res.X[1]-0.25) > 1e-4 {
+		t.Fatalf("x = %v, want (0.75, 0.25)", res.X)
+	}
+}
+
+func TestSolveAborts(t *testing.T) {
+	b := NewBuilder(2)
+	b.SetCost(0, 1)
+	b.AddRow(GE, []int{0, 1}, []float64{1, 1}, 1)
+	stop := func() error { return errStop }
+	res := Solve(b.Build(), Options{Cancel: stop})
+	if res.Status != Aborted {
+		t.Fatalf("status %v, want Aborted", res.Status)
+	}
+}
+
+type stopErr struct{}
+
+func (stopErr) Error() string { return "stop" }
+
+var errStop error = stopErr{}
+
+func TestSolveIterLimitOnInfeasible(t *testing.T) {
+	// x >= 2 with x <= 1 bound cannot converge; the solver must come
+	// back IterLimit (the caller's cue to fall back to simplex).
+	b := NewBuilder(1)
+	b.SetBounds(0, 0, 1)
+	b.AddRow(GE, []int{0}, []float64{1}, 2)
+	res := Solve(b.Build(), Options{MaxIters: 500})
+	if res.Status != IterLimit {
+		t.Fatalf("status %v, want IterLimit", res.Status)
+	}
+}

@@ -1,0 +1,120 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchRow is one topology's batch-vs-revised measurement in
+// BENCH_batch.json. Speedup is revised-simplex wall-clock over the
+// batched first-order solve; ObjGap is the relative objective excess
+// of the batch schedule ((batch - revised) / revised, signed);
+// Violations counts demands whose batch allocation failed the
+// capacity or availability verification (must be zero); Fallbacks
+// counts rounds the batch path handed back to the simplex.
+type BenchRow struct {
+	Topology   string  `json:"topology"`
+	Nodes      int     `json:"nodes"`
+	Links      int     `json:"links"`
+	Demands    int     `json:"demands"`
+	MaxFail    int     `json:"max_fail"`
+	Rows       int     `json:"lp_rows"`
+	Cols       int     `json:"lp_cols"`
+	RevisedMs  float64 `json:"revised_ms"`
+	BatchMs    float64 `json:"batch_ms"`
+	Speedup    float64 `json:"speedup"`
+	RevisedObj float64 `json:"revised_objective"`
+	BatchObj   float64 `json:"batch_objective"`
+	ObjGap     float64 `json:"obj_gap"`
+	Iterations int     `json:"batch_iterations"`
+	Violations int     `json:"violations"`
+	Fallbacks  int     `json:"fallbacks"`
+}
+
+// BenchReport is the BENCH_batch.json schema.
+type BenchReport struct {
+	Schema string     `json:"schema"`
+	Scale  string     `json:"scale"` // "full" or "smoke"
+	Rows   []BenchRow `json:"rows"`
+}
+
+// BenchSchema names the current report layout.
+const BenchSchema = "bate/batch-bench/v1"
+
+// DefaultObjGapThreshold is the objective-gap floor below which
+// baseline drift is treated as noise by CompareBench.
+const DefaultObjGapThreshold = 1e-3
+
+// WriteBench writes the report as indented JSON.
+func WriteBench(path string, r *BenchReport) error {
+	r.Schema = BenchSchema
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadBench loads a report written by WriteBench.
+func ReadBench(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("batch: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBench gates cur against a committed baseline: per topology,
+// the speedup may not drop below base·(1-tol), |ObjGap| may not
+// exceed the larger of base·(1+tol) and DefaultObjGapThreshold,
+// violations must stay zero, and fallbacks may not exceed the
+// baseline count. It returns human-readable regression lines; empty
+// means the gate passes.
+func CompareBench(cur, base *BenchReport, tol float64) []string {
+	var regressions []string
+	rows := make(map[string]BenchRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		rows[r.Topology] = r
+	}
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for _, b := range base.Rows {
+		c, ok := rows[b.Topology]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current report", b.Topology))
+			continue
+		}
+		if minSpeed := b.Speedup * (1 - tol); c.Speedup < minSpeed {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: speedup %.2fx below %.2fx (baseline %.2fx, tol %.0f%%)",
+				b.Topology, c.Speedup, minSpeed, b.Speedup, tol*100))
+		}
+		maxGap := abs(b.ObjGap) * (1 + tol)
+		if maxGap < DefaultObjGapThreshold {
+			maxGap = DefaultObjGapThreshold
+		}
+		if abs(c.ObjGap) > maxGap {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: |obj gap| %.5f above %.5f (baseline %.5f, tol %.0f%%)",
+				b.Topology, abs(c.ObjGap), maxGap, b.ObjGap, tol*100))
+		}
+		if c.Violations > 0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d feasibility violation(s)", b.Topology, c.Violations))
+		}
+		if c.Fallbacks > b.Fallbacks {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d fallback(s), baseline %d", b.Topology, c.Fallbacks, b.Fallbacks))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,222 @@
+// Package batch implements the matrix-form batched LP backend: a
+// blocked sparse matrix representation assembled in bulk (no per-row
+// constraint objects), vectorized residual/projection/objective
+// kernels over that representation, and a first-order primal-dual
+// solver (restarted Halpern PDHG with diagonal preconditioning, in
+// the style of PDLP) that solves the whole scenario-class batch in
+// matrix-vector passes instead of simplex pivots.
+//
+// The form solved is
+//
+//	minimize    cᵀx
+//	subject to  (Kx)_i ≥ q_i   (GE rows; ≤ rows are negated on entry)
+//	            (Kx)_i = q_i   (EQ rows)
+//	            lo ≤ x ≤ hi    (hi may be +Inf)
+//
+// Rows are stored in blocks. A block is a group of rows sharing one
+// column-index pattern — in BATE's scheduling LP all scenario classes
+// of a (demand, pair) share the pair's tunnel columns, so their
+// delivered-bandwidth rows form a dense (classes × tunnels) block —
+// plus at most one extra scattered entry per row (the class's own B
+// column). Kernels gather the shared columns once per block and run
+// dense passes over the block values, which is where the batching
+// wins over row-at-a-time CSR: one gather and one scatter amortize
+// across every class in the block, and the per-shape preconditioner
+// state is computed once and reused by every row of the block.
+//
+// The package is self-contained (no dependency on package lp); the
+// lp package adapts Problems onto it.
+package batch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a row's comparison sense after LE-normalization.
+type Sense int8
+
+// Row senses. LE rows do not exist in a Form: builders negate them
+// into GE rows so the dual cone is simply y ≥ 0 on GE rows and free
+// on EQ rows.
+const (
+	GE Sense = iota
+	EQ
+)
+
+// Block is a group of consecutive rows sharing one column pattern.
+// Vals is row-major dense: row r of the block has coefficients
+// Vals[r*len(Cols) : (r+1)*len(Cols)] on columns Cols, plus — when
+// XCol is non-nil — one extra entry XVal[r] on column XCol[r]
+// (XCol[r] < 0 means no extra entry for that row).
+type Block struct {
+	Row0 int
+	Cols []int
+	Vals []float64
+	XCol []int
+	XVal []float64
+}
+
+// Rows returns the number of rows in the block.
+func (b *Block) Rows() int {
+	if len(b.Cols) == 0 {
+		if b.XCol != nil {
+			return len(b.XCol)
+		}
+		return 0
+	}
+	return len(b.Vals) / len(b.Cols)
+}
+
+// Form is the assembled matrix-form LP.
+type Form struct {
+	NumCols int
+	NumRows int
+	C       []float64 // objective, minimization
+	Lo, Hi  []float64 // bounds; Hi entries may be +Inf
+	Q       []float64 // per-row RHS
+	Sense   []Sense   // per-row sense
+	Blocks  []Block
+
+	maxWidth int // widest block column pattern, for kernel scratch
+}
+
+// NNZ returns the stored entry count (block zeros included — they are
+// part of the dense batch layout).
+func (f *Form) NNZ() int {
+	n := 0
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		n += len(b.Vals)
+		if b.XCol != nil {
+			for _, c := range b.XCol {
+				if c >= 0 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Builder assembles a Form. Row order is the order of Add calls;
+// column count is fixed at construction.
+type Builder struct {
+	f Form
+}
+
+// NewBuilder returns a builder for an LP with numCols variables, all
+// initially costless with bounds [0, +Inf).
+func NewBuilder(numCols int) *Builder {
+	b := &Builder{}
+	b.f.NumCols = numCols
+	b.f.C = make([]float64, numCols)
+	b.f.Lo = make([]float64, numCols)
+	b.f.Hi = make([]float64, numCols)
+	for j := range b.f.Hi {
+		b.f.Hi[j] = math.Inf(1)
+	}
+	return b
+}
+
+// SetCost sets the objective coefficient of column j.
+func (b *Builder) SetCost(j int, c float64) {
+	if math.IsNaN(c) || math.IsInf(c, 0) {
+		panic(fmt.Sprintf("batch: invalid cost %v for column %d", c, j))
+	}
+	b.f.C[j] = c
+}
+
+// SetBounds sets the bounds of column j. hi may be +Inf.
+func (b *Builder) SetBounds(j int, lo, hi float64) {
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || hi < lo {
+		panic(fmt.Sprintf("batch: invalid bounds [%v, %v] for column %d", lo, hi, j))
+	}
+	b.f.Lo[j] = lo
+	b.f.Hi[j] = hi
+}
+
+func (b *Builder) checkCols(cols []int) {
+	for _, c := range cols {
+		if c < 0 || c >= b.f.NumCols {
+			panic(fmt.Sprintf("batch: column %d out of range [0, %d)", c, b.f.NumCols))
+		}
+	}
+}
+
+// AddRow appends a single row with the given sense; it is a 1-row
+// block. Returns the global row index.
+func (b *Builder) AddRow(sense Sense, cols []int, vals []float64, rhs float64) int {
+	if len(cols) != len(vals) {
+		panic("batch: AddRow: len(cols) != len(vals)")
+	}
+	b.checkCols(cols)
+	row := b.f.NumRows
+	b.f.Blocks = append(b.f.Blocks, Block{
+		Row0: row,
+		Cols: append([]int(nil), cols...),
+		Vals: append([]float64(nil), vals...),
+	})
+	b.f.Q = append(b.f.Q, rhs)
+	b.f.Sense = append(b.f.Sense, sense)
+	b.f.NumRows++
+	return row
+}
+
+// AddRowLE appends a ≤ row, negating it into the GE normal form.
+func (b *Builder) AddRowLE(cols []int, vals []float64, rhs float64) int {
+	neg := make([]float64, len(vals))
+	for i, v := range vals {
+		neg[i] = -v
+	}
+	return b.AddRow(GE, cols, neg, -rhs)
+}
+
+// AddBlockGE appends a block of GE rows sharing the column pattern
+// cols. vals is row-major dense with width len(cols); xcol/xval give
+// each row's optional extra scattered entry (xcol[r] < 0 = none) and
+// may both be nil. rhs has one entry per row. Returns the global row
+// index of the block's first row.
+func (b *Builder) AddBlockGE(cols []int, vals []float64, xcol []int, xval []float64, rhs []float64) int {
+	w := len(cols)
+	if w == 0 {
+		panic("batch: AddBlockGE: empty column pattern")
+	}
+	if len(vals)%w != 0 {
+		panic("batch: AddBlockGE: len(vals) not a multiple of len(cols)")
+	}
+	nr := len(vals) / w
+	if len(rhs) != nr || (xcol != nil && (len(xcol) != nr || len(xval) != nr)) {
+		panic("batch: AddBlockGE: row-count mismatch")
+	}
+	b.checkCols(cols)
+	if xcol != nil {
+		for _, c := range xcol {
+			if c >= b.f.NumCols {
+				panic(fmt.Sprintf("batch: extra column %d out of range", c))
+			}
+		}
+	}
+	row := b.f.NumRows
+	b.f.Blocks = append(b.f.Blocks, Block{Row0: row, Cols: cols, Vals: vals, XCol: xcol, XVal: xval})
+	b.f.Q = append(b.f.Q, rhs...)
+	for i := 0; i < nr; i++ {
+		b.f.Sense = append(b.f.Sense, GE)
+	}
+	b.f.NumRows += nr
+	return row
+}
+
+// Build finalizes and returns the form. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Form {
+	f := b.f
+	f.maxWidth = 0
+	for i := range f.Blocks {
+		if w := len(f.Blocks[i].Cols); w > f.maxWidth {
+			f.maxWidth = w
+		}
+	}
+	b.f = Form{}
+	return &f
+}

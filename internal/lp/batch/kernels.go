@@ -1,0 +1,193 @@
+package batch
+
+import "math"
+
+// Vectorized kernels over the blocked form. Every pass amortizes the
+// gather/scatter of a block's shared column pattern across all of its
+// rows: MulK gathers x[Cols] once and runs a dense mat-vec over the
+// block values; MulKT accumulates the block's contribution densely
+// and scatters once. The scratch slice must have capacity maxWidth
+// (use (*Form).Scratch).
+
+// Scratch returns a kernel scratch buffer sized for the form.
+func (f *Form) Scratch() []float64 { return make([]float64, f.maxWidth) }
+
+// MulK computes out = Kx. out must have length NumRows.
+func (f *Form) MulK(x, out, scratch []float64) {
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		w := len(b.Cols)
+		g := scratch[:w]
+		for k, c := range b.Cols {
+			g[k] = x[c]
+		}
+		nr := len(b.Vals) / w
+		for r := 0; r < nr; r++ {
+			row := b.Vals[r*w : (r+1)*w]
+			s := 0.0
+			for k, v := range row {
+				s += v * g[k]
+			}
+			if b.XCol != nil {
+				if c := b.XCol[r]; c >= 0 {
+					s += b.XVal[r] * x[c]
+				}
+			}
+			out[b.Row0+r] = s
+		}
+	}
+}
+
+// MulKT computes out = Kᵀy, overwriting out. out must have length
+// NumCols.
+func (f *Form) MulKT(y, out, scratch []float64) {
+	for j := range out {
+		out[j] = 0
+	}
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		w := len(b.Cols)
+		acc := scratch[:w]
+		for k := range acc {
+			acc[k] = 0
+		}
+		nr := len(b.Vals) / w
+		for r := 0; r < nr; r++ {
+			yr := y[b.Row0+r]
+			if yr != 0 {
+				row := b.Vals[r*w : (r+1)*w]
+				for k, v := range row {
+					acc[k] += yr * v
+				}
+			}
+			if b.XCol != nil {
+				if c := b.XCol[r]; c >= 0 {
+					out[c] += b.XVal[r] * yr
+				}
+			}
+		}
+		for k, c := range b.Cols {
+			out[c] += acc[k]
+		}
+	}
+}
+
+// rowInfNorms accumulates max |K_ij| per row into norms (not reset).
+func (f *Form) rowInfNorms(norms []float64) {
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		w := len(b.Cols)
+		nr := len(b.Vals) / w
+		for r := 0; r < nr; r++ {
+			m := norms[b.Row0+r]
+			for _, v := range b.Vals[r*w : (r+1)*w] {
+				if a := math.Abs(v); a > m {
+					m = a
+				}
+			}
+			if b.XCol != nil && b.XCol[r] >= 0 {
+				if a := math.Abs(b.XVal[r]); a > m {
+					m = a
+				}
+			}
+			norms[b.Row0+r] = m
+		}
+	}
+}
+
+// colInfNorms accumulates max |K_ij| per column into norms (not
+// reset).
+func (f *Form) colInfNorms(norms []float64) {
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		w := len(b.Cols)
+		nr := len(b.Vals) / w
+		for r := 0; r < nr; r++ {
+			row := b.Vals[r*w : (r+1)*w]
+			for k, v := range row {
+				if a := math.Abs(v); a > norms[b.Cols[k]] {
+					norms[b.Cols[k]] = a
+				}
+			}
+			if b.XCol != nil {
+				if c := b.XCol[r]; c >= 0 {
+					if a := math.Abs(b.XVal[r]); a > norms[c] {
+						norms[c] = a
+					}
+				}
+			}
+		}
+	}
+}
+
+// scaleRowsCols rescales every entry K_ij *= dr[i]*dc[j] in place.
+func (f *Form) scaleRowsCols(dr, dc []float64) {
+	for i := range f.Blocks {
+		b := &f.Blocks[i]
+		w := len(b.Cols)
+		nr := len(b.Vals) / w
+		for r := 0; r < nr; r++ {
+			s := dr[b.Row0+r]
+			row := b.Vals[r*w : (r+1)*w]
+			for k := range row {
+				row[k] *= s * dc[b.Cols[k]]
+			}
+			if b.XCol != nil {
+				if c := b.XCol[r]; c >= 0 {
+					b.XVal[r] *= s * dc[c]
+				}
+			}
+		}
+	}
+}
+
+// clampBounds projects x onto [lo, hi] in place.
+func clampBounds(x, lo, hi []float64) {
+	for j, v := range x {
+		if v < lo[j] {
+			x[j] = lo[j]
+		} else if v > hi[j] {
+			x[j] = hi[j]
+		}
+	}
+}
+
+// clampDual projects y onto the dual cone in place: y ≥ 0 on GE rows,
+// free on EQ rows.
+func clampDual(y []float64, sense []Sense) {
+	for i, v := range y {
+		if v < 0 && sense[i] == GE {
+			y[i] = 0
+		}
+	}
+}
+
+// infNorm returns max |v_i|.
+func infNorm(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// norm2 returns the Euclidean norm.
+func norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// dist2 returns ‖a-b‖₂.
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		d := x - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,420 @@
+package batch
+
+import "math"
+
+// Status reports the outcome of a first-order solve.
+type Status int8
+
+// Solve outcomes. The solver has no infeasibility certificate: an
+// infeasible or unbounded form simply fails to converge and comes
+// back IterLimit, which callers treat as "fall back to simplex".
+const (
+	Converged Status = iota
+	IterLimit
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Converged:
+		return "converged"
+	case IterLimit:
+		return "iteration-limit"
+	case Aborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// Options tunes the first-order solver.
+type Options struct {
+	// MaxIters bounds PDHG iterations (0 = 25000).
+	MaxIters int
+	// EpsFeas is the per-row relative primal feasibility tolerance
+	// (0 = 1e-6): every row's violation satisfies
+	// viol_i ≤ EpsFeas·(1+|q_i|+‖K_i·‖∞), so small-RHS rows converge
+	// as tightly relative to their own scale as large-RHS ones.
+	EpsFeas float64
+	// EpsDual is the relative dual feasibility tolerance (0 = EpsFeas):
+	// max unabsorbed reduced cost ≤ EpsDual·(1+‖c‖∞). Callers that
+	// certify optimality through the gap (and retire primal debt by
+	// polishing) can afford a looser dual tolerance than primal.
+	EpsDual float64
+	// EpsGap is the relative duality-gap tolerance (0 = 1e-6).
+	EpsGap float64
+	// CheckEvery is the iteration cadence of termination/restart
+	// checks and Cancel polls (0 = 64).
+	CheckEvery int
+	// Cancel, when non-nil, is polled every CheckEvery iterations; a
+	// non-nil return aborts with Status Aborted.
+	Cancel func() error
+}
+
+// Result is a first-order solve outcome. X and Y are in the original
+// (unscaled) space; Y follows the form's row senses (≥ 0 on GE rows).
+type Result struct {
+	Status     Status
+	X, Y       []float64
+	Objective  float64 // cᵀx
+	Iterations int
+	// Final relative KKT residuals.
+	PrimalRes, DualRes, Gap float64
+}
+
+const (
+	ruizIters    = 10
+	powerIters   = 40
+	stepSafety   = 0.95 // τσ‖K‖² = stepSafety² < 1
+	restartSuff  = 0.2  // restart on sufficient KKT decay...
+	restartNec   = 0.8  // ...or on necessary decay + stalled progress
+	weightSmooth = 0.5  // log-space smoothing of the primal weight
+)
+
+// solverState carries the scaled problem and iterate workspace.
+type solverState struct {
+	f      *Form     // scaled copy
+	dr, dc []float64 // cumulative Ruiz scalings (K' = Dr·K·Dc)
+	q, c   []float64 // unscaled RHS and cost (for residuals)
+	qs, cs []float64 // scaled RHS and cost
+	lo, hi []float64 // scaled bounds
+	x, y   []float64 // current scaled iterates
+	x0, y0 []float64 // Halpern anchor
+	xn, yn []float64 // next iterates
+	kty    []float64 // K'ᵀy workspace
+	kx     []float64 // K'·(2x⁺-x) workspace
+	scr    []float64 // block gather scratch
+
+	// Unscaled check workspace.
+	ux, uy, ured []float64
+	uact         []float64
+
+	normK    float64
+	omega    float64
+	qInf     float64
+	cInf     float64
+	rowScale []float64 // unscaled row inf-norms, for per-row tolerances
+	hasBound []bool    // hi finite per column
+}
+
+// Solve runs the restarted-Halpern PDHG solver on f. f is not
+// modified (the solver scales a private copy of the matrix values).
+func Solve(f *Form, opts Options) *Result {
+	maxIters := opts.MaxIters
+	if maxIters <= 0 {
+		maxIters = 25000
+	}
+	epsFeas := opts.EpsFeas
+	if epsFeas <= 0 {
+		epsFeas = 1e-6
+	}
+	epsDual := opts.EpsDual
+	if epsDual <= 0 {
+		epsDual = epsFeas
+	}
+	epsGap := opts.EpsGap
+	if epsGap <= 0 {
+		epsGap = 1e-6
+	}
+	checkEvery := opts.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = 64
+	}
+
+	s := newSolverState(f)
+	tau := stepSafety / (s.normK * s.omega)
+	sigma := stepSafety * s.omega / s.normK
+
+	best := &Result{Status: IterLimit, PrimalRes: math.Inf(1), DualRes: math.Inf(1), Gap: math.Inf(1)}
+	bestMu := math.Inf(1)
+	muAnchor := math.Inf(1)
+	muPrev := math.Inf(1)
+	var xr, yr []float64 // iterate at previous restart, for ω updates
+	k := 0               // iterations since last restart
+
+	for t := 0; t < maxIters; t++ {
+		if t%checkEvery == 0 {
+			if opts.Cancel != nil && opts.Cancel() != nil {
+				best.Status = Aborted
+				best.Iterations = t
+				return best
+			}
+			pr, prG, dr, gap, pObj := s.kktResiduals()
+			if math.IsNaN(pr) || math.IsNaN(dr) {
+				best.Iterations = t
+				return best // numerical blow-up; caller falls back
+			}
+			// The restart/best signal uses the global primal measure: the
+			// per-row one is spiky on zero-RHS rows mid-convergence and
+			// would wreck the anchor schedule.
+			mu := math.Sqrt(prG*prG + dr*dr + gap*gap)
+			if mu < bestMu {
+				bestMu = mu
+				best.PrimalRes, best.DualRes, best.Gap, best.Objective = pr, dr, gap, pObj
+				best.X = append(best.X[:0], s.ux...)
+				best.Y = append(best.Y[:0], s.uy...)
+			}
+			if pr <= epsFeas && dr <= epsDual && gap <= epsGap {
+				best.Status = Converged
+				best.Iterations = t
+				best.PrimalRes, best.DualRes, best.Gap, best.Objective = pr, dr, gap, pObj
+				best.X = append(best.X[:0], s.ux...)
+				best.Y = append(best.Y[:0], s.uy...)
+				return best
+			}
+			// Restart: sufficient KKT decay since the anchor, or
+			// necessary decay with stalled progress.
+			if mu <= restartSuff*muAnchor || (mu <= restartNec*muAnchor && mu > muPrev) {
+				if xr != nil {
+					dx, dy := dist2(s.x, xr), dist2(s.y, yr)
+					if dx > 1e-12 && dy > 1e-12 {
+						s.omega = math.Exp(weightSmooth*math.Log(dy/dx) + (1-weightSmooth)*math.Log(s.omega))
+						tau = stepSafety / (s.normK * s.omega)
+						sigma = stepSafety * s.omega / s.normK
+					}
+				}
+				xr = append(xr[:0], s.x...)
+				yr = append(yr[:0], s.y...)
+				copy(s.x0, s.x)
+				copy(s.y0, s.y)
+				muAnchor = mu
+				k = 0
+			}
+			muPrev = mu
+		}
+		s.step(tau, sigma, k)
+		k++
+	}
+	best.Iterations = maxIters
+	return best
+}
+
+// newSolverState scales the form (Ruiz equilibration), estimates ‖K‖
+// by power iteration and initializes the iterates at zero (clamped to
+// the primal box).
+func newSolverState(f *Form) *solverState {
+	m, n := f.NumRows, f.NumCols
+	s := &solverState{
+		q: f.Q, c: f.C,
+		dr: make([]float64, m), dc: make([]float64, n),
+		x: make([]float64, n), y: make([]float64, m),
+		x0: make([]float64, n), y0: make([]float64, m),
+		xn: make([]float64, n), yn: make([]float64, m),
+		kty: make([]float64, n), kx: make([]float64, m),
+		ux: make([]float64, n), uy: make([]float64, m),
+		ured: make([]float64, n), uact: make([]float64, m),
+		rowScale: make([]float64, m),
+		hasBound: make([]bool, n),
+	}
+	f.rowInfNorms(s.rowScale) // unscaled row magnitudes, before equilibration
+	for i := range s.dr {
+		s.dr[i] = 1
+	}
+	for j := range s.dc {
+		s.dc[j] = 1
+	}
+	// Private scaled copy: Cols/XCol patterns are shared (read-only),
+	// values are cloned.
+	fc := *f
+	fc.Blocks = make([]Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		nb := b
+		nb.Vals = append([]float64(nil), b.Vals...)
+		if b.XVal != nil {
+			nb.XVal = append([]float64(nil), b.XVal...)
+		}
+		fc.Blocks[i] = nb
+	}
+	s.f = &fc
+	s.scr = fc.Scratch()
+
+	// Ruiz equilibration.
+	rn := make([]float64, m)
+	cn := make([]float64, n)
+	for it := 0; it < ruizIters; it++ {
+		for i := range rn {
+			rn[i] = 0
+		}
+		for j := range cn {
+			cn[j] = 0
+		}
+		s.f.rowInfNorms(rn)
+		s.f.colInfNorms(cn)
+		for i := range rn {
+			if rn[i] > 0 {
+				rn[i] = 1 / math.Sqrt(rn[i])
+			} else {
+				rn[i] = 1
+			}
+		}
+		for j := range cn {
+			if cn[j] > 0 {
+				cn[j] = 1 / math.Sqrt(cn[j])
+			} else {
+				cn[j] = 1
+			}
+		}
+		s.f.scaleRowsCols(rn, cn)
+		for i := range s.dr {
+			s.dr[i] *= rn[i]
+		}
+		for j := range s.dc {
+			s.dc[j] *= cn[j]
+		}
+	}
+	// Scaled data: q' = Dr·q, c' = Dc·c, x = Dc·x' ⇒ bounds /= dc.
+	s.qs = make([]float64, m)
+	s.cs = make([]float64, n)
+	s.lo = make([]float64, n)
+	s.hi = make([]float64, n)
+	for i := range s.qs {
+		s.qs[i] = f.Q[i] * s.dr[i]
+	}
+	for j := range s.cs {
+		s.cs[j] = f.C[j] * s.dc[j]
+		s.lo[j] = f.Lo[j] / s.dc[j]
+		s.hi[j] = f.Hi[j] / s.dc[j] // +Inf stays +Inf
+		s.hasBound[j] = !math.IsInf(f.Hi[j], 1)
+	}
+	s.qInf = infNorm(f.Q)
+	s.cInf = infNorm(f.C)
+
+	// ‖K'‖₂ by power iteration on K'ᵀK' (deterministic start).
+	v := make([]float64, n)
+	for j := range v {
+		v[j] = 1 + float64((j*2654435761)%1021)/2048
+	}
+	lam := 1.0
+	for it := 0; it < powerIters; it++ {
+		s.f.MulK(v, s.kx, s.scr)
+		s.f.MulKT(s.kx, s.kty, s.scr)
+		nv := norm2(s.kty)
+		if nv < 1e-30 {
+			break
+		}
+		lam = nv / norm2(v)
+		for j := range v {
+			v[j] = s.kty[j] / nv
+		}
+	}
+	s.normK = math.Sqrt(lam) * 1.02 // inflate: power iteration underestimates
+	if s.normK < 1e-12 {
+		s.normK = 1
+	}
+
+	// Initial primal weight: balance the objective and RHS scales.
+	cn2, qn2 := norm2(s.cs), norm2(s.qs)
+	s.omega = 1
+	if cn2 > 1e-12 && qn2 > 1e-12 {
+		s.omega = math.Min(1e4, math.Max(1e-4, cn2/qn2))
+	}
+
+	clampBounds(s.x, s.lo, s.hi)
+	copy(s.x0, s.x)
+	return s
+}
+
+// step runs one Halpern-anchored PDHG iteration: a plain PDHG step
+// from (x, y), then a blend toward the anchor with weight 1/(k+2).
+func (s *solverState) step(tau, sigma float64, k int) {
+	// Primal: x⁺ = Π[lo,hi](x - τ(c - K'ᵀy)).
+	s.f.MulKT(s.y, s.kty, s.scr)
+	for j, xj := range s.x {
+		s.xn[j] = xj - tau*(s.cs[j]-s.kty[j])
+	}
+	clampBounds(s.xn, s.lo, s.hi)
+	// Dual: y⁺ = Π_cone(y + σ(q - K'(2x⁺ - x))).
+	for j, xj := range s.xn {
+		s.kty[j] = 2*xj - s.x[j] // reuse kty as extrapolation buffer
+	}
+	s.f.MulK(s.kty, s.kx, s.scr)
+	for i, yi := range s.y {
+		s.yn[i] = yi + sigma*(s.qs[i]-s.kx[i])
+	}
+	clampDual(s.yn, s.f.Sense)
+	// Halpern anchor blend; the box and cone are convex, so the blend
+	// of two feasible points needs no re-projection.
+	w := 1 / float64(k+2)
+	for j := range s.xn {
+		s.x[j] = w*s.x0[j] + (1-w)*s.xn[j]
+	}
+	for i := range s.yn {
+		s.y[i] = w*s.y0[i] + (1-w)*s.yn[i]
+	}
+}
+
+// kktResiduals computes the unscaled relative KKT residuals and the
+// primal objective at the current iterate, filling s.ux/s.uy with the
+// unscaled primal/dual points. One MulK and one MulKT per call.
+// primal is the per-row-relative violation used for termination;
+// primalGlobal is the ‖q‖∞-relative violation, a smoother signal that
+// drives the restart/primal-weight dynamics.
+func (s *solverState) kktResiduals() (primal, primalGlobal, dual, gap, pObj float64) {
+	// Unscale: x = Dc·x', y = Dr·y'.
+	for j, xj := range s.x {
+		s.ux[j] = xj * s.dc[j]
+	}
+	for i, yi := range s.y {
+		s.uy[i] = yi * s.dr[i]
+	}
+	// Unscaled activity Kx = Dr⁻¹(K'x').
+	s.f.MulK(s.x, s.uact, s.scr)
+	primal = 0.0
+	maxViol := 0.0
+	for i, a := range s.uact {
+		a /= s.dr[i]
+		v := s.q[i] - a
+		if s.f.Sense[i] == EQ {
+			v = math.Abs(v)
+		} else if v < 0 {
+			v = 0
+		}
+		if v > maxViol {
+			maxViol = v
+		}
+		// Per-row relative violation, normalized by the row's own
+		// magnitude: small-RHS rows (demand bandwidths, availability
+		// targets) must converge as tightly relative to their scale as
+		// the large-capacity rows, or downstream polishing drowns in
+		// their absolute debt. A ‖q‖∞-global measure would let one big
+		// link capacity mask ~1e-2 deficits on 100-unit demand rows.
+		if r := v / (1 + math.Abs(s.q[i]) + s.rowScale[i]); r > primal {
+			primal = r
+		}
+	}
+	primalGlobal = maxViol / (1 + s.qInf)
+
+	// Unscaled reduced costs r = c - Kᵀy = c - Dc⁻¹(K'ᵀy').
+	s.f.MulKT(s.y, s.kty, s.scr)
+	maxDual := 0.0
+	dObj := 0.0
+	for j := range s.ured {
+		r := s.c[j] - s.kty[j]/s.dc[j]
+		s.ured[j] = r
+		if s.hasBound[j] {
+			// Boxed column: any reduced-cost sign is absorbed by a
+			// bound multiplier; it prices into the dual objective.
+			if r > 0 {
+				dObj += s.f.Lo[j] * r
+			} else {
+				dObj += s.f.Hi[j] * r
+			}
+		} else {
+			if r > 0 {
+				dObj += s.f.Lo[j] * r
+			} else if -r > maxDual {
+				maxDual = -r // no finite upper bound to absorb r < 0
+			}
+		}
+	}
+	dual = maxDual / (1 + s.cInf)
+
+	pObj = 0.0
+	for j, xj := range s.ux {
+		pObj += s.c[j] * xj
+	}
+	for i, yi := range s.uy {
+		dObj += s.q[i] * yi
+	}
+	gap = math.Abs(pObj-dObj) / (1 + math.Abs(pObj) + math.Abs(dObj))
+	return primal, primalGlobal, dual, gap, pObj
+}

@@ -1,0 +1,165 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"bate/internal/lp/batch"
+)
+
+// DefaultBatchMinRows is the constraint count below which EngineBatch
+// routes to the revised simplex instead: first-order iterations only
+// amortize on large instances, and small instances must stay
+// byte-identical to the simplex path (the k=1 golden tests).
+const DefaultBatchMinRows = 400
+
+// Batch solves that converge are additionally re-solved on the
+// revised simplex and compared when LP_BATCH_CROSSCHECK is set (and
+// not "0"). The comparison tolerance is first-order loose (the batch
+// solver stops at a relative KKT tolerance, not at a vertex).
+var batchCrosscheckState struct {
+	once sync.Once
+	on   bool
+}
+
+func batchCrosscheckOn() bool {
+	batchCrosscheckState.once.Do(func() {
+		v := os.Getenv("LP_BATCH_CROSSCHECK")
+		batchCrosscheckState.on = v != "" && v != "0"
+	})
+	return batchCrosscheckState.on
+}
+
+// solveLPBatch dispatches EngineBatch: instances under the size
+// threshold route to the revised simplex unchanged (bit-for-bit the
+// same solve), larger ones go to the first-order batch solver with a
+// transparent revised-simplex fallback on non-convergence.
+func (p *Problem) solveLPBatch(overrideLo, overrideHi []float64, opts Options) (*Solution, error) {
+	minRows := opts.BatchMinRows
+	if minRows <= 0 {
+		minRows = DefaultBatchMinRows
+	}
+	if len(p.cons) < minRows {
+		batchSmall.Inc()
+		ro := opts
+		ro.Engine = EngineRevised
+		return p.solveLPWith(overrideLo, overrideHi, ro)
+	}
+	batchSolves.Inc()
+	f, senses := p.batchForm(overrideLo, overrideHi)
+	res := batch.Solve(f, batch.Options{Cancel: opts.Cancel})
+	batchIters.Add(int64(res.Iterations))
+	switch res.Status {
+	case batch.Aborted:
+		abortsCtr.Inc()
+		return &Solution{Status: Aborted, Iterations: res.Iterations, Nodes: 1}, ErrAborted
+	case batch.IterLimit:
+		// Non-convergence covers genuinely hard, infeasible and
+		// unbounded instances alike: the simplex delivers the exact
+		// verdict.
+		batchFallbacks.Inc()
+		ro := opts
+		ro.Engine = EngineRevised
+		sol, err := p.solveLPWith(overrideLo, overrideHi, ro)
+		if sol != nil {
+			sol.Iterations += res.Iterations
+		}
+		return sol, err
+	}
+	sol := &Solution{Status: Optimal, Iterations: res.Iterations, Nodes: 1}
+	sol.values = res.X
+	sol.duals = make([]float64, len(p.cons))
+	for i, y := range res.Y {
+		// User-sense duals: row i was negated into GE form iff the
+		// user wrote LE, and the revised engine's convention reports
+		// the internal-minimization multiplier, sign-flipped for
+		// maximization.
+		d := y * senses[i]
+		if p.maximize {
+			d = -d
+		}
+		sol.duals[i] = d
+	}
+	for j, v := range p.vars {
+		sol.Objective += v.cost * res.X[j]
+	}
+	if batchCrosscheckOn() {
+		ro := opts
+		ro.Engine = EngineRevised
+		rsol, rerr := p.solveLPWith(overrideLo, overrideHi, ro)
+		if rerr != nil {
+			panic(fmt.Sprintf("lp: batch crosscheck: batch converged but simplex failed: %v (%d vars, %d cons)",
+				rerr, len(p.vars), len(p.cons)))
+		}
+		scale := 1.0
+		for _, c := range p.cons {
+			if a := math.Abs(c.RHS); a > scale {
+				scale = a
+			}
+		}
+		tol := 1e-4 * (scale + math.Abs(rsol.Objective))
+		if d := math.Abs(sol.Objective - rsol.Objective); d > tol {
+			panic(fmt.Sprintf("lp: batch crosscheck objective mismatch: batch=%.12g revised=%.12g diff=%g (%d vars, %d cons)",
+				sol.Objective, rsol.Objective, d, len(p.vars), len(p.cons)))
+		}
+	}
+	return sol, nil
+}
+
+// batchForm lowers the Problem (with optional bound overrides) into
+// the batch package's GE/EQ normal form, one single-row block per
+// constraint. The returned sign vector maps internal GE duals back to
+// user-sense rows (-1 for rows the lowering negated). Callers that
+// can expose block structure (bate's scheduling assembly) build their
+// Form directly instead of going through here.
+func (p *Problem) batchForm(overrideLo, overrideHi []float64) (*batch.Form, []float64) {
+	b := batch.NewBuilder(len(p.vars))
+	for j, v := range p.vars {
+		lo, hi := v.lower, v.upper
+		if overrideLo != nil {
+			lo = overrideLo[j]
+		}
+		if overrideHi != nil {
+			hi = overrideHi[j]
+		}
+		b.SetBounds(j, lo, hi)
+		cost := v.cost
+		if p.maximize {
+			cost = -cost
+		}
+		b.SetCost(j, cost)
+	}
+	senses := make([]float64, len(p.cons))
+	cols := make([]int, 0, 16)
+	vals := make([]float64, 0, 16)
+	for ci, c := range p.cons {
+		cols = cols[:0]
+		vals = vals[:0]
+		// Duplicate variables within one constraint are summed, like
+		// the simplex lowering does.
+		idx := make(map[VarID]int, len(c.Terms))
+		for _, t := range c.Terms {
+			if k, ok := idx[t.Var]; ok {
+				vals[k] += t.Coef
+				continue
+			}
+			idx[t.Var] = len(cols)
+			cols = append(cols, int(t.Var))
+			vals = append(vals, t.Coef)
+		}
+		switch c.Op {
+		case LE:
+			b.AddRowLE(cols, vals, c.RHS)
+			senses[ci] = -1
+		case GE:
+			b.AddRow(batch.GE, cols, vals, c.RHS)
+			senses[ci] = 1
+		case EQ:
+			b.AddRow(batch.EQ, cols, vals, c.RHS)
+			senses[ci] = 1
+		}
+	}
+	return b.Build(), senses
+}

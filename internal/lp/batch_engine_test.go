@@ -1,0 +1,178 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for test problem data.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(*l>>11) / float64(1<<53)
+}
+
+// randomCoverLP builds a feasible, bounded covering-style LP: boxed
+// nonnegative variables, GE rows with nonnegative coefficients and
+// RHS set to a fraction of each row's maximum activity, plus a few LE
+// budget rows. The shape resembles the scheduling LP (covering rows
+// against capacity rows).
+func randomCoverLP(nVars, nRows int, seed uint64) *Problem {
+	r := lcg(seed)
+	p := NewProblem()
+	for j := 0; j < nVars; j++ {
+		p.AddVariable(fmt.Sprintf("x%d", j), 0, 1+4*r.next(), 0.5+r.next())
+	}
+	for i := 0; i < nRows; i++ {
+		var terms []Term
+		maxAct := 0.0
+		for j := 0; j < nVars; j++ {
+			if r.next() < 0.3 {
+				c := 0.5 + r.next()
+				terms = append(terms, Term{Var: VarID(j), Coef: c})
+				maxAct += c * p.vars[j].upper
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{Var: VarID(i % nVars), Coef: 1})
+			maxAct = p.vars[i%nVars].upper
+		}
+		p.AddConstraint(Constraint{Terms: terms, Op: GE, RHS: 0.3 * maxAct})
+	}
+	// A few loose LE budget rows keep some duals negative.
+	for i := 0; i < nRows/10+1; i++ {
+		var terms []Term
+		for j := 0; j < nVars; j += 3 {
+			terms = append(terms, Term{Var: VarID(j), Coef: 1})
+		}
+		ub := 0.0
+		for _, t := range terms {
+			ub += p.vars[t.Var].upper
+		}
+		p.AddConstraint(Constraint{Terms: terms, Op: LE, RHS: 0.9 * ub})
+	}
+	return p
+}
+
+func TestBatchMatchesRevisedObjective(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		p := randomCoverLP(40, 60, seed*0x9E3779B97F4A7C15)
+		rsol, err := p.SolveOpts(Options{Engine: EngineRevised})
+		if err != nil {
+			t.Fatalf("seed %d: revised: %v", seed, err)
+		}
+		bsol, err := p.SolveOpts(Options{Engine: EngineBatch, BatchMinRows: 1})
+		if err != nil {
+			t.Fatalf("seed %d: batch: %v", seed, err)
+		}
+		tol := 1e-4 * (1 + math.Abs(rsol.Objective))
+		if d := math.Abs(bsol.Objective - rsol.Objective); d > tol {
+			t.Fatalf("seed %d: batch obj %.9g vs revised %.9g (diff %g > tol %g)",
+				seed, bsol.Objective, rsol.Objective, d, tol)
+		}
+	}
+}
+
+func TestBatchSmallInstanceIdenticalToRevised(t *testing.T) {
+	// Below the row threshold EngineBatch must be the revised solve,
+	// bit for bit.
+	p := randomCoverLP(12, 10, 42)
+	rsol, err := p.SolveOpts(Options{Engine: EngineRevised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsol, err := p.SolveOpts(Options{Engine: EngineBatch}) // 11 rows < DefaultBatchMinRows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rsol.Values(), bsol.Values()) {
+		t.Fatalf("values differ:\nrevised: %v\nbatch:   %v", rsol.Values(), bsol.Values())
+	}
+	if rsol.Objective != bsol.Objective {
+		t.Fatalf("objective differs: %v vs %v", rsol.Objective, bsol.Objective)
+	}
+}
+
+func TestBatchDualSigns(t *testing.T) {
+	// min 2x s.t. x >= 3 → GE dual = 2; budget x <= 10 slack → dual 0.
+	p := NewProblem()
+	x := p.AddVariable("x", 0, math.Inf(1), 2)
+	p.AddConstraint(Constraint{Terms: []Term{{Var: x, Coef: 1}}, Op: GE, RHS: 3})
+	p.AddConstraint(Constraint{Terms: []Term{{Var: x, Coef: 1}}, Op: LE, RHS: 10})
+	sol, err := p.SolveOpts(Options{Engine: EngineBatch, BatchMinRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Dual(0)-2) > 1e-3 {
+		t.Fatalf("GE dual %g, want 2", sol.Dual(0))
+	}
+	if math.Abs(sol.Dual(1)) > 1e-3 {
+		t.Fatalf("slack LE dual %g, want 0", sol.Dual(1))
+	}
+}
+
+func TestBatchInfeasibleFallsBack(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 1, 1)
+	p.AddConstraint(Constraint{Terms: []Term{{Var: x, Coef: 1}}, Op: GE, RHS: 2})
+	_, err := p.SolveOpts(Options{Engine: EngineBatch, BatchMinRows: 1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestCancelAbortsRevised(t *testing.T) {
+	p := randomCoverLP(40, 60, 7)
+	canceled := errors.New("deadline")
+	sol, err := p.SolveOpts(Options{Engine: EngineRevised, Cancel: func() error { return canceled }})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if sol.Status != Aborted {
+		t.Fatalf("status %v, want Aborted", sol.Status)
+	}
+}
+
+func TestCancelAbortsBatch(t *testing.T) {
+	p := randomCoverLP(40, 60, 8)
+	sol, err := p.SolveOpts(Options{
+		Engine: EngineBatch, BatchMinRows: 1,
+		Cancel: func() error { return errors.New("stop") },
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if sol.Status != Aborted {
+		t.Fatalf("status %v, want Aborted", sol.Status)
+	}
+}
+
+func TestCancelAbortsMILP(t *testing.T) {
+	// A MILP whose node relaxation aborts must surface Aborted, not a
+	// silently pruned "infeasible".
+	p := NewProblem()
+	p.SetMaximize()
+	for j := 0; j < 8; j++ {
+		p.AddBinary(fmt.Sprintf("b%d", j), 1)
+	}
+	var terms []Term
+	for j := 0; j < 8; j++ {
+		terms = append(terms, Term{Var: VarID(j), Coef: 1})
+	}
+	p.AddConstraint(Constraint{Terms: terms, Op: LE, RHS: 3})
+	_, err := p.SolveOpts(Options{Engine: EngineRevised, Cancel: func() error { return errors.New("stop") }})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+}
+
+func TestCancelNilNeverAborts(t *testing.T) {
+	p := randomCoverLP(20, 30, 9)
+	if _, err := p.SolveOpts(Options{Engine: EngineRevised}); err != nil {
+		t.Fatalf("nil Cancel must not abort: %v", err)
+	}
+}

@@ -15,10 +15,16 @@ type Engine int8
 // which case only the revised engine can use it. EngineRevised is the
 // sparse revised simplex: it touches only matrix nonzeros, handles
 // bounds without materializing bound rows, and supports warm starts.
+// EngineBatch is the first-order (restarted PDHG) batch solver in
+// lp/batch: above Options.BatchMinRows it iterates matrix-vector
+// products instead of pivoting, below it routes to the revised simplex
+// unchanged, and on non-convergence it transparently falls back to
+// the revised simplex.
 const (
 	EngineAuto Engine = iota
 	EngineDense
 	EngineRevised
+	EngineBatch
 )
 
 func (e Engine) String() string {
@@ -29,6 +35,8 @@ func (e Engine) String() string {
 		return "dense"
 	case EngineRevised:
 		return "revised"
+	case EngineBatch:
+		return "batch"
 	}
 	return "?"
 }
@@ -65,6 +73,9 @@ func crosscheckOn() bool {
 // node lands here and dispatches on the resolved engine.
 func (p *Problem) solveLPWith(overrideLo, overrideHi []float64, opts Options) (*Solution, error) {
 	eng := opts.Engine.resolve(opts.Warm)
+	if eng == EngineBatch {
+		return p.solveLPBatch(overrideLo, overrideHi, opts)
+	}
 	if crosscheckOn() {
 		return p.solveLPCrosscheck(overrideLo, overrideHi, opts, eng)
 	}
@@ -112,6 +123,7 @@ func (p *Problem) solveLPRevised(overrideLo, overrideHi []float64, opts Options)
 		return &Solution{Status: Infeasible}, ErrInfeasible
 	}
 	r.rule = opts.Pivot
+	r.cancel = opts.Cancel
 	var st Status
 	warmUsed := false
 	if opts.Warm != nil && opts.Warm.matches(p) && r.initWarm(opts.Warm) {
@@ -131,6 +143,7 @@ func (p *Problem) solveLPRevised(overrideLo, overrideHi []float64, opts Options)
 		prior := r.pivots
 		r, _ = newRevisedBase(p, overrideLo, overrideHi)
 		r.rule = opts.Pivot
+		r.cancel = opts.Cancel
 		r.pivots = prior // keep the count monotone across the restart
 		r.initCold()
 		st = r.run()
@@ -142,6 +155,9 @@ func (p *Problem) solveLPRevised(overrideLo, overrideHi []float64, opts Options)
 		return sol, ErrInfeasible
 	case Unbounded:
 		return sol, ErrUnbounded
+	case Aborted:
+		abortsCtr.Inc()
+		return sol, ErrAborted
 	case IterLimit:
 		if r.pivots < maxPivots {
 			// Numerical bail (singular refactorization), not a genuine
@@ -164,7 +180,8 @@ func (p *Problem) solveLPRevised(overrideLo, overrideHi []float64, opts Options)
 func (p *Problem) solveLPCrosscheck(overrideLo, overrideHi []float64, opts Options, eng Engine) (*Solution, error) {
 	dsol, derr := p.solveLPDense(overrideLo, overrideHi, opts.Pivot)
 	rsol, rerr := p.solveLPRevised(overrideLo, overrideHi, opts)
-	if dsol.Status != IterLimit && rsol.Status != IterLimit {
+	if dsol.Status != IterLimit && rsol.Status != IterLimit &&
+		dsol.Status != Aborted && rsol.Status != Aborted {
 		if dsol.Status != rsol.Status {
 			panic(fmt.Sprintf("lp: crosscheck status mismatch: dense=%v revised=%v (%d vars, %d cons)",
 				dsol.Status, rsol.Status, len(p.vars), len(p.cons)))

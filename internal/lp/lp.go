@@ -162,6 +162,10 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+	// Aborted means Options.Cancel asked the solve to stop
+	// mid-iteration (deadline hit, chaos budget fired). The partial
+	// state is discarded; callers keep their previous allocation.
+	Aborted
 )
 
 func (s Status) String() string {
@@ -174,6 +178,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Aborted:
+		return "aborted"
 	}
 	return "unknown"
 }
@@ -213,6 +219,7 @@ var (
 	ErrInfeasible = errors.New("lp: problem is infeasible")
 	ErrUnbounded  = errors.New("lp: problem is unbounded")
 	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+	ErrAborted    = errors.New("lp: solve aborted")
 )
 
 const (
@@ -221,6 +228,11 @@ const (
 	// degenerate cycles.
 	blandThreshold = 2000
 	maxPivots      = 200000
+	// cancelCheckEvery bounds how many pivots (or first-order
+	// iterations) run between Options.Cancel polls: cheap enough to be
+	// free, frequent enough that a deadline abort lands within
+	// microseconds of firing.
+	cancelCheckEvery = 64
 )
 
 // Solve solves the problem. Integral variables are honoured via branch

@@ -56,7 +56,13 @@ func (p *Problem) solveMILPOpts(opts Options) (*Solution, error) {
 		hitLimit     bool
 	)
 	eng := opts.Engine.resolve(opts.Warm)
-	nodeOpts := Options{Pivot: opts.Pivot, Engine: eng}
+	if eng == EngineBatch {
+		// Branch & bound needs exact vertex solutions and warm-startable
+		// bases; the first-order engine provides neither. Node
+		// relaxations always use the revised simplex.
+		eng = EngineRevised
+	}
+	nodeOpts := Options{Pivot: opts.Pivot, Engine: eng, Cancel: opts.Cancel}
 	stack := []bbNode{{lo: rootLo, hi: rootHi, warm: opts.Warm}}
 	for len(stack) > 0 {
 		if nodes >= maxNodes {
@@ -76,6 +82,17 @@ func (p *Problem) solveMILPOpts(opts Options) (*Solution, error) {
 				// unbounded (or the formulation is broken); deeper nodes
 				// cannot be unbounded if the root was not.
 				return &Solution{Status: Unbounded, Nodes: nodes, Iterations: pivots}, ErrUnbounded
+			}
+			if relax.Status == Aborted {
+				// A deadline/budget abort is not an infeasible branch:
+				// pruning here would silently return a wrong "optimal".
+				// Surface the best incumbent so far as aborted.
+				sol := &Solution{Status: Aborted, Nodes: nodes, Iterations: pivots}
+				if incumbent != nil {
+					sol.Objective = incumbent.Objective
+					sol.values = incumbent.values
+				}
+				return sol, ErrAborted
 			}
 			continue // infeasible branch
 		}

@@ -51,6 +51,7 @@ type revised struct {
 	sinceRefactor int
 	rule          PivotRule
 	pivots        int
+	cancel        func() error
 
 	// dense scratch vectors, all length m
 	work, work2, y []float64
@@ -333,11 +334,20 @@ func (r *revised) price(bland bool) (int, float64) {
 	return enter, sigma
 }
 
+// aborted polls the caller's cancel hook on a pivot-count cadence so
+// deadline and chaos-budget aborts land mid-iteration.
+func (r *revised) aborted() bool {
+	return r.cancel != nil && r.pivots%cancelCheckEvery == 0 && r.cancel() != nil
+}
+
 // primal runs bounded primal simplex iterations to optimality.
 func (r *revised) primal(phase1 bool) Status {
 	for {
 		if r.pivots >= maxPivots {
 			return IterLimit
+		}
+		if r.aborted() {
+			return Aborted
 		}
 		bland := r.rule == Bland || (r.rule != Dantzig && r.pivots >= blandThreshold)
 		r.computeY()
@@ -581,6 +591,9 @@ func (r *revised) dualSimplex() Status {
 	for {
 		if r.pivots >= maxPivots {
 			return IterLimit
+		}
+		if r.aborted() {
+			return Aborted
 		}
 		leave := -1
 		worst := feasTol
