@@ -12,6 +12,7 @@ import (
 	"bate/internal/metrics"
 	"bate/internal/parallel"
 	"bate/internal/scenario"
+	"bate/internal/topo"
 )
 
 // The batched matrix-form scheduling path: instead of lowering Eq. 7
@@ -63,18 +64,48 @@ const (
 	// 3x headroom so timing jitter in the restart schedule can't tip a
 	// production round into the simplex fallback.
 	batchMaxIters = 75000
+	// batchDualTol is the relative inexactness budget a batch-solved
+	// subproblem reports to the partition stitcher alongside its
+	// objective and capacity duals: the certified duality-gap and
+	// dual-residual tolerances plus the largest relative objective
+	// shift polishing can add. The stitching lower bound widens by
+	// this factor instead of consuming first-order duals as exact.
+	batchDualTol = batchEpsGap + batchEpsDual + 0.9*batchCapMargin
 )
 
-// scheduleBatch runs one batched matrix-form scheduling round.
-// handled=false means the round should be (re)solved on the simplex
-// path: the instance is under the size threshold, the first-order
-// solve did not converge, or polishing could not certify feasibility.
-// handled=true with a non-nil error is a real abort (Cancel fired).
+// scheduleBatch runs one batched matrix-form scheduling round at
+// full capacities. handled=false means the round should be
+// (re)solved on the simplex path: the instance is under the size
+// threshold, the first-order solve did not converge, or polishing
+// could not certify feasibility. handled=true with a non-nil error
+// is a real abort (Cancel fired).
 func scheduleBatch(in *alloc.Input, opts ScheduleOptions, stats *ScheduleStats) (alloc.Allocation, bool, error) {
+	a, _, _, handled, err := scheduleBatchCaps(in, alloc.FullCapacities(in), opts, stats, false)
+	return a, handled, err
+}
+
+// scheduleBatchCaps is the batched round against caller-chosen
+// per-link capacities — full capacities for a global round, residual
+// capacities for a partition region sub-solve. Accepted solutions
+// pass the same gate in either case: capacity shave at assembly,
+// feasibility polish, and a load check against caps. When wantDuals
+// is set it also returns each link's capacity-row dual in the revised
+// engine's convention (≤ 0 for the minimization) plus the polished
+// objective value; callers consuming those must budget for
+// batchDualTol relative inexactness.
+func scheduleBatchCaps(in *alloc.Input, caps []float64, opts ScheduleOptions, stats *ScheduleStats, wantDuals bool) (alloc.Allocation, map[topo.LinkID]float64, float64, bool, error) {
 	targeted := make([]*demand.Demand, 0, len(in.Demands))
 	for _, d := range in.Demands {
 		if d.Target > 0 {
 			targeted = append(targeted, d)
+		}
+		// A positive-bandwidth pair with no tunnels has no batch-form
+		// row (the blocked layout cannot express 0 ≥ bw); the simplex
+		// delivers the exact infeasibility verdict.
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth > 0 && len(in.TunnelsFor(d, pi)) == 0 {
+				return nil, nil, 0, false, nil
+			}
 		}
 	}
 	classes := make([][]scenario.Class, len(targeted))
@@ -89,7 +120,7 @@ func scheduleBatch(in *alloc.Input, opts ScheduleOptions, stats *ScheduleStats) 
 		return nil
 	})
 	if err != nil {
-		return nil, true, err
+		return nil, nil, 0, true, err
 	}
 	if stats != nil {
 		// Re-consult the cache serially for hit accounting (all warm now).
@@ -103,14 +134,14 @@ func scheduleBatch(in *alloc.Input, opts ScheduleOptions, stats *ScheduleStats) 
 		}
 	}
 
-	f, flowCol, _ := assembleScheduleForm(in, targeted, classes, alloc.FullCapacities(in))
+	f, flowCol, bCol0, capRow := assembleScheduleForm(in, targeted, classes, caps)
 	minRows := opts.BatchMinRows
 	if minRows <= 0 {
 		minRows = lp.DefaultBatchMinRows
 	}
 	if f.NumRows < minRows {
 		batchSmallSkip.Inc()
-		return nil, false, nil
+		return nil, nil, 0, false, nil
 	}
 	batchRounds.Inc()
 	res := batch.Solve(f, batch.Options{
@@ -125,24 +156,54 @@ func scheduleBatch(in *alloc.Input, opts ScheduleOptions, stats *ScheduleStats) 
 	}
 	switch res.Status {
 	case batch.Aborted:
-		return nil, true, fmt.Errorf("bate: schedule: %w", lp.ErrAborted)
+		return nil, nil, 0, true, fmt.Errorf("bate: schedule: %w", lp.ErrAborted)
 	case batch.IterLimit:
 		batchFellBack.Inc()
-		return nil, false, nil
+		return nil, nil, 0, false, nil
 	}
 
 	a := extractBatchAlloc(in, flowCol, res.X)
 	if !polishBatchAlloc(in, targeted, classes, a) {
 		batchFellBack.Inc()
-		return nil, false, nil
+		return nil, nil, 0, false, nil
 	}
-	// Half the verification tolerance used by the property tests, so a
-	// polished round can never be within rounding of their threshold.
-	if a.CheckCapacity(in, 5e-7) != nil {
-		batchFellBack.Inc()
-		return nil, false, nil
+	// Check the polished loads against the solve's own capacities (the
+	// residual capacities for a region sub-solve, where links may hold
+	// far less than their physical capacity). Half the verification
+	// tolerance used by the property tests, so a polished round can
+	// never be within rounding of their threshold.
+	loads := a.LinkLoads(in)
+	for l, c := range caps {
+		if loads[l] > c+5e-7 {
+			batchFellBack.Inc()
+			return nil, nil, 0, false, nil
+		}
 	}
-	return a, true, nil
+	var duals map[topo.LinkID]float64
+	obj := 0.0
+	if wantDuals {
+		// Capacity rows were lowered LE→GE (negated), so the user-sense
+		// dual of link e's row is -Y[row] — same convention as the
+		// revised engine's Solution.Dual on a minimization.
+		duals = make(map[topo.LinkID]float64, len(capRow))
+		for e, row := range capRow {
+			duals[e] = -res.Y[row]
+		}
+		// Objective of the *polished* point: unit cost on every flow,
+		// the assembly's tie-break costs on the B columns (whose values
+		// polishing never moves).
+		for _, rows := range a {
+			for _, r := range rows {
+				for _, fl := range r {
+					obj += fl
+				}
+			}
+		}
+		for j := bCol0; j < f.NumCols; j++ {
+			obj += f.C[j] * res.X[j]
+		}
+	}
+	return a, duals, obj, true, nil
 }
 
 // assembleScheduleForm lowers the Eq. 7 scheduling LP into the
@@ -153,8 +214,9 @@ func scheduleBatch(in *alloc.Input, opts ScheduleOptions, stats *ScheduleStats) 
 // column pattern per block, each class row carrying its own B column
 // as the scattered extra entry — plus the Σ p·B ≥ β row per demand.
 // It returns the form, the flow column index per (demand id, pair,
-// tunnel), and the first B column.
-func assembleScheduleForm(in *alloc.Input, targeted []*demand.Demand, classes [][]scenario.Class, caps []float64) (*batch.Form, map[int][][]int, int) {
+// tunnel), the first B column, and each link's capacity-row index
+// (links no tunnel rides have no row and are absent).
+func assembleScheduleForm(in *alloc.Input, targeted []*demand.Demand, classes [][]scenario.Class, caps []float64) (*batch.Form, map[int][][]int, int, map[topo.LinkID]int) {
 	// Column layout.
 	nFlow := 0
 	flowCol := make(map[int][][]int, len(in.Demands))
@@ -196,6 +258,7 @@ func assembleScheduleForm(in *alloc.Input, targeted []*demand.Demand, classes []
 
 	// Capacity rows, shaved by the polish margin.
 	ones := make([]float64, 0, 64)
+	capRow := make(map[topo.LinkID]int)
 	for _, l := range in.Net.Links() {
 		cols := linkCols[l.ID]
 		if len(cols) == 0 {
@@ -204,7 +267,7 @@ func assembleScheduleForm(in *alloc.Input, targeted []*demand.Demand, classes []
 		for len(ones) < len(cols) {
 			ones = append(ones, 1)
 		}
-		b.AddRowLE(cols, ones[:len(cols)], caps[l.ID]*(1-batchCapMargin))
+		capRow[l.ID] = b.AddRowLE(cols, ones[:len(cols)], caps[l.ID]*(1-batchCapMargin))
 	}
 	// Eq. 1 demand rows.
 	for _, d := range in.Demands {
@@ -256,7 +319,7 @@ func assembleScheduleForm(in *alloc.Input, targeted []*demand.Demand, classes []
 		b.AddRow(batch.GE, availCols, probs, d.Target)
 		bc += nc
 	}
-	return b.Build(), flowCol, bCol0
+	return b.Build(), flowCol, bCol0, capRow
 }
 
 // extractBatchAlloc reads the flow columns into an Allocation,

@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"bate/internal/alloc"
+	"bate/internal/demand"
 	"bate/internal/lp"
+	"bate/internal/partition"
 	"bate/internal/routing"
 	"bate/internal/topo"
 )
@@ -107,6 +109,101 @@ func TestBatchScheduleSmallIdenticalToRevised(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ref, got) {
 		t.Fatal("small-instance batch allocation differs from the revised solve")
+	}
+}
+
+// TestBatchPartitionedScheduleFeasible: a partitioned round whose
+// region sub-solves run on the batch engine must pass the same
+// acceptance gate as the global batch path — the merged allocation
+// never violates a link capacity and every availability target holds,
+// with the region solves checked against their *residual* capacities
+// (the coordination solve's traffic already on the links).
+func TestBatchPartitionedScheduleFeasible(t *testing.T) {
+	net := topo.RingOfRegions("BP3", 3, 6, 40000, 20000, 13)
+	tunnels := routing.Compute(net, routing.KShortest, 3)
+	name := func(s string) topo.NodeID {
+		id, ok := net.NodeByName(s)
+		if !ok {
+			t.Fatalf("no node %s", s)
+		}
+		return id
+	}
+	var ds []*demand.Demand
+	for r := 1; r <= 3; r++ {
+		ds = append(ds, &demand.Demand{
+			ID: r - 1,
+			Pairs: []demand.PairDemand{{
+				Src: name(fmt.Sprintf("R%dN1", r)), Dst: name(fmt.Sprintf("R%dN4", r)), Bandwidth: 200}},
+			Target: 0.9,
+		})
+	}
+	ds = append(ds, &demand.Demand{
+		ID:     3,
+		Pairs:  []demand.PairDemand{{Src: name("R1N2"), Dst: name("R2N5"), Bandwidth: 150}},
+		Target: 0.9,
+	})
+	in := &alloc.Input{Net: net, Tunnels: tunnels, Demands: ds}
+	global, _, err := Schedule(in, ScheduleOptions{MaxFail: 2, Engine: lp.EngineRevised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds0 := batchRounds.Load()
+	a, stats, err := Schedule(in, ScheduleOptions{
+		MaxFail: 2, Engine: lp.EngineBatch, BatchMinRows: 1,
+		Partition: &partition.Options{Regions: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchRounds.Load() == rounds0 {
+		t.Fatal("no sub-solve took the batch path (BatchMinRows=1 should force it)")
+	}
+	if err := a.CheckCapacity(in, 1e-6); err != nil {
+		t.Fatalf("partitioned batch round violates capacity: %v", err)
+	}
+	for _, d := range ds {
+		av, err := alloc.RelaxedAvailability(in, a, d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if av < d.Target-1e-6 {
+			t.Fatalf("demand %d availability %.6f < %.6f", d.ID, av, d.Target)
+		}
+	}
+	// Whether the round partitioned or fell back, the objective must
+	// stay within the gap threshold of the global optimum.
+	gTotal, pTotal := global.Total(), a.Total()
+	if maxTotal := gTotal*(1+partition.DefaultGapThreshold) + 1e-3*gTotal + 1e-6; pTotal > maxTotal {
+		t.Fatalf("objective %.3f above %.3f (global %.3f, partitioned=%v, bound %.4f)",
+			pTotal, maxTotal, gTotal, stats.Partitioned, stats.GapBound)
+	}
+}
+
+// TestBatchEnumeratedModeUsesSimplex: the batch assembly only exists
+// for the Aggregated mode; an Enumerated-mode round requesting
+// EngineBatch must re-solve on the revised simplex (never the generic
+// ungated lowering), producing the exact simplex allocation.
+func TestBatchEnumeratedModeUsesSimplex(t *testing.T) {
+	net, err := topo.ByName("B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	in := &alloc.Input{
+		Net:     net,
+		Tunnels: routing.Compute(net, routing.KShortest, 3),
+		Demands: partitionTestWorkload(net, 4, rng),
+	}
+	ref, _, err := Schedule(in, ScheduleOptions{MaxFail: 1, Mode: Enumerated, Engine: lp.EngineRevised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Schedule(in, ScheduleOptions{MaxFail: 1, Mode: Enumerated, Engine: lp.EngineBatch, BatchMinRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("enumerated-mode batch request differs from the revised solve")
 	}
 }
 

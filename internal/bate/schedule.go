@@ -195,22 +195,28 @@ func scheduleWarm(in *alloc.Input, opts ScheduleOptions, warm *lp.Basis, basisOu
 			return nil, nil, fmt.Errorf("bate: partitioned schedule: %w", err)
 		}
 	}
-	if opts.Engine == lp.EngineBatch && opts.Mode == Aggregated {
-		stats := &ScheduleStats{PoolWorkers: parallel.Default().Size(), PartitionFallback: fellBack}
-		a, handled, err := scheduleBatch(in, opts, stats)
-		if handled {
-			if err != nil {
-				return nil, stats, err
+	if opts.Engine == lp.EngineBatch {
+		if opts.Mode == Aggregated {
+			stats := &ScheduleStats{PoolWorkers: parallel.Default().Size(), PartitionFallback: fellBack}
+			a, handled, err := scheduleBatch(in, opts, stats)
+			if handled {
+				if err != nil {
+					return nil, stats, err
+				}
+				schedules.Inc()
+				stats.Elapsed = time.Since(start)
+				if basisOut != nil {
+					*basisOut = nil // first-order solves carry no basis
+				}
+				return a, stats, nil
 			}
-			schedules.Inc()
-			stats.Elapsed = time.Since(start)
-			if basisOut != nil {
-				*basisOut = nil // first-order solves carry no basis
-			}
-			return a, stats, nil
 		}
-		// Too small or unconverged: the simplex path below decides the
-		// round, exactly as if EngineRevised had been requested.
+		// Any round the batched path did not fully serve — a
+		// non-Aggregated mode (no batch assembly exists for it), a
+		// too-small instance, or an unconverged/unpolishable solve —
+		// re-solves on the revised simplex. The generic EngineBatch
+		// lowering in package lp has no shave/polish acceptance gate,
+		// so scheduling rounds must never reach it.
 		opts.Engine = lp.EngineRevised
 	}
 	p := lp.NewProblem()
@@ -289,23 +295,46 @@ func buildScheduleLP(p *lp.Problem, in *alloc.Input, opts ScheduleOptions, caps 
 // subSolver adapts the scheduling-LP formulation to the partition
 // package's SubSolver callback: one subproblem is the same LP over a
 // demand subset with caller-chosen capacities, solved on the revised
-// engine so region bases warm-start across rounds — or, when the
-// round opted into lp.EngineBatch, on the batch engine, whose
-// first-order duals still feed the stitching gap bound (sub-threshold
-// regions quietly stay on the simplex).
+// engine so region bases warm-start across rounds. When the round
+// opted into lp.EngineBatch, large subproblems go through the same
+// gated batch round the global path uses — capacity shave, polish,
+// and a load check against the residual capacities, falling back to
+// the simplex per region on any failure — and report batchDualTol so
+// the stitching gap bound widens for the first-order duals instead
+// of consuming them as exact (sub-threshold regions quietly stay on
+// the simplex).
 func subSolver(opts ScheduleOptions) partition.SubSolver {
-	eng := lp.EngineRevised
-	if opts.Engine == lp.EngineBatch {
-		eng = lp.EngineBatch
-	}
+	useBatch := opts.Engine == lp.EngineBatch && opts.Mode == Aggregated
 	return func(sub *alloc.Input, caps []float64, warm *lp.Basis) (*partition.SubResult, error) {
+		if useBatch {
+			bstats := &ScheduleStats{}
+			a, duals, obj, handled, err := scheduleBatchCaps(sub, caps, opts, bstats, true)
+			if err != nil {
+				return nil, err
+			}
+			if handled {
+				return &partition.SubResult{
+					Alloc:            a,
+					Objective:        obj,
+					CapDuals:         duals,
+					DualTol:          batchDualTol,
+					Variables:        bstats.Variables,
+					Constraints:      bstats.Constraints,
+					Iterations:       bstats.Iterations,
+					ClassCacheHits:   bstats.ClassCacheHits,
+					ClassCacheMisses: bstats.ClassCacheMisses,
+				}, nil
+			}
+			// Sub-threshold, unconverged or unpolishable: this region
+			// re-solves exactly on the revised simplex below.
+		}
 		p := lp.NewProblem()
 		stats := &ScheduleStats{}
 		fv, capIdx, err := buildScheduleLP(p, sub, opts, caps, stats)
 		if err != nil {
 			return nil, err
 		}
-		sol, err := p.SolveOpts(lp.Options{Engine: eng, Warm: warm, Cancel: opts.Cancel, BatchMinRows: opts.BatchMinRows})
+		sol, err := p.SolveOpts(lp.Options{Engine: lp.EngineRevised, Warm: warm, Cancel: opts.Cancel})
 		if err != nil {
 			return nil, err
 		}
@@ -547,6 +576,11 @@ func LinkPrices(in *alloc.Input, opts ScheduleOptions) (map[topo.LinkID]float64,
 	}
 	p := lp.NewProblem()
 	opts.Mode = Aggregated
+	if opts.Engine == lp.EngineBatch {
+		// Shadow prices are capacity-row duals; first-order duals are
+		// only eps-approximate, so price queries stay on the simplex.
+		opts.Engine = lp.EngineRevised
+	}
 	_, capIdx, err := buildScheduleLP(p, in, opts, alloc.FullCapacities(in), nil)
 	if err != nil {
 		return nil, err

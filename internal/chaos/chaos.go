@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bate/internal/metrics"
@@ -181,10 +182,13 @@ func (s *SolverBudget) PivotWatcher(op string) func() error {
 	if !everyNth(idx, s.cfg.MidSolveEveryN) {
 		return nil
 	}
-	fired := false
+	// One closure may be polled from several goroutines at once (the
+	// partitioned path hands the same Cancel to every concurrent
+	// region sub-solve), so the one-shot metric increment must be
+	// atomic.
+	var fired atomic.Bool
 	return func() error {
-		if !fired {
-			fired = true
+		if fired.CompareAndSwap(false, true) {
 			mSolverDenials.Inc()
 		}
 		return fmt.Errorf("mid-solve budget exhausted for %s (solve %d): %w", op, idx, ErrInjected)

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -147,6 +148,39 @@ func TestSolverBudgetPivotWatcher(t *testing.T) {
 	}
 	if sb.Calls("mid:schedule") != 9 || sb.Calls("schedule") != 1 {
 		t.Fatalf("calls = %d/%d, want 9/1", sb.Calls("mid:schedule"), sb.Calls("schedule"))
+	}
+}
+
+// TestPivotWatcherConcurrentPolls: the partitioned scheduling path
+// hands one watcher closure to every concurrent region sub-solve, so
+// polling it from several goroutines must be race-free (run under
+// -race) and must increment the denial metric exactly once.
+func TestPivotWatcherConcurrentPolls(t *testing.T) {
+	sb := NewSolverBudget(SolverConfig{MidSolveEveryN: 2})
+	var cancel func() error
+	for i := 0; i < 4 && cancel == nil; i++ {
+		cancel = sb.PivotWatcher("schedule")
+	}
+	if cancel == nil {
+		t.Fatal("no doomed solve in 4 ordinals with MidSolveEveryN=2")
+	}
+	before := mSolverDenials.Load()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for poll := 0; poll < 100; poll++ {
+				if cancel() == nil {
+					t.Error("doomed solve not denied")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := mSolverDenials.Load() - before; got != 1 {
+		t.Fatalf("denial metric advanced by %d, want 1", got)
 	}
 }
 

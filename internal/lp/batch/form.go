@@ -147,6 +147,13 @@ func (b *Builder) checkCols(cols []int) {
 // AddRow appends a single row with the given sense; it is a 1-row
 // block. Returns the global row index.
 func (b *Builder) AddRow(sense Sense, cols []int, vals []float64, rhs float64) int {
+	if len(cols) == 0 {
+		// The kernels derive a block's row count as len(Vals)/len(Cols);
+		// a zero-width row would divide by zero there. Callers must
+		// keep vacuous rows out of the form (lp.solveLPBatch routes
+		// problems containing one to the simplex instead).
+		panic("batch: AddRow: empty column pattern")
+	}
 	if len(cols) != len(vals) {
 		panic("batch: AddRow: len(cols) != len(vals)")
 	}

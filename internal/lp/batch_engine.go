@@ -47,6 +47,18 @@ func (p *Problem) solveLPBatch(overrideLo, overrideHi []float64, opts Options) (
 		ro.Engine = EngineRevised
 		return p.solveLPWith(overrideLo, overrideHi, ro)
 	}
+	// The blocked form cannot represent a row with no columns (a
+	// constraint whose term list is empty — vacuously feasible or
+	// trivially infeasible depending on the RHS); the simplex lowering
+	// handles those exactly, so such problems bypass the batch solver.
+	for _, c := range p.cons {
+		if len(c.Terms) == 0 {
+			batchFallbacks.Inc()
+			ro := opts
+			ro.Engine = EngineRevised
+			return p.solveLPWith(overrideLo, overrideHi, ro)
+		}
+	}
 	batchSolves.Inc()
 	f, senses := p.batchForm(overrideLo, overrideHi)
 	res := batch.Solve(f, batch.Options{Cancel: opts.Cancel})

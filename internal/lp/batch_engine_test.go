@@ -125,6 +125,26 @@ func TestBatchInfeasibleFallsBack(t *testing.T) {
 	}
 }
 
+func TestBatchEmptyConstraintFallsBack(t *testing.T) {
+	// A constraint with no terms cannot lower into the blocked form (a
+	// zero-width block would divide by zero in the kernels), so
+	// EngineBatch must route the whole problem to the simplex, which
+	// handles the vacuous row exactly.
+	p := randomCoverLP(40, 60, 10)
+	p.AddConstraint(Constraint{Op: GE, RHS: 0}) // vacuous 0 >= 0
+	rsol, err := p.SolveOpts(Options{Engine: EngineRevised})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsol, err := p.SolveOpts(Options{Engine: EngineBatch, BatchMinRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rsol.Values(), bsol.Values()) {
+		t.Fatal("empty-row problem must take the simplex path bit for bit")
+	}
+}
+
 func TestCancelAbortsRevised(t *testing.T) {
 	p := randomCoverLP(40, 60, 7)
 	canceled := errors.New("deadline")
