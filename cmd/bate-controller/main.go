@@ -52,6 +52,7 @@ func main() {
 	shedPrio := flag.String("shed-priority", "submit", "overload protection: least-critical class the gate may shed — submit (sheds submits and status polls) or status (sheds only status polls); withdrawals and link events are never shed (with -max-inflight)")
 	rateLimit := flag.Float64("rate-limit", 0, "overload protection: per-client token-bucket rate (requests/sec, 0 = unlimited; with -max-inflight)")
 	batchLP := flag.Bool("batch-lp", false, "route reschedules above the batch row threshold through the batched matrix-form first-order solver (PDHG) with a transparent simplex fallback")
+	maintenance := flag.String("maintenance", "", "planned maintenance windows as SRC-DST:START:END[:LEAD],... with durations relative to startup (e.g. DC1-DC4:5m:15m:30s); each link drains LEAD before START and returns to service at END")
 	flag.Parse()
 
 	if *procs < 0 {
@@ -116,6 +117,14 @@ func main() {
 	if *batchLP {
 		log.Printf("bate-controller: batched first-order scheduling engine enabled")
 	}
+	if *maintenance != "" {
+		windows, err := parseMaintenance(*maintenance, time.Now())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Maintenance = windows
+		log.Printf("bate-controller: %d maintenance windows scheduled", len(windows))
+	}
 	if *partitions > 1 {
 		cfg.Partition = &partition.Options{Regions: *partitions, GapThreshold: *partitionGap}
 		log.Printf("bate-controller: hierarchical scheduling over %d regions", *partitions)
@@ -152,6 +161,54 @@ func main() {
 	if err := ctrl.Serve(ctx, ln); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseMaintenance parses "-maintenance SRC-DST:START:END[:LEAD],..."
+// into maintenance windows; START/END/LEAD are Go durations measured
+// from now (controller startup).
+func parseMaintenance(s string, now time.Time) ([]controller.MaintenanceWindow, error) {
+	var out []controller.MaintenanceWindow
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("bate-controller: bad maintenance window %q (want SRC-DST:START:END[:LEAD])", part)
+		}
+		src, dst, ok := strings.Cut(fields[0], "-")
+		if !ok || src == "" || dst == "" {
+			return nil, fmt.Errorf("bate-controller: bad maintenance link %q (want SRC-DST)", fields[0])
+		}
+		start, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bate-controller: maintenance window %q: bad start: %v", part, err)
+		}
+		end, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bate-controller: maintenance window %q: bad end: %v", part, err)
+		}
+		if end <= start {
+			return nil, fmt.Errorf("bate-controller: maintenance window %q ends before it starts", part)
+		}
+		w := controller.MaintenanceWindow{
+			SrcDC: src, DstDC: dst,
+			Start: now.Add(start), End: now.Add(end),
+		}
+		if len(fields) == 4 {
+			lead, err := time.ParseDuration(fields[3])
+			if err != nil || lead < 0 {
+				return nil, fmt.Errorf("bate-controller: maintenance window %q: bad lead %q", part, fields[3])
+			}
+			w.Lead = lead
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bate-controller: -maintenance given but no windows parsed")
+	}
+	return out, nil
 }
 
 // parsePeers parses "1=host:port,2=host:port" into the election map.

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMaintenance(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	ws, err := parseMaintenance("DC1-DC4:5m:15m:30s, DC2-DC3:1h:90m", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	w := ws[0]
+	if w.SrcDC != "DC1" || w.DstDC != "DC4" {
+		t.Fatalf("link %s-%s", w.SrcDC, w.DstDC)
+	}
+	if !w.Start.Equal(now.Add(5*time.Minute)) || !w.End.Equal(now.Add(15*time.Minute)) || w.Lead != 30*time.Second {
+		t.Fatalf("window %+v", w)
+	}
+	if ws[1].Lead != 0 {
+		t.Fatalf("default lead %v", ws[1].Lead)
+	}
+
+	for _, bad := range []string{
+		"",
+		"DC1DC4:5m:15m",
+		"DC1-DC4:5m",
+		"DC1-DC4:15m:5m",
+		"DC1-DC4:x:15m",
+		"DC1-DC4:5m:15m:-1s",
+	} {
+		if _, err := parseMaintenance(bad, now); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

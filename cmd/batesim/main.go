@@ -73,6 +73,11 @@ func main() {
 	procs := flag.Int("procs", 0, "worker pool size for parallel admission/scheduling (0 = all cores)")
 	workloadIn := flag.String("workload", "", "load the workload from a JSON file instead of generating")
 	traceIn := flag.String("trace", "", "replay a link failure trace file (time mode)")
+	scenarioName := flag.String("scenario", "", "hostile scenario preset (overrides -workload/-trace/-rate and arms -audit-slo); one of: "+strings.Join(sim.ScenarioFamilies(), ", "))
+	scheduleIn := flag.String("schedule", "", "scenario schedule file (srlg/storm/maint/link lines): outages and storms feed the trace, risk groups the scheduler, maintenance windows the proactive drain (time mode)")
+	srlgFile := flag.String("srlg-file", "", "schedule file read for its srlg groups only: makes the scheduler and injector correlation-aware without scripting any outages (time mode)")
+	srlgStorm := flag.Int("srlg-storm", 0, "generate N seeded SRLG storms over the loaded risk groups (requires -schedule, -srlg-file or -scenario; time mode)")
+	auditSLO := flag.Bool("audit-slo", false, "run the online SLO auditor, print the violation breakdown and refund exposure, and fail if the offline recomputation disagrees (time mode)")
 	workloadOut := flag.String("save-workload", "", "write the generated workload to a JSON file")
 	chaosSeed := flag.Int64("chaos-seed", 0, "seeded fault injection: in time mode, generate a chaos outage trace when -trace is absent; mode 'chaos' runs the full-stack soak under this seed (0 = off)")
 	clients := flag.Int("clients", 100000, "load mode: simulated clients (one submit+withdraw each)")
@@ -129,8 +134,63 @@ func main() {
 		log.Fatal(err)
 	}
 	tunnels := routing.Compute(net0, routing.KShortest, 4)
+
+	// Assemble the failure schedule: a hostile preset, a schedule file,
+	// or an SRLG file (groups only), optionally topped with generated
+	// SRLG storms.
+	var hostile *sim.HostileScenario
+	var sched *sim.Schedule
+	if *scenarioName != "" {
+		if *workloadIn != "" || *traceIn != "" || *scheduleIn != "" || *srlgFile != "" {
+			log.Fatal("batesim: -scenario is a complete preset; drop -workload/-trace/-schedule/-srlg-file")
+		}
+		hostile, err = sim.BuildHostileScenario(*scenarioName, net0, *horizon, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched = hostile.Schedule
+		*auditSLO = true
+	} else if *scheduleIn != "" {
+		if *srlgFile != "" || *traceIn != "" {
+			log.Fatal("batesim: -schedule already scripts outages; drop -srlg-file/-trace")
+		}
+		f, err := os.Open(*scheduleIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err = sim.ParseSchedule(f, net0)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *srlgFile != "" {
+		f, err := os.Open(*srlgFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := sim.ParseSchedule(f, net0)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched = &sim.Schedule{Groups: full.Groups}
+	}
+	if *srlgStorm > 0 {
+		if sched == nil || len(sched.Groups) == 0 {
+			log.Fatal("batesim: -srlg-storm needs risk groups; supply -schedule, -srlg-file or -scenario")
+		}
+		sched.Storms = append(sched.Storms,
+			sim.GenerateSRLGStorms(sched.Groups, *seed, *horizon, *srlgStorm)...)
+		fmt.Printf("batesim: generated %d SRLG storms over %d groups\n", *srlgStorm, len(sched.Groups))
+	}
+	if (sched != nil || *auditSLO) && *mode != "time" {
+		log.Fatal("batesim: -scenario/-schedule/-srlg-file/-srlg-storm/-audit-slo apply to -mode time")
+	}
+
 	var workload []*demand.Demand
-	if *workloadIn != "" {
+	if hostile != nil {
+		workload = hostile.Workload
+	} else if *workloadIn != "" {
 		f, err := os.Open(*workloadIn)
 		if err != nil {
 			log.Fatal(err)
@@ -190,12 +250,27 @@ func main() {
 
 	switch *mode {
 	case "time":
-		res, err := sim.RunTimeSim(sim.TimeSimConfig{
+		cfg := sim.TimeSimConfig{
 			Net: net0, Tunnels: tunnels, Workload: workload,
 			HorizonSec: *horizon, ScheduleEverySec: 60,
 			TE:        sim.TEConfig{Kind: kind, MaxFail: *maxFail, Partition: popts, BatchLP: *batchLP},
 			Admission: adm, MaxFail: *maxFail, Seed: *seed, Trace: trace,
-		})
+			Audit: *auditSLO,
+		}
+		if sched != nil {
+			// Maintenance windows ride through cfg.Maintenance (drain
+			// lead + outage), so strip them before expanding the trace or
+			// they would be applied twice.
+			noMaint := *sched
+			noMaint.Maintenance = nil
+			cfg.Trace = append(cfg.Trace, noMaint.AllEvents()...)
+			cfg.RiskGroups = sched.Groups
+			cfg.TE.Groups = sched.Groups
+			cfg.Maintenance = sched.Maintenance
+			fmt.Printf("batesim: schedule: %d groups, %d storms, %d maintenance windows, %d trace events\n",
+				len(sched.Groups), len(sched.Storms), len(sched.Maintenance), len(cfg.Trace))
+		}
+		res, err := sim.RunTimeSim(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -203,6 +278,9 @@ func main() {
 		fmt.Printf("satisfaction=%.2f%% loss=%.4f%% profit=%.0f/%.0f\n",
 			res.SatisfactionRatio()*100, res.LossRatio*100, res.Profit, res.FullCharge)
 		fmt.Printf("mean admission delay=%.2fms\n", metrics.Mean(res.AdmissionDelaysSec)*1000)
+		if *auditSLO {
+			reportSLO(workload, res)
+		}
 	case "event":
 		res, err := sim.RunEventSim(sim.EventSimConfig{
 			Net: net0, Tunnels: tunnels, Workload: workload,
@@ -372,6 +450,30 @@ func runOverloadBench(topoName string, maxInflight, ramp int, shedPrio string, r
 		}
 		fmt.Printf("overload-bench gate: within ±%.0f%% of %s\n", tolerance*100, baseline)
 	}
+}
+
+// reportSLO prints the audit verdict (violations by cause, refund
+// exposure) and cross-checks the online auditor against the offline
+// recomputation — the command-line face of the zero-unnoticed-
+// violations gate. Exits non-zero when the two disagree.
+func reportSLO(workload []*demand.Demand, res *sim.TimeSimResult) {
+	violations := map[sim.ViolationCause]int{}
+	for _, r := range res.SLOReports {
+		if r.Violated {
+			violations[r.Cause]++
+		}
+	}
+	total := violations[sim.CauseOutage] + violations[sim.CauseCongestion] + violations[sim.CauseShed] + violations[sim.CauseNone]
+	fmt.Printf("slo audit: %d demands audited, %d violated (outage=%d congestion=%d shed=%d), refund exposure=%.0f\n",
+		len(res.SLOReports), total,
+		violations[sim.CauseOutage], violations[sim.CauseCongestion], violations[sim.CauseShed],
+		sim.RefundExposure(res.SLOReports))
+	offline := sim.RecomputeSLO(workload, res.SLOLog, 0.01)
+	if err := sim.CompareSLOReports(res.SLOReports, offline); err != nil {
+		fmt.Fprintf(os.Stderr, "SLO AUDIT MISMATCH: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("slo audit: online matches offline recomputation (%d reports)\n", len(offline))
 }
 
 // partitionOptions maps the -partitions/-partition-gap flags to

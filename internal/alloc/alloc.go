@@ -22,6 +22,13 @@ type Input struct {
 	Net     *topo.Network
 	Tunnels *routing.TunnelSet
 	Demands []*demand.Demand
+	// Drained lists links scheduled for maintenance: FullCapacities
+	// reports them as zero-capacity, so every consumer — scheduling,
+	// admission, recovery, the baseline schemes — routes traffic off
+	// them *before* they actually go down (the proactive drain of a
+	// planned maintenance window). Scenario/availability machinery is
+	// unaffected: a drained link can still fail while it drains.
+	Drained []topo.LinkID
 }
 
 // TunnelsFor returns the tunnels demand d may use on its pair with

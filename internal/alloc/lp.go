@@ -67,11 +67,18 @@ func AddFlowVarsIndexed(p *lp.Problem, in *Input, caps []float64, usable func(ro
 	return fv, capIdx
 }
 
-// FullCapacities returns the link capacities of the input's network.
+// FullCapacities returns the link capacities of the input's network,
+// with links under a maintenance drain (Input.Drained) reported as
+// zero so every capacity-aware consumer routes around them.
 func FullCapacities(in *Input) []float64 {
 	caps := make([]float64, in.Net.NumLinks())
 	for _, l := range in.Net.Links() {
 		caps[l.ID] = l.Capacity
+	}
+	for _, e := range in.Drained {
+		if int(e) >= 0 && int(e) < len(caps) {
+			caps[e] = 0
+		}
 	}
 	return caps
 }

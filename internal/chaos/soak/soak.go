@@ -70,6 +70,14 @@ type Config struct {
 	// counter, so the same seed replays byte-identically; zero leaves
 	// the pivot watcher inert and digests unchanged.
 	MidSolvePivots int
+	// Maintenance arms the proactive-drain end phase: after the final
+	// status, the first planned link is drained (rescheduling moves
+	// traffic off it while it is still up), verified empty, and
+	// undrained. Both reschedules consult the seeded solver budget —
+	// a gated one keeps the allocation, like any periodic round — and
+	// the phase runs after every shared phase so the solver-gate call
+	// indices of a non-maintenance run of the same seed are untouched.
+	Maintenance bool
 	// Logf receives narrative; nil is silent.
 	Logf func(string, ...interface{})
 }
@@ -142,6 +150,10 @@ type Report struct {
 	AdmissionDenials int64
 	GateSheds        int64
 	ClientSheds      int64
+
+	// Maintenance-variant observations: drain/undrain transitions.
+	Drains   int64
+	Undrains int64
 
 	// Digest is the sha256 of the compacted snapshot.json — the
 	// byte-identical-replay witness.
@@ -373,6 +385,27 @@ func Run(cfg Config) (*Report, error) {
 	sort.Ints(rep.FinalIDs)
 	rep.FinalEpoch = status.Status.Epoch
 
+	// ---- Phase 9b (maintenance variant): proactively drain the first
+	// planned link, verify no allocation remains on it, and return it
+	// to service. ----
+	if cfg.Maintenance {
+		l := links[0]
+		src, dst := n.NodeName(l.Src), n.NodeName(l.Dst)
+		if err := ctl.DrainLink(src, dst); err != nil {
+			return nil, fmt.Errorf("soak: drain %s-%s: %w", src, dst, err)
+		}
+		if got := ctl.DrainedLinks(); len(got) != 1 {
+			return nil, fmt.Errorf("soak: drained set %v after DrainLink", got)
+		}
+		logf("soak: drained %s-%s for maintenance", src, dst)
+		if err := ctl.UndrainLink(src, dst); err != nil {
+			return nil, fmt.Errorf("soak: undrain %s-%s: %w", src, dst, err)
+		}
+		if got := ctl.DrainedLinks(); len(got) != 0 {
+			return nil, fmt.Errorf("soak: drained set %v after UndrainLink", got)
+		}
+	}
+
 	// The DC1 partition window guarantees at least one broker
 	// reconnect; wait (bounded) for the counter to reflect it.
 	waitUntil(10*time.Second, func() bool {
@@ -411,6 +444,8 @@ func Run(cfg Config) (*Report, error) {
 	rep.AdmissionDenials = delta("chaos.admission_denials")
 	rep.GateSheds = delta("overload.shed_total")
 	rep.ClientSheds = cl.sheds + clean.sheds
+	rep.Drains = delta("controller.drains")
+	rep.Undrains = delta("controller.undrains")
 	return rep, nil
 }
 

@@ -368,6 +368,80 @@ func TestChaosSoakOverload(t *testing.T) {
 	}
 }
 
+// TestChaosSoakMaintenance runs the soak with the proactive-drain end
+// phase armed: a planned link is drained (traffic rescheduled off it
+// while it is still up), verified, and undrained, both reschedules
+// running against the seeded solver budget. The drain must stay
+// deterministic (same seed replays byte-identical) and, because it
+// runs after every shared phase, must not change a single discrete
+// decision relative to the plain soak.
+func TestChaosSoakMaintenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	const deadline = 750 * time.Millisecond
+	logf := func(string, ...interface{}) {}
+	if os.Getenv("CHAOS_VERBOSE") != "" {
+		logf = t.Logf
+	}
+	seed := chaosSeeds(t)[0]
+	runOnce := func(tag string, maintenance bool) *Report {
+		rep, err := Run(Config{
+			Seed: seed, Dir: t.TempDir(),
+			RecoveryDeadline: deadline,
+			Maintenance:      maintenance,
+			Logf:             logf,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		return rep
+	}
+	mnt := runOnce("maintenance", true)
+	if !mnt.LeaderAgreed {
+		t.Fatal("maintenance soak: replicas did not agree on a leader")
+	}
+	if mnt.Digest == "" {
+		t.Fatal("maintenance soak: no end-state digest")
+	}
+	if mnt.Drains != 1 || mnt.Undrains != 1 {
+		t.Errorf("drains/undrains = %d/%d, want 1/1", mnt.Drains, mnt.Undrains)
+	}
+	// Draining must not bend the book invariant.
+	if want := surviving(mnt.AckedIDs, mnt.WithdrawnIDs); !reflect.DeepEqual(mnt.FinalIDs, want) {
+		t.Errorf("maintenance final book %v, want acked-minus-withdrawn %v", mnt.FinalIDs, want)
+	}
+
+	// Same seed, fresh directory: byte-identical through the drain.
+	replay := runOnce("maintenance-replay", true)
+	if replay.Digest != mnt.Digest {
+		t.Errorf("maintenance replay digest %s != original %s", replay.Digest, mnt.Digest)
+	}
+	if replay.Drains != mnt.Drains || replay.Undrains != mnt.Undrains {
+		t.Errorf("maintenance replay drains/undrains %d/%d != original %d/%d",
+			replay.Drains, replay.Undrains, mnt.Drains, mnt.Undrains)
+	}
+	if !reflect.DeepEqual(replay.FinalIDs, mnt.FinalIDs) {
+		t.Errorf("maintenance replay book %v != original %v", replay.FinalIDs, mnt.FinalIDs)
+	}
+
+	// Against the plain soak every discrete decision must match: the
+	// drain phase runs after all of them.
+	plain := runOnce("plain", false)
+	if plain.Drains != 0 || plain.Undrains != 0 {
+		t.Errorf("plain soak drained links: %d/%d", plain.Drains, plain.Undrains)
+	}
+	if !reflect.DeepEqual(plain.AckedIDs, mnt.AckedIDs) {
+		t.Errorf("maintenance acked %v != plain %v", mnt.AckedIDs, plain.AckedIDs)
+	}
+	if !reflect.DeepEqual(plain.FinalIDs, mnt.FinalIDs) {
+		t.Errorf("maintenance book %v != plain %v", mnt.FinalIDs, plain.FinalIDs)
+	}
+	if plain.Rejected != mnt.Rejected {
+		t.Errorf("maintenance rejected %d != plain %d", mnt.Rejected, plain.Rejected)
+	}
+}
+
 // surviving returns acked minus withdrawn, sorted (both inputs are).
 func surviving(acked, withdrawn []int) []int {
 	gone := make(map[int]bool, len(withdrawn))

@@ -1,0 +1,84 @@
+package chaos
+
+// Correlated-failure schedules: where LinkOutages attacks one link at
+// a time, these generators take whole shared-risk groups (or every
+// link touching one region) down together — the fiber-cut / regional-
+// disaster bursts the availability model's correlated classes exist
+// for. Like every chaos front, schedules are pure functions of the
+// seed via counter-indexed hashing, so a replay storms the same groups
+// at the same times.
+
+// GroupOutage is one scheduled whole-group outage, identified by group
+// index (the caller maps indices to its risk groups or regions).
+type GroupOutage struct {
+	Group  int     `json:"group"`
+	DownAt float64 `json:"down_at_sec"`
+	UpAt   float64 `json:"up_at_sec"`
+}
+
+// SRLGStorms derives a deterministic storm schedule over numGroups
+// shared-risk groups: roughly half the storms hit one "cursed" group
+// (shared conduits fail repeatedly; the heavy tail again, one level
+// up), the rest spread across the others. Storms are short relative to
+// the horizon but may overlap, so multi-group concurrent failures —
+// the scenarios a per-link failure model assigns vanishing probability
+// — actually occur. Sorted by DownAt; repairs clipped to the horizon.
+func SRLGStorms(seed int64, numGroups int, horizon float64, n int) []GroupOutage {
+	if numGroups <= 0 || n <= 0 || horizon <= 0 {
+		return nil
+	}
+	inj := New(seed)
+	cursed := inj.Intn("storm/cursed", 0, numGroups)
+	out := make([]GroupOutage, 0, n)
+	for k := 0; k < n; k++ {
+		idx := uint64(k)
+		group := cursed
+		if !inj.Hit("storm/curse", idx, 0.5) {
+			group = inj.Intn("storm/group", idx, numGroups)
+		}
+		downAt := inj.Roll("storm/down", idx) * horizon * 0.8
+		dur := (0.02 + 0.06*inj.Roll("storm/dur", idx)) * horizon
+		upAt := downAt + dur
+		if upAt > horizon {
+			upAt = horizon
+		}
+		out = append(out, GroupOutage{Group: group, DownAt: downAt, UpAt: upAt})
+	}
+	sortGroupOutages(out)
+	return out
+}
+
+// RegionalDisasters derives a deterministic burst schedule over
+// numRegions regions (the caller maps a region index to the set of
+// links incident to that DC or metro). Disasters are rarer and longer
+// than SRLG storms — a region goes dark for 10-25% of the horizon —
+// and each one picks its region independently, so consecutive
+// disasters can compound on a region that has not finished repairing.
+func RegionalDisasters(seed int64, numRegions int, horizon float64, n int) []GroupOutage {
+	if numRegions <= 0 || n <= 0 || horizon <= 0 {
+		return nil
+	}
+	inj := New(seed)
+	out := make([]GroupOutage, 0, n)
+	for k := 0; k < n; k++ {
+		idx := uint64(k)
+		region := inj.Intn("disaster/region", idx, numRegions)
+		downAt := inj.Roll("disaster/down", idx) * horizon * 0.7
+		dur := (0.10 + 0.15*inj.Roll("disaster/dur", idx)) * horizon
+		upAt := downAt + dur
+		if upAt > horizon {
+			upAt = horizon
+		}
+		out = append(out, GroupOutage{Group: region, DownAt: downAt, UpAt: upAt})
+	}
+	sortGroupOutages(out)
+	return out
+}
+
+func sortGroupOutages(out []GroupOutage) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DownAt < out[j-1].DownAt; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}

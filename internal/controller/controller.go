@@ -116,8 +116,29 @@ type Config struct {
 	// long outside the controller lock. The overload harness uses it
 	// to give the controller a known capacity. Zero disables.
 	StubWork time.Duration
+	// Maintenance schedules proactive drains around planned link work
+	// (§3.4 in reverse: the failure is known in advance). Serve walks
+	// the windows by wall clock, draining each link Lead before its
+	// Start and undraining it at End. Operators can also call
+	// DrainLink/UndrainLink directly.
+	Maintenance []MaintenanceWindow
 	// Logf receives diagnostics; nil uses the standard logger.
 	Logf func(string, ...interface{})
+}
+
+// MaintenanceWindow is one planned link outage: the controller drains
+// the link Lead before Start — the reschedule routes all traffic off
+// it while it is still up, so the later outage hits a link carrying
+// nothing — and undrains it at End. Drain state is deliberately not
+// durable: a failed-over replica re-derives it from its own window
+// list rather than trusting a dead master's clock. Windows on the
+// same link must not overlap (drains are not refcounted; the earliest
+// End returns the link to service).
+type MaintenanceWindow struct {
+	SrcDC, DstDC string
+	Start, End   time.Time
+	// Lead is how long before Start the drain begins (default 30s).
+	Lead time.Duration
 }
 
 var (
@@ -134,6 +155,10 @@ var (
 	mSubmitCoalesced = metrics.NewCounter("controller.submits_coalesced")
 	mDeferredResched = metrics.NewCounter("controller.deferred_reschedules")
 	mSlowBrokerEvict = metrics.NewCounter("controller.slow_broker_evictions")
+
+	// Maintenance drains.
+	mDrains   = metrics.NewCounter("controller.drains")
+	mUndrains = metrics.NewCounter("controller.undrains")
 )
 
 // countRecvErr classifies the error that ended a session's receive
@@ -194,6 +219,7 @@ type Controller struct {
 	backups  *bate.BackupSet
 	brokers  map[string]*wire.Conn
 	linkDown map[topo.LinkID]bool
+	drained  map[topo.LinkID]bool
 	epoch    uint64
 	nextID   int
 	restored bool // state came from the store; reschedule once on Serve
@@ -248,6 +274,7 @@ func New(cfg Config) (*Controller, error) {
 		current:   alloc.Allocation{},
 		brokers:   make(map[string]*wire.Conn),
 		linkDown:  make(map[topo.LinkID]bool),
+		drained:   make(map[topo.LinkID]bool),
 		conns:     make(map[*wire.Conn]struct{}),
 	}
 	if cfg.Overload != nil {
@@ -294,6 +321,9 @@ func (c *Controller) Serve(ctx context.Context, ln net.Listener) error {
 	}
 	if c.cfg.Store != nil && c.cfg.CompactEvery > 0 {
 		go c.compactLoop(ctx)
+	}
+	if len(c.cfg.Maintenance) > 0 {
+		go c.maintenanceLoop(ctx)
 	}
 	if c.gate != nil {
 		go c.coalesceLoop(ctx)
@@ -895,7 +925,145 @@ func (c *Controller) inputLocked() (*alloc.Input, []*demand.Demand) {
 		active = append(active, d)
 	}
 	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
-	return &alloc.Input{Net: c.cfg.Net, Tunnels: c.cfg.Tunnels, Demands: active}, active
+	in := &alloc.Input{Net: c.cfg.Net, Tunnels: c.cfg.Tunnels, Demands: active}
+	if len(c.drained) > 0 {
+		// Drained links are invisible capacity to every solver-backed
+		// path — scheduling, admission, hardening, backups, recovery —
+		// without being marked down: the link still forwards whatever
+		// the pre-drain allocation put on it until the reschedule lands.
+		in.Drained = make([]topo.LinkID, 0, len(c.drained))
+		for id := range c.drained {
+			in.Drained = append(in.Drained, id)
+		}
+		sort.Slice(in.Drained, func(i, j int) bool { return in.Drained[i] < in.Drained[j] })
+	}
+	return in, active
+}
+
+// linkByNames resolves a DC name pair to the link between them.
+func (c *Controller) linkByNames(srcDC, dstDC string) (topo.Link, error) {
+	src, ok1 := c.cfg.Net.NodeByName(srcDC)
+	dst, ok2 := c.cfg.Net.NodeByName(dstDC)
+	if !ok1 || !ok2 {
+		return topo.Link{}, fmt.Errorf("controller: unknown DC pair %s-%s", srcDC, dstDC)
+	}
+	link, ok := c.cfg.Net.LinkBetween(src, dst)
+	if !ok {
+		return topo.Link{}, fmt.Errorf("controller: no link %s-%s", srcDC, dstDC)
+	}
+	return link, nil
+}
+
+// DrainLink marks the link between two DCs as drained for upcoming
+// maintenance and reschedules so traffic moves off it while it is
+// still up. An error means the link does not exist; a failed or gated
+// reschedule keeps the drain marked (the next periodic round honors
+// it) and is only logged — stale but feasible beats absent, same as
+// the periodic loop. Idempotent.
+func (c *Controller) DrainLink(srcDC, dstDC string) error {
+	link, err := c.linkByNames(srcDC, dstDC)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.drained[link.ID] {
+		c.mu.Unlock()
+		return nil
+	}
+	c.drained[link.ID] = true
+	c.mu.Unlock()
+	mDrains.Inc()
+	c.logf("controller: maintenance drain %s-%s: rescheduling traffic off the link", srcDC, dstDC)
+	if err := c.reschedule(); err != nil {
+		c.logf("controller: drain reschedule (allocation kept): %v", err)
+	}
+	return nil
+}
+
+// UndrainLink returns a drained link to service and reschedules so
+// traffic can use it again. Idempotent; same error contract as
+// DrainLink.
+func (c *Controller) UndrainLink(srcDC, dstDC string) error {
+	link, err := c.linkByNames(srcDC, dstDC)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if !c.drained[link.ID] {
+		c.mu.Unlock()
+		return nil
+	}
+	delete(c.drained, link.ID)
+	c.mu.Unlock()
+	mUndrains.Inc()
+	c.logf("controller: maintenance complete %s-%s: link back in service", srcDC, dstDC)
+	if err := c.reschedule(); err != nil {
+		c.logf("controller: undrain reschedule (allocation kept): %v", err)
+	}
+	return nil
+}
+
+// DrainedLinks returns the currently drained link ids in ascending
+// order (empty when nothing is drained).
+func (c *Controller) DrainedLinks() []topo.LinkID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]topo.LinkID, 0, len(c.drained))
+	for id := range c.drained {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// maintenanceLoop walks the configured windows by wall clock: each
+// window contributes a drain transition at Start-Lead and an undrain
+// at End. Transitions already in the past fire immediately (in
+// order), so a controller started mid-window still drains.
+func (c *Controller) maintenanceLoop(ctx context.Context) {
+	type transition struct {
+		at       time.Time
+		src, dst string
+		drain    bool
+	}
+	var ts []transition
+	for _, m := range c.cfg.Maintenance {
+		lead := m.Lead
+		if lead <= 0 {
+			lead = 30 * time.Second
+		}
+		if !m.End.After(m.Start) {
+			c.logf("controller: maintenance window %s-%s has end <= start; skipped", m.SrcDC, m.DstDC)
+			continue
+		}
+		ts = append(ts,
+			transition{at: m.Start.Add(-lead), src: m.SrcDC, dst: m.DstDC, drain: true},
+			transition{at: m.End, src: m.SrcDC, dst: m.DstDC, drain: false})
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].at.Before(ts[j].at) })
+	for _, tr := range ts {
+		if wait := time.Until(tr.at); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		var err error
+		if tr.drain {
+			err = c.DrainLink(tr.src, tr.dst)
+		} else {
+			err = c.UndrainLink(tr.src, tr.dst)
+		}
+		if err != nil {
+			c.logf("controller: maintenance %s-%s: %v", tr.src, tr.dst, err)
+		}
+	}
 }
 
 // Reschedule runs the periodic optimization (§3.3): the scheduling LP

@@ -1,0 +1,273 @@
+package demand
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"bate/internal/topo"
+)
+
+// Adversarial workload composition: the paper evaluates BATE under a
+// benign homogeneous Poisson process, but real inter-DC demand is
+// diurnal, bursty and multi-tenant. WorkloadSpec layers those shapes
+// on top of the base GeneratorConfig as a time-varying arrival-rate
+// function realized by Poisson thinning: arrivals are drawn at each
+// pair's peak rate and accepted with probability rate(t)/peak, which
+// keeps the process exact and — because every draw flows through one
+// seeded rng in a fixed pair order — byte-identical across replays of
+// the same seed.
+
+// DiurnalSpec modulates the arrival rate sinusoidally between Trough×
+// and Peak× the base rate over PeriodSec (a compressed day).
+type DiurnalSpec struct {
+	// PeriodSec is the cycle length (e.g. the simulation horizon for
+	// one compressed day). Must be positive.
+	PeriodSec float64
+	// Peak and Trough are the rate multipliers at the top and bottom
+	// of the cycle (Peak >= Trough >= 0).
+	Peak, Trough float64
+	// PhaseSec shifts the cycle; 0 starts mid-slope rising.
+	PhaseSec float64
+}
+
+// Factor returns the diurnal rate multiplier at time t.
+func (s *DiurnalSpec) Factor(t float64) float64 {
+	if s == nil || s.PeriodSec <= 0 {
+		return 1
+	}
+	mid := (s.Peak + s.Trough) / 2
+	amp := (s.Peak - s.Trough) / 2
+	return mid + amp*math.Sin(2*math.Pi*(t+s.PhaseSec)/s.PeriodSec)
+}
+
+// FlashCrowd is a sudden demand surge: during [AtSec, AtSec+DurationSec)
+// the arrival rate on HotPairs seed-chosen pairs (0 = every pair)
+// multiplies by Multiplier, and surge demands may shrink their
+// durations (flash traffic is short-lived) via DurationFactor.
+type FlashCrowd struct {
+	AtSec, DurationSec float64
+	// Multiplier scales the arrival rate during the surge (>= 1).
+	Multiplier float64
+	// HotPairs is how many seed-chosen pairs the surge concentrates
+	// on; 0 hits every pair.
+	HotPairs int
+	// DurationFactor scales surge demands' mean duration (0 = 1).
+	DurationFactor float64
+}
+
+// active reports whether the crowd is surging at time t.
+func (f *FlashCrowd) active(t float64) bool {
+	return t >= f.AtSec && t < f.AtSec+f.DurationSec
+}
+
+// TenantSpec is one tenant class of a mixed workload. Each arrival is
+// assigned a tenant by Weight-proportional draw; the tenant shapes the
+// demand's targets, duration, bandwidth and refund schedule.
+type TenantSpec struct {
+	Name   string
+	Weight float64
+	// Targets overrides the base availability-target set (nil keeps it).
+	Targets []float64
+	// MeanDurationSec overrides the base mean duration (0 keeps it).
+	MeanDurationSec float64
+	// BandwidthScale multiplies the drawn bandwidth (0 = 1).
+	BandwidthScale float64
+	// Refunds overrides the base refund choices (nil keeps them).
+	Refunds []RefundChoice
+}
+
+// WorkloadSpec composes a full adversarial workload.
+type WorkloadSpec struct {
+	// Base is the benign Poisson layer every shape modulates.
+	Base GeneratorConfig
+	// Diurnal, when non-nil, applies a diurnal rate cycle.
+	Diurnal *DiurnalSpec
+	// FlashCrowds are surge windows (may overlap; factors multiply).
+	FlashCrowds []FlashCrowd
+	// Tenants, when non-empty, assigns each demand a tenant class.
+	Tenants []TenantSpec
+}
+
+// maxFactor bounds the total rate multiplier for a pair, for thinning.
+func (s *WorkloadSpec) maxFactor(hot bool) float64 {
+	f := 1.0
+	if s.Diurnal != nil && s.Diurnal.Peak > 1 {
+		f = s.Diurnal.Peak
+	}
+	for i := range s.FlashCrowds {
+		fc := &s.FlashCrowds[i]
+		if fc.Multiplier > 1 && (fc.HotPairs == 0 || hot) {
+			f *= fc.Multiplier
+		}
+	}
+	return f
+}
+
+// GenerateWorkload realizes spec over [0, horizonSec) for every s-d
+// pair of net, sorted by start time with dense IDs — the adversarial
+// counterpart of Generator.Generate. The same (net, spec, seed) always
+// produces the identical slice.
+func GenerateWorkload(net *topo.Network, spec WorkloadSpec, rng *rand.Rand, horizonSec float64) ([]*Demand, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	base := NewGenerator(net, spec.Base, rng) // normalizes defaults
+	cfg := base.cfg
+	pairs := base.pairs
+
+	// Seed-deterministic hot-pair choice per flash crowd, drawn before
+	// any arrival so the rng consumption order is fixed.
+	hot := make([]map[int]bool, len(spec.FlashCrowds))
+	for i := range spec.FlashCrowds {
+		fc := &spec.FlashCrowds[i]
+		if fc.HotPairs <= 0 || fc.HotPairs >= len(pairs) {
+			continue
+		}
+		hot[i] = make(map[int]bool, fc.HotPairs)
+		perm := rng.Perm(len(pairs))
+		for _, pi := range perm[:fc.HotPairs] {
+			hot[i][pi] = true
+		}
+	}
+	isHot := func(crowd, pair int) bool {
+		return hot[crowd] == nil || hot[crowd][pair]
+	}
+
+	// Tenant cumulative weights for proportional assignment.
+	var tenantCum []float64
+	totalW := 0.0
+	for _, t := range spec.Tenants {
+		totalW += t.Weight
+		tenantCum = append(tenantCum, totalW)
+	}
+
+	factor := func(t float64, pair int) float64 {
+		f := spec.Diurnal.Factor(t)
+		for i := range spec.FlashCrowds {
+			fc := &spec.FlashCrowds[i]
+			if fc.active(t) && isHot(i, pair) {
+				f *= fc.Multiplier
+			}
+		}
+		return f
+	}
+
+	var out []*Demand
+	ratePerSec := cfg.ArrivalsPerMinute / 60
+	for pi, pair := range pairs {
+		anyHot := false
+		for i := range spec.FlashCrowds {
+			if isHot(i, pi) {
+				anyHot = true
+				break
+			}
+		}
+		peak := ratePerSec * spec.maxFactor(anyHot)
+		if peak <= 0 {
+			continue
+		}
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / peak
+			if t >= horizonSec {
+				break
+			}
+			// Thinning: accept with probability rate(t)/peak.
+			f := factor(t, pi)
+			if accept := f * ratePerSec / peak; rng.Float64() >= accept {
+				continue
+			}
+			d := base.newDemand(pair, t)
+			// Flash-crowd demands may be short-lived.
+			for i := range spec.FlashCrowds {
+				fc := &spec.FlashCrowds[i]
+				if fc.active(t) && isHot(i, pi) && fc.DurationFactor > 0 && fc.DurationFactor != 1 {
+					d.End = d.Start + (d.End-d.Start)*fc.DurationFactor
+				}
+			}
+			if len(spec.Tenants) > 0 {
+				applyTenant(d, &spec.Tenants[pickTenant(tenantCum, rng)], cfg, rng)
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	for i, d := range out {
+		d.ID = i
+	}
+	return out, nil
+}
+
+// Validate rejects specs that would make thinning ill-defined.
+func (s *WorkloadSpec) Validate() error {
+	if d := s.Diurnal; d != nil {
+		if d.PeriodSec <= 0 {
+			return fmt.Errorf("demand: diurnal period %v must be positive", d.PeriodSec)
+		}
+		if d.Trough < 0 || d.Peak < d.Trough {
+			return fmt.Errorf("demand: diurnal factors peak %v / trough %v invalid", d.Peak, d.Trough)
+		}
+	}
+	for i := range s.FlashCrowds {
+		fc := &s.FlashCrowds[i]
+		if fc.Multiplier < 1 {
+			return fmt.Errorf("demand: flash crowd %d multiplier %v < 1", i, fc.Multiplier)
+		}
+		if fc.DurationSec <= 0 {
+			return fmt.Errorf("demand: flash crowd %d duration %v must be positive", i, fc.DurationSec)
+		}
+		if fc.DurationFactor < 0 {
+			return fmt.Errorf("demand: flash crowd %d duration factor %v negative", i, fc.DurationFactor)
+		}
+	}
+	for i, t := range s.Tenants {
+		if t.Weight <= 0 {
+			return fmt.Errorf("demand: tenant %d (%s) weight %v must be positive", i, t.Name, t.Weight)
+		}
+	}
+	return nil
+}
+
+// pickTenant draws a tenant index proportional to weight.
+func pickTenant(cum []float64, rng *rand.Rand) int {
+	x := rng.Float64() * cum[len(cum)-1]
+	for i, c := range cum {
+		if x <= c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// applyTenant reshapes a freshly drawn demand for its tenant class.
+// The duration redraw uses the tenant's mean but a fresh exponential
+// draw, so tenants with the same mean still decorrelate.
+func applyTenant(d *Demand, t *TenantSpec, cfg GeneratorConfig, rng *rand.Rand) {
+	d.Service = t.Name
+	if len(t.Targets) > 0 {
+		d.Target = t.Targets[rng.Intn(len(t.Targets))]
+	}
+	if t.MeanDurationSec > 0 {
+		d.End = d.Start + rng.ExpFloat64()*t.MeanDurationSec
+	}
+	if t.BandwidthScale > 0 && t.BandwidthScale != 1 {
+		for i := range d.Pairs {
+			d.Pairs[i].Bandwidth *= t.BandwidthScale
+		}
+		d.Charge = d.TotalBandwidth() * cfg.UnitPrice
+	}
+	if len(t.Refunds) > 0 {
+		r := t.Refunds[rng.Intn(len(t.Refunds))]
+		d.RefundFrac = r.Frac
+		if r.Service != "" {
+			d.Service = r.Service
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package demand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bate/internal/topo"
+)
+
+func testSpec() WorkloadSpec {
+	return WorkloadSpec{
+		Base: GeneratorConfig{ArrivalsPerMinute: 6, MeanDurationSec: 120},
+		Diurnal: &DiurnalSpec{
+			PeriodSec: 600, Peak: 2.0, Trough: 0.25,
+		},
+		FlashCrowds: []FlashCrowd{
+			{AtSec: 200, DurationSec: 60, Multiplier: 5, HotPairs: 3, DurationFactor: 0.25},
+		},
+		Tenants: []TenantSpec{
+			{Name: "gold", Weight: 1, Targets: []float64{0.9999}, BandwidthScale: 2},
+			{Name: "bulk", Weight: 3, Targets: []float64{0}, MeanDurationSec: 400},
+		},
+	}
+}
+
+// Same seed, same workload — the replay property every hostile
+// scenario relies on.
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	net := topo.Testbed()
+	a, err := GenerateWorkload(net, testSpec(), rand.New(rand.NewSource(7)), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWorkload(net, testSpec(), rand.New(rand.NewSource(7)), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d demands", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.ID != y.ID || x.Start != y.Start || x.End != y.End || x.Target != y.Target ||
+			x.Charge != y.Charge || x.Service != y.Service || len(x.Pairs) != len(y.Pairs) {
+			t.Fatalf("demand %d differs across same-seed replays:\n %+v\n %+v", i, x, y)
+		}
+		for k := range x.Pairs {
+			if x.Pairs[k] != y.Pairs[k] {
+				t.Fatalf("demand %d pair %d differs: %+v vs %+v", i, k, x.Pairs[k], y.Pairs[k])
+			}
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("spec generated no demands")
+	}
+	// Different seed must actually change the draw.
+	c, err := GenerateWorkload(net, testSpec(), rand.New(rand.NewSource(8)), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i].Start != c[i].Start {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seed 7 and seed 8 produced identical workloads")
+		}
+	}
+}
+
+// The flash crowd must visibly raise the arrival rate during its
+// window, and the diurnal trough must lower it.
+func TestGenerateWorkloadShapes(t *testing.T) {
+	net := topo.Testbed()
+	spec := WorkloadSpec{
+		Base:        GeneratorConfig{ArrivalsPerMinute: 10, MeanDurationSec: 60},
+		FlashCrowds: []FlashCrowd{{AtSec: 300, DurationSec: 100, Multiplier: 8}},
+	}
+	w, err := GenerateWorkload(net, spec, rand.New(rand.NewSource(3)), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBurst, outBurst := 0, 0
+	for _, d := range w {
+		if d.Start >= 300 && d.Start < 400 {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	// Burst window is 1/6 of the horizon at 8x rate: expect its
+	// arrival density to dominate clearly.
+	burstRate := float64(inBurst) / 100
+	calmRate := float64(outBurst) / 500
+	if burstRate < 3*calmRate {
+		t.Fatalf("flash crowd not visible: %.3f arrivals/s in burst vs %.3f outside", burstRate, calmRate)
+	}
+
+	// Diurnal-only: the peak half of the cycle should out-arrive the
+	// trough half.
+	spec = WorkloadSpec{
+		Base:    GeneratorConfig{ArrivalsPerMinute: 10, MeanDurationSec: 60},
+		Diurnal: &DiurnalSpec{PeriodSec: 600, Peak: 3, Trough: 0.1},
+	}
+	w, err = GenerateWorkload(net, spec, rand.New(rand.NewSource(3)), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sin phase 0: rising through the first half (peak at t=150),
+	// falling below 1 in the second half (trough at t=450).
+	peakHalf, troughHalf := 0, 0
+	for _, d := range w {
+		if d.Start < 300 {
+			peakHalf++
+		} else {
+			troughHalf++
+		}
+	}
+	if peakHalf <= troughHalf {
+		t.Fatalf("diurnal cycle not visible: %d peak-half vs %d trough-half arrivals", peakHalf, troughHalf)
+	}
+}
+
+// Tenants must be assigned roughly by weight and carry their class
+// parameters.
+func TestGenerateWorkloadTenants(t *testing.T) {
+	net := topo.Testbed()
+	w, err := GenerateWorkload(net, testSpec(), rand.New(rand.NewSource(11)), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, bulk := 0, 0
+	for _, d := range w {
+		switch d.Service {
+		case "gold":
+			gold++
+			if d.Target != 0.9999 {
+				t.Fatalf("gold tenant got target %v", d.Target)
+			}
+		case "bulk":
+			bulk++
+			if d.Target != 0 {
+				t.Fatalf("bulk tenant got target %v", d.Target)
+			}
+		default:
+			t.Fatalf("demand %d has unknown tenant %q", d.ID, d.Service)
+		}
+	}
+	if gold == 0 || bulk == 0 {
+		t.Fatalf("tenant mix collapsed: %d gold, %d bulk", gold, bulk)
+	}
+	if bulk < gold {
+		t.Fatalf("weight-3 bulk (%d) should outnumber weight-1 gold (%d)", bulk, gold)
+	}
+}
+
+// IDs must be dense and sorted by start; durations positive unless a
+// flash crowd shrank a zero-length draw.
+func TestGenerateWorkloadInvariants(t *testing.T) {
+	net := topo.B4()
+	w, err := GenerateWorkload(net, testSpec(), rand.New(rand.NewSource(5)), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range w {
+		if d.ID != i {
+			t.Fatalf("IDs not dense: demand %d has ID %d", i, d.ID)
+		}
+		if i > 0 && d.Start < w[i-1].Start {
+			t.Fatalf("not sorted by start at %d", i)
+		}
+		if d.End < d.Start {
+			t.Fatalf("demand %d ends (%v) before it starts (%v)", i, d.End, d.Start)
+		}
+		if math.IsNaN(d.Charge) || d.Charge < 0 {
+			t.Fatalf("demand %d has charge %v", i, d.Charge)
+		}
+	}
+}
+
+// Bad specs must be rejected, not silently mangled.
+func TestWorkloadSpecValidate(t *testing.T) {
+	bad := []WorkloadSpec{
+		{Diurnal: &DiurnalSpec{PeriodSec: 0, Peak: 1, Trough: 1}},
+		{Diurnal: &DiurnalSpec{PeriodSec: 100, Peak: 0.5, Trough: 1}},
+		{FlashCrowds: []FlashCrowd{{Multiplier: 0.5, DurationSec: 10}}},
+		{FlashCrowds: []FlashCrowd{{Multiplier: 2, DurationSec: 0}}},
+		{Tenants: []TenantSpec{{Name: "x", Weight: 0}}},
+	}
+	for i, spec := range bad {
+		if _, err := GenerateWorkload(topo.Toy(), spec, rand.New(rand.NewSource(1)), 100); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bate/internal/demand"
 	"bate/internal/pricing"
 	"bate/internal/routing"
+	"bate/internal/scenario"
 	"bate/internal/topo"
 )
 
@@ -40,6 +41,10 @@ type EventSimConfig struct {
 	// and speedup (Figs. 19, 21).
 	RecoveryCompare bool
 	Seed            int64
+	// Groups, when non-empty, evaluate epoch satisfaction under the
+	// correlated (shared-risk group) failure model; pair with TE.Groups
+	// so the scheduler sees the same model it is judged by.
+	Groups []scenario.RiskGroup
 }
 
 func (c EventSimConfig) defaults() EventSimConfig {
@@ -59,7 +64,11 @@ func (c EventSimConfig) defaults() EventSimConfig {
 // EventSimResult aggregates an event-driven run.
 type EventSimResult struct {
 	Arrived, Admitted, Rejected int
-	ByMethod                    map[bate.AdmissionMethod]int
+	// ExpiredOnArrival counts demands already past their end time at
+	// their own arrival event (zero-length lifetimes); they skip
+	// admission entirely.
+	ExpiredOnArrival int
+	ByMethod         map[bate.AdmissionMethod]int
 	// AdmissionDelaysSec per decider (primary plus shadows).
 	AdmissionDelaysSec map[AdmissionMode][]float64
 	// ShadowRejected counts rejections per shadow decider;
@@ -171,7 +180,7 @@ func RunEventSim(cfg EventSimConfig) (*EventSimResult, error) {
 				res.Satisfied++
 				continue
 			}
-			ok, err := alloc.Satisfies(in, a, d, cfg.MaxFail)
+			ok, err := alloc.SatisfiesGroups(in, a, d, cfg.MaxFail, cfg.Groups)
 			if err != nil {
 				return err
 			}
@@ -218,6 +227,13 @@ func RunEventSim(cfg EventSimConfig) (*EventSimResult, error) {
 		nextArrival++
 		expire(now)
 		res.Arrived++
+		if d.End <= now {
+			// Expired on arrival (a zero-length lifetime): admitting
+			// it would hold capacity until the next expire() for a
+			// demand that was never live. Skip admission entirely.
+			res.ExpiredOnArrival++
+			continue
+		}
 		in := input()
 
 		if cfg.Shadow {

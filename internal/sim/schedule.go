@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bate/internal/scenario"
+	"bate/internal/topo"
+)
+
+// Scenario schedules extend the plain failure-trace format with the
+// correlated-failure and maintenance vocabulary of the adversarial
+// scenario engine. One directive per line:
+//
+//	# comment
+//	link SRC DST DOWN UP            scripted single-link outage
+//	SRC DST DOWN UP                 (bare form, trace back-compat)
+//	srlg NAME PROB SRC>DST ...      shared-risk group declaration;
+//	                                PROB is its per-second storm
+//	                                probability (0 = scripted only)
+//	storm NAME AT DUR               scripted whole-group outage
+//	maint SRC DST START END LEAD    planned maintenance window: the
+//	                                link drains LEAD seconds before
+//	                                START and is down [START, END)
+//
+// A schedule is the unit of replay: the same file (or the same
+// generated schedule) always drives the injector identically.
+
+// MaintenanceWindow is one planned link outage with a proactive drain
+// lead: the scheduler routes traffic off Link from StartSec-LeadSec,
+// the link is down during [StartSec, EndSec).
+type MaintenanceWindow struct {
+	Link             topo.LinkID
+	StartSec, EndSec float64
+	LeadSec          float64
+}
+
+// Storm is a scripted whole-group outage: every link of the named
+// risk group goes down during [AtSec, AtSec+DurationSec).
+type Storm struct {
+	Group              string
+	AtSec, DurationSec float64
+}
+
+// Schedule is a parsed scenario schedule.
+type Schedule struct {
+	// Events are scripted single-link outages (sorted by DownAt).
+	Events []FailureEvent
+	// Groups are the declared shared-risk link groups, in declaration
+	// order. Prob > 0 arms the injector's stochastic storm process;
+	// zero-probability groups exist for scripted storms and for
+	// correlation-aware scheduling.
+	Groups []scenario.RiskGroup
+	// Storms are scripted whole-group outages.
+	Storms []Storm
+	// Maintenance are planned windows (sorted by StartSec).
+	Maintenance []MaintenanceWindow
+}
+
+// groupByName returns the declared group with the given name.
+func (s *Schedule) groupByName(name string) (scenario.RiskGroup, bool) {
+	for _, g := range s.Groups {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return scenario.RiskGroup{}, false
+}
+
+// AllEvents expands the schedule into plain per-link failure events:
+// scripted link outages, storms unrolled over their group's links, and
+// maintenance windows as outages (the drain lead is the simulator's
+// business, not the injector's). Events are sorted by DownAt.
+func (s *Schedule) AllEvents() []FailureEvent {
+	out := append([]FailureEvent(nil), s.Events...)
+	for _, st := range s.Storms {
+		g, ok := s.groupByName(st.Group)
+		if !ok {
+			continue // Parse rejects this; generated schedules are trusted
+		}
+		for _, e := range g.Links {
+			out = append(out, FailureEvent{Link: e, DownAt: st.AtSec, UpAt: st.AtSec + st.DurationSec})
+		}
+	}
+	for _, m := range s.Maintenance {
+		out = append(out, FailureEvent{Link: m.Link, DownAt: m.StartSec, UpAt: m.EndSec})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DownAt != out[j].DownAt {
+			return out[i].DownAt < out[j].DownAt
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// resolveLink maps SRC DST names to a link id.
+func resolveLink(net *topo.Network, src, dst string, lineNo int) (topo.LinkID, error) {
+	s, ok := net.NodeByName(src)
+	if !ok {
+		return 0, fmt.Errorf("sim: schedule line %d: unknown DC %q", lineNo, src)
+	}
+	d, ok := net.NodeByName(dst)
+	if !ok {
+		return 0, fmt.Errorf("sim: schedule line %d: unknown DC %q", lineNo, dst)
+	}
+	l, ok := net.LinkBetween(s, d)
+	if !ok {
+		return 0, fmt.Errorf("sim: schedule line %d: no link %s->%s", lineNo, src, dst)
+	}
+	return l.ID, nil
+}
+
+func parseSec(field string, lineNo int, what string) (float64, error) {
+	v, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sim: schedule line %d: bad %s: %v", lineNo, what, err)
+	}
+	if v != v || v < 0 {
+		return 0, fmt.Errorf("sim: schedule line %d: %s %v must be a non-negative number", lineNo, what, v)
+	}
+	return v, nil
+}
+
+// ParseSchedule reads a scenario schedule, resolving DC names against
+// net. Plain failure-trace files (bare SRC DST DOWN UP lines) parse as
+// schedules with only Events.
+func ParseSchedule(r io.Reader, net *topo.Network) (*Schedule, error) {
+	out := &Schedule{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "link":
+			fields = fields[1:]
+			fallthrough
+		default:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("sim: schedule line %d: want [link] SRC DST DOWN UP", lineNo)
+			}
+			link, err := resolveLink(net, fields[0], fields[1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			down, err := parseSec(fields[2], lineNo, "down time")
+			if err != nil {
+				return nil, err
+			}
+			up, err := parseSec(fields[3], lineNo, "up time")
+			if err != nil {
+				return nil, err
+			}
+			if up <= down {
+				return nil, fmt.Errorf("sim: schedule line %d: repair %v before failure %v", lineNo, up, down)
+			}
+			out.Events = append(out.Events, FailureEvent{Link: link, DownAt: down, UpAt: up})
+		case "srlg":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("sim: schedule line %d: want srlg NAME PROB SRC>DST...", lineNo)
+			}
+			name := fields[1]
+			if _, dup := out.groupByName(name); dup {
+				return nil, fmt.Errorf("sim: schedule line %d: duplicate srlg %q", lineNo, name)
+			}
+			prob, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || prob != prob || prob < 0 || prob >= 1 {
+				return nil, fmt.Errorf("sim: schedule line %d: srlg probability %q out of [0,1)", lineNo, fields[2])
+			}
+			g := scenario.RiskGroup{Name: name, Prob: prob}
+			for _, spec := range fields[3:] {
+				src, dst, ok := strings.Cut(spec, ">")
+				if !ok {
+					return nil, fmt.Errorf("sim: schedule line %d: srlg member %q: want SRC>DST", lineNo, spec)
+				}
+				link, err := resolveLink(net, src, dst, lineNo)
+				if err != nil {
+					return nil, err
+				}
+				g.Links = append(g.Links, link)
+			}
+			out.Groups = append(out.Groups, g)
+		case "storm":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("sim: schedule line %d: want storm NAME AT DUR", lineNo)
+			}
+			if _, ok := out.groupByName(fields[1]); !ok {
+				return nil, fmt.Errorf("sim: schedule line %d: storm references undeclared srlg %q", lineNo, fields[1])
+			}
+			at, err := parseSec(fields[2], lineNo, "storm time")
+			if err != nil {
+				return nil, err
+			}
+			dur, err := parseSec(fields[3], lineNo, "storm duration")
+			if err != nil {
+				return nil, err
+			}
+			if dur <= 0 {
+				return nil, fmt.Errorf("sim: schedule line %d: storm duration must be positive", lineNo)
+			}
+			out.Storms = append(out.Storms, Storm{Group: fields[1], AtSec: at, DurationSec: dur})
+		case "maint":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("sim: schedule line %d: want maint SRC DST START END LEAD", lineNo)
+			}
+			link, err := resolveLink(net, fields[1], fields[2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			start, err := parseSec(fields[3], lineNo, "maintenance start")
+			if err != nil {
+				return nil, err
+			}
+			end, err := parseSec(fields[4], lineNo, "maintenance end")
+			if err != nil {
+				return nil, err
+			}
+			lead, err := parseSec(fields[5], lineNo, "maintenance lead")
+			if err != nil {
+				return nil, err
+			}
+			if end <= start {
+				return nil, fmt.Errorf("sim: schedule line %d: maintenance ends %v before it starts %v", lineNo, end, start)
+			}
+			out.Maintenance = append(out.Maintenance, MaintenanceWindow{
+				Link: link, StartSec: start, EndSec: end, LeadSec: lead,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out.Events, func(i, j int) bool {
+		if out.Events[i].DownAt != out.Events[j].DownAt {
+			return out.Events[i].DownAt < out.Events[j].DownAt
+		}
+		return out.Events[i].Link < out.Events[j].Link
+	})
+	sort.SliceStable(out.Maintenance, func(i, j int) bool {
+		if out.Maintenance[i].StartSec != out.Maintenance[j].StartSec {
+			return out.Maintenance[i].StartSec < out.Maintenance[j].StartSec
+		}
+		return out.Maintenance[i].Link < out.Maintenance[j].Link
+	})
+	return out, nil
+}
+
+// fsec formats a seconds value so it round-trips exactly through
+// ParseFloat.
+func fsec(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// linkName renders a link as SRC DST fields.
+func linkName(net *topo.Network, e topo.LinkID) (string, string) {
+	l := net.Link(e)
+	return net.NodeName(l.Src), net.NodeName(l.Dst)
+}
+
+// WriteSchedule serializes a schedule in the canonical text form; the
+// output parses back (ParseSchedule) to an equal schedule.
+func WriteSchedule(w io.Writer, net *topo.Network, s *Schedule) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range s.Groups {
+		fmt.Fprintf(bw, "srlg %s %s", g.Name, fsec(g.Prob))
+		for _, e := range g.Links {
+			src, dst := linkName(net, e)
+			fmt.Fprintf(bw, " %s>%s", src, dst)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, ev := range s.Events {
+		src, dst := linkName(net, ev.Link)
+		fmt.Fprintf(bw, "link %s %s %s %s\n", src, dst, fsec(ev.DownAt), fsec(ev.UpAt))
+	}
+	for _, st := range s.Storms {
+		fmt.Fprintf(bw, "storm %s %s %s\n", st.Group, fsec(st.AtSec), fsec(st.DurationSec))
+	}
+	for _, m := range s.Maintenance {
+		src, dst := linkName(net, m.Link)
+		fmt.Fprintf(bw, "maint %s %s %s %s %s\n", src, dst, fsec(m.StartSec), fsec(m.EndSec), fsec(m.LeadSec))
+	}
+	return bw.Flush()
+}

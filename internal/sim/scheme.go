@@ -65,6 +65,11 @@ type TEConfig struct {
 	TEAVARBeta float64
 	// Mode selects BATE's scheduling formulation.
 	Mode bate.ScheduleMode
+	// Groups are shared-risk link groups: BATE's scheduling and
+	// hardening evaluate availability under the correlated failure
+	// model (only the Aggregated mode supports them). Baseline schemes
+	// ignore groups — they do not model availability at all.
+	Groups []scenario.RiskGroup
 	// Scheduler, when set, runs BATE's scheduling solves through the
 	// sparse revised simplex and warm-starts each epoch from the
 	// previous epoch's optimal basis (the admitted set usually changes
@@ -109,7 +114,7 @@ func (c TEConfig) Allocate(in *alloc.Input) (alloc.Allocation, error) {
 	}
 	switch c.Kind {
 	case KindBATE:
-		opts := bate.ScheduleOptions{MaxFail: c.MaxFail, Mode: c.Mode, Partition: c.Partition}
+		opts := bate.ScheduleOptions{MaxFail: c.MaxFail, Mode: c.Mode, Partition: c.Partition, Groups: c.Groups}
 		if c.BatchLP {
 			opts.Engine = lp.EngineBatch
 		}
@@ -131,7 +136,7 @@ func (c TEConfig) Allocate(in *alloc.Input) (alloc.Allocation, error) {
 			}
 			return a, nil
 		}
-		return bestEffortBATE(in, c.MaxFail)
+		return bestEffortBATE(in, c.MaxFail, c.Groups)
 	case KindFFC:
 		return te.FFC(in, c.FFCK)
 	case KindTEAVAR:
@@ -151,7 +156,7 @@ func (c TEConfig) Allocate(in *alloc.Input) (alloc.Allocation, error) {
 // plus the availability the grants achieve, weighted per demand by
 // target stringency. Demands keep their heterogeneous β treatment
 // (unlike TEAVAR's single level).
-func bestEffortBATE(in *alloc.Input, maxFail int) (alloc.Allocation, error) {
+func bestEffortBATE(in *alloc.Input, maxFail int, groups []scenario.RiskGroup) (alloc.Allocation, error) {
 	p := lp.NewProblem()
 	p.SetMaximize()
 	fv := alloc.AddFlowVars(p, in, alloc.FullCapacities(in), nil)
@@ -160,7 +165,7 @@ func bestEffortBATE(in *alloc.Input, maxFail int) (alloc.Allocation, error) {
 		var bvars []lp.VarID
 		if d.Target > 0 {
 			var err error
-			classes, _, err = scenario.CachedClassesFor(in.Net, nil, in.AllTunnelsFor(d), maxFail)
+			classes, _, err = scenario.CachedClassesFor(in.Net, groups, in.AllTunnelsFor(d), maxFail)
 			if err != nil {
 				return nil, fmt.Errorf("sim: best-effort classes: %w", err)
 			}

@@ -1,0 +1,381 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bate/internal/demand"
+	"bate/internal/metrics"
+	"bate/internal/pricing"
+)
+
+// The SLO auditor watches every admitted demand's achieved
+// availability against its contract (b_d, β_d) while the simulation
+// runs, classifies each unsatisfied second by cause, and prices the
+// resulting refund exposure. It exists to answer the operator question
+// the aggregate satisfaction ratio hides: which demands are we
+// failing, why, and what will it cost us.
+//
+// Every observation the online auditor consumes is also retained as a
+// raw record, and RecomputeSLO re-derives the full violation set from
+// those records alone with independently written logic. A run is only
+// trusted when the two agree (CompareSLOReports): an online tally that
+// misses a violation the offline pass finds means the auditor itself
+// is broken — the zero-unnoticed-violations gate of the hostile soak.
+
+// Auditor metrics, exported through the standard registry.
+var (
+	mSLOAudited    = metrics.NewCounter("slo.audited_demands")
+	mSLOViolations = metrics.NewCounter("slo.violations")
+	mSLOOutage     = metrics.NewCounter("slo.violations_outage")
+	mSLOCongestion = metrics.NewCounter("slo.violations_congestion")
+	mSLOShed       = metrics.NewCounter("slo.violations_shed")
+	mSLOUnsatSec   = metrics.NewCounter("slo.unsat_seconds")
+	mSLORefund     = metrics.NewCounter("slo.refund_exposure")
+)
+
+// PairSecond is one second of one demand pair as seen by the delivery
+// model: Offered is the send rate including dead tunnels, Dead the
+// portion sent into dead tunnels, Delivered what survived loss and
+// congestion throttling.
+type PairSecond struct {
+	Offered   float64
+	Dead      float64
+	Delivered float64
+	// PathDown reports that at least one tunnel of the pair was down
+	// this second. Once the TE reaction moves traffic off dead tunnels
+	// Dead reads zero, and PathDown is what still attributes the miss
+	// to the outage rather than to scheduling shed.
+	PathDown bool
+}
+
+// ViolationCause classifies why a second (or, dominantly, a demand)
+// missed its bandwidth contract.
+type ViolationCause int8
+
+const (
+	// CauseNone: no unsatisfied seconds.
+	CauseNone ViolationCause = iota
+	// CauseOutage: traffic was lost on dead tunnels — a (possibly
+	// correlated) failure the allocation did not absorb.
+	CauseOutage
+	// CauseCongestion: enough was offered, but an oversubscribed link
+	// throttled it — the capacity-unaware-rescaling failure mode.
+	CauseCongestion
+	// CauseShed: the scheduler offered less than the contract in the
+	// first place — admission overcommitted or the LP sacrificed the
+	// demand.
+	CauseShed
+)
+
+func (c ViolationCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseOutage:
+		return "outage"
+	case CauseCongestion:
+		return "congestion"
+	case CauseShed:
+		return "shed"
+	}
+	return "unknown"
+}
+
+// classifySecond applies the per-second contract: the second is
+// satisfied iff every pair delivered at least Bandwidth·tolMul
+// (tolMul = 1 - tolerance). For an unsatisfied second the cause is
+// the most severe one across failing pairs: dead-tunnel loss or a
+// down path is an outage; otherwise a pair that was offered enough
+// but delivered short is congestion; otherwise the pair was shed.
+func classifySecond(d *demand.Demand, pairs []PairSecond, tolMul float64) (bool, ViolationCause) {
+	ok := true
+	cause := CauseNone
+	for pi, pr := range d.Pairs {
+		if pr.Bandwidth <= 0 {
+			continue
+		}
+		var ps PairSecond
+		if pi < len(pairs) {
+			ps = pairs[pi]
+		}
+		need := pr.Bandwidth * tolMul
+		if ps.Delivered >= need {
+			continue
+		}
+		ok = false
+		var c ViolationCause
+		switch {
+		case ps.Dead > 0 || ps.PathDown:
+			c = CauseOutage
+		case ps.Offered >= need:
+			c = CauseCongestion
+		default:
+			c = CauseShed
+		}
+		if cause == CauseNone || c < cause {
+			cause = c
+		}
+	}
+	return ok, cause
+}
+
+// SLOObservation is one audited demand-second: the raw record the
+// offline recomputation replays.
+type SLOObservation struct {
+	Demand int
+	Pairs  []PairSecond
+}
+
+// SLOReport is the per-demand audit verdict.
+type SLOReport struct {
+	ID         int
+	Target     float64
+	Charge     float64
+	RefundFrac float64
+	ActiveSec  int
+	// SatisfiedSec counts seconds meeting the per-second contract.
+	SatisfiedSec int
+	// UnsatOutage/UnsatCongestion/UnsatShed split the unsatisfied
+	// seconds by cause.
+	UnsatOutage, UnsatCongestion, UnsatShed int
+	// Availability is SatisfiedSec/ActiveSec.
+	Availability float64
+	// Violated reports Availability < Target for a guaranteed demand.
+	Violated bool
+	// Cause is the dominant cause over unsatisfied seconds (ties break
+	// toward the more severe cause: outage > congestion > shed).
+	Cause ViolationCause
+	// RefundDue is the §3.4 refund μ_d·g_d owed if Violated.
+	RefundDue float64
+}
+
+// finalize derives the verdict fields from the tallies.
+func (r *SLOReport) finalize() {
+	if r.ActiveSec > 0 {
+		r.Availability = float64(r.SatisfiedSec) / float64(r.ActiveSec)
+	}
+	r.Violated = r.Target > 0 && r.ActiveSec > 0 && r.Availability < r.Target
+	r.Cause = CauseNone
+	best := 0
+	for _, c := range []struct {
+		cause ViolationCause
+		n     int
+	}{{CauseOutage, r.UnsatOutage}, {CauseCongestion, r.UnsatCongestion}, {CauseShed, r.UnsatShed}} {
+		if c.n > best {
+			best = c.n
+			r.Cause = c.cause
+		}
+	}
+	r.RefundDue = r.Charge - pricing.Profit(r.Charge, r.RefundFrac, r.Violated)
+}
+
+// SLOAuditor tracks achieved availability online. Not safe for
+// concurrent use; the simulators drive it from their single loop.
+type SLOAuditor struct {
+	tolMul    float64
+	states    map[int]*SLOReport
+	order     []int
+	log       []SLOObservation
+	finalized bool
+}
+
+// NewSLOAuditor returns an auditor with the simulation's satisfied-
+// second tolerance (e.g. 0.01: a second counts when delivered ≥
+// 0.99·b).
+func NewSLOAuditor(tolerance float64) *SLOAuditor {
+	if tolerance <= 0 {
+		tolerance = 0.01
+	}
+	return &SLOAuditor{tolMul: 1 - tolerance, states: make(map[int]*SLOReport)}
+}
+
+// Track registers an admitted demand, so demands with zero active
+// seconds still appear in the reports.
+func (a *SLOAuditor) Track(d *demand.Demand) {
+	if _, ok := a.states[d.ID]; ok {
+		return
+	}
+	a.states[d.ID] = &SLOReport{ID: d.ID, Target: d.Target, Charge: d.Charge, RefundFrac: d.RefundFrac}
+	a.order = append(a.order, d.ID)
+}
+
+// Observe records one active second of demand d. pairs follows
+// d.Pairs indexing; a nil/short slice reads as zero delivery.
+func (a *SLOAuditor) Observe(d *demand.Demand, pairs []PairSecond) {
+	a.Track(d)
+	st := a.states[d.ID]
+	st.ActiveSec++
+	cp := append([]PairSecond(nil), pairs...)
+	a.log = append(a.log, SLOObservation{Demand: d.ID, Pairs: cp})
+	ok, cause := classifySecond(d, pairs, a.tolMul)
+	if ok {
+		st.SatisfiedSec++
+		return
+	}
+	switch cause {
+	case CauseOutage:
+		st.UnsatOutage++
+	case CauseCongestion:
+		st.UnsatCongestion++
+	case CauseShed:
+		st.UnsatShed++
+	}
+}
+
+// Log returns the raw observation stream (for offline recomputation).
+func (a *SLOAuditor) Log() []SLOObservation { return a.log }
+
+// Reports finalizes and returns the per-demand verdicts in admission
+// order. The first call exports the slo.* metrics; later calls only
+// recompute the reports.
+func (a *SLOAuditor) Reports() []SLOReport {
+	out := make([]SLOReport, 0, len(a.order))
+	for _, id := range a.order {
+		st := a.states[id]
+		st.finalize()
+		out = append(out, *st)
+	}
+	if !a.finalized {
+		a.finalized = true
+		exposure := 0.0
+		for _, r := range out {
+			mSLOAudited.Inc()
+			mSLOUnsatSec.Add(int64(r.UnsatOutage + r.UnsatCongestion + r.UnsatShed))
+			if !r.Violated {
+				continue
+			}
+			mSLOViolations.Inc()
+			exposure += r.RefundDue
+			switch r.Cause {
+			case CauseOutage:
+				mSLOOutage.Inc()
+			case CauseCongestion:
+				mSLOCongestion.Inc()
+			case CauseShed:
+				mSLOShed.Inc()
+			}
+		}
+		mSLORefund.Add(int64(math.Round(exposure)))
+	}
+	return out
+}
+
+// RefundExposure sums the refunds owed across violated demands.
+func RefundExposure(reports []SLOReport) float64 {
+	total := 0.0
+	for _, r := range reports {
+		total += r.RefundDue
+	}
+	return total
+}
+
+// RecomputeSLO is the offline ground truth: it rebuilds every report
+// from the raw observation log and the demand contracts alone,
+// sharing no tallies with the online auditor. Deliberately
+// re-implemented (not calling the auditor's incremental path) so a
+// bookkeeping bug there cannot hide from the comparison.
+func RecomputeSLO(workload []*demand.Demand, log []SLOObservation, tolerance float64) []SLOReport {
+	if tolerance <= 0 {
+		tolerance = 0.01
+	}
+	tolMul := 1 - tolerance
+	byID := make(map[int]*demand.Demand, len(workload))
+	for _, d := range workload {
+		byID[d.ID] = d
+	}
+	states := make(map[int]*SLOReport)
+	var order []int
+	for _, ob := range log {
+		d := byID[ob.Demand]
+		if d == nil {
+			continue
+		}
+		st := states[ob.Demand]
+		if st == nil {
+			st = &SLOReport{ID: d.ID, Target: d.Target, Charge: d.Charge, RefundFrac: d.RefundFrac}
+			states[ob.Demand] = st
+			order = append(order, ob.Demand)
+		}
+		st.ActiveSec++
+		// Independent per-second evaluation: worst failing pair wins.
+		satisfied := true
+		worst := CauseNone
+		for pi, pr := range d.Pairs {
+			if pr.Bandwidth <= 0 {
+				continue
+			}
+			var ps PairSecond
+			if pi < len(ob.Pairs) {
+				ps = ob.Pairs[pi]
+			}
+			if ps.Delivered >= pr.Bandwidth*tolMul {
+				continue
+			}
+			satisfied = false
+			c := CauseShed
+			if ps.Dead > 0 || ps.PathDown {
+				c = CauseOutage
+			} else if ps.Offered >= pr.Bandwidth*tolMul {
+				c = CauseCongestion
+			}
+			if worst == CauseNone || c < worst {
+				worst = c
+			}
+		}
+		if satisfied {
+			st.SatisfiedSec++
+		} else {
+			switch worst {
+			case CauseOutage:
+				st.UnsatOutage++
+			case CauseCongestion:
+				st.UnsatCongestion++
+			case CauseShed:
+				st.UnsatShed++
+			}
+		}
+	}
+	sort.Ints(order)
+	out := make([]SLOReport, 0, len(order))
+	for _, id := range order {
+		st := states[id]
+		st.finalize()
+		out = append(out, *st)
+	}
+	return out
+}
+
+// CompareSLOReports checks the online auditor against the offline
+// ground truth. It returns an error naming the first unnoticed
+// violation (offline says violated, online did not), phantom violation
+// (the reverse), or tally divergence. Demands the offline pass never
+// saw (zero active seconds) are ignored — they carry no observations
+// to disagree about.
+func CompareSLOReports(online, offline []SLOReport) error {
+	onlineByID := make(map[int]SLOReport, len(online))
+	for _, r := range online {
+		onlineByID[r.ID] = r
+	}
+	for _, truth := range offline {
+		got, ok := onlineByID[truth.ID]
+		if !ok {
+			return fmt.Errorf("sim: slo audit missed demand %d entirely (offline: violated=%v)", truth.ID, truth.Violated)
+		}
+		if truth.Violated && !got.Violated {
+			return fmt.Errorf("sim: unnoticed SLO violation for demand %d: offline availability %.6f < target %.6f, online reported %.6f",
+				truth.ID, truth.Availability, truth.Target, got.Availability)
+		}
+		if !truth.Violated && got.Violated {
+			return fmt.Errorf("sim: phantom SLO violation for demand %d: online availability %.6f, offline %.6f (target %.6f)",
+				truth.ID, got.Availability, truth.Availability, truth.Target)
+		}
+		if got.ActiveSec != truth.ActiveSec || got.SatisfiedSec != truth.SatisfiedSec ||
+			got.UnsatOutage != truth.UnsatOutage || got.UnsatCongestion != truth.UnsatCongestion ||
+			got.UnsatShed != truth.UnsatShed || got.Cause != truth.Cause {
+			return fmt.Errorf("sim: slo tallies diverge for demand %d:\nonline  %+v\noffline %+v", truth.ID, got, truth)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bate/internal/demand"
+	"bate/internal/routing"
+	"bate/internal/topo"
+)
+
+// Per-second classification: satisfied, and the three causes with
+// their severity order.
+func TestClassifySecond(t *testing.T) {
+	d := &demand.Demand{ID: 0, Pairs: []demand.PairDemand{
+		{Src: 0, Dst: 1, Bandwidth: 100},
+		{Src: 0, Dst: 2, Bandwidth: 100},
+	}}
+	tol := 0.99
+	cases := []struct {
+		name  string
+		pairs []PairSecond
+		ok    bool
+		cause ViolationCause
+	}{
+		{"satisfied", []PairSecond{{Offered: 100, Delivered: 100}, {Offered: 100, Delivered: 99.5}}, true, CauseNone},
+		{"outage-dead", []PairSecond{{Offered: 100, Dead: 60, Delivered: 40}, {Offered: 100, Delivered: 100}}, false, CauseOutage},
+		{"outage-pathdown", []PairSecond{{Offered: 0, PathDown: true}, {Offered: 100, Delivered: 100}}, false, CauseOutage},
+		{"congestion", []PairSecond{{Offered: 100, Delivered: 80}, {Offered: 100, Delivered: 100}}, false, CauseCongestion},
+		{"shed", []PairSecond{{Offered: 50, Delivered: 50}, {Offered: 100, Delivered: 100}}, false, CauseShed},
+		{"outage-beats-shed", []PairSecond{{Offered: 50, Delivered: 50}, {Offered: 100, Dead: 100}}, false, CauseOutage},
+		{"congestion-beats-shed", []PairSecond{{Offered: 50, Delivered: 50}, {Offered: 100, Delivered: 70}}, false, CauseCongestion},
+		{"nil-detail", nil, false, CauseShed},
+	}
+	for _, tc := range cases {
+		ok, cause := classifySecond(d, tc.pairs, tol)
+		if ok != tc.ok || cause != tc.cause {
+			t.Errorf("%s: got ok=%v cause=%v, want ok=%v cause=%v", tc.name, ok, cause, tc.ok, tc.cause)
+		}
+	}
+	// A zero-bandwidth pair never fails the second.
+	free := &demand.Demand{ID: 1, Pairs: []demand.PairDemand{{Src: 0, Dst: 1, Bandwidth: 0}}}
+	if ok, _ := classifySecond(free, nil, tol); !ok {
+		t.Error("zero-bandwidth demand not satisfied")
+	}
+}
+
+// The online auditor and the offline recomputation must agree on a
+// synthetic stream, and the comparator must catch a doctored verdict.
+func TestSLOAuditorOnlineOfflineAgree(t *testing.T) {
+	d0 := &demand.Demand{ID: 0, Pairs: []demand.PairDemand{{Src: 0, Dst: 1, Bandwidth: 100}},
+		Target: 0.95, Charge: 200, RefundFrac: 0.25}
+	d1 := &demand.Demand{ID: 1, Pairs: []demand.PairDemand{{Src: 0, Dst: 2, Bandwidth: 50}},
+		Target: 0.5, Charge: 80, RefundFrac: 0.1}
+	workload := []*demand.Demand{d0, d1}
+
+	aud := NewSLOAuditor(0.01)
+	// d0: 8 good seconds, 1 outage, 1 congestion -> 0.8 < 0.95: violated.
+	for i := 0; i < 8; i++ {
+		aud.Observe(d0, []PairSecond{{Offered: 100, Delivered: 100}})
+	}
+	aud.Observe(d0, []PairSecond{{Offered: 100, Dead: 100}})
+	aud.Observe(d0, []PairSecond{{Offered: 100, Delivered: 90}})
+	// d1: 3 good, 2 shed -> 0.6 >= 0.5: fine.
+	for i := 0; i < 3; i++ {
+		aud.Observe(d1, []PairSecond{{Offered: 50, Delivered: 50}})
+	}
+	for i := 0; i < 2; i++ {
+		aud.Observe(d1, []PairSecond{{Offered: 10, Delivered: 10}})
+	}
+
+	online := aud.Reports()
+	offline := RecomputeSLO(workload, aud.Log(), 0.01)
+	if err := CompareSLOReports(online, offline); err != nil {
+		t.Fatalf("online and offline disagree: %v", err)
+	}
+	if len(online) != 2 {
+		t.Fatalf("got %d reports", len(online))
+	}
+	r0 := online[0]
+	if !r0.Violated || r0.Cause == CauseNone || r0.Availability != 0.8 {
+		t.Fatalf("d0 report wrong: %+v", r0)
+	}
+	if r0.UnsatOutage != 1 || r0.UnsatCongestion != 1 || r0.UnsatShed != 0 {
+		t.Fatalf("d0 cause split wrong: %+v", r0)
+	}
+	if want := 0.25 * 200; math.Abs(r0.RefundDue-want) > 1e-9 {
+		t.Fatalf("d0 refund %v, want %v", r0.RefundDue, want)
+	}
+	r1 := online[1]
+	if r1.Violated || r1.RefundDue != 0 || r1.UnsatShed != 2 {
+		t.Fatalf("d1 report wrong: %+v", r1)
+	}
+	if want := r0.RefundDue; RefundExposure(online) != want {
+		t.Fatalf("exposure %v, want %v", RefundExposure(online), want)
+	}
+
+	// Doctor the online verdict: the comparator must notice both an
+	// unnoticed violation and a phantom one.
+	doctored := append([]SLOReport(nil), online...)
+	doctored[0].Violated = false
+	if err := CompareSLOReports(doctored, offline); err == nil {
+		t.Fatal("comparator missed an unnoticed violation")
+	}
+	doctored[0].Violated = true
+	doctored[1].Violated = true
+	if err := CompareSLOReports(doctored, offline); err == nil {
+		t.Fatal("comparator missed a phantom violation")
+	}
+}
+
+// An audited time simulation must (a) agree with its own outcome
+// accounting second for second and (b) survive the offline
+// recomputation gate.
+func TestTimeSimAuditMatchesOutcomes(t *testing.T) {
+	n, ts := testbedSetup(t)
+	workload := []*demand.Demand{
+		mkDemand(t, n, 0, "DC1", "DC3", 400, 0.95, 0, 300),
+		mkDemand(t, n, 1, "DC1", "DC4", 300, 0.99, 10, 290),
+		mkDemand(t, n, 2, "DC2", "DC6", 500, 0.95, 20, 280),
+	}
+	res, err := RunTimeSim(TimeSimConfig{
+		Net: n, Tunnels: ts, Workload: workload,
+		HorizonSec: 300, ScheduleEverySec: 60,
+		TE: TEConfig{Kind: KindBATE}, Admission: AdmitBATE, Seed: 5,
+		Audit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SLOReports) != res.Admitted {
+		t.Fatalf("%d reports for %d admitted demands", len(res.SLOReports), res.Admitted)
+	}
+	byID := make(map[int]DemandOutcome)
+	for _, o := range res.Outcomes {
+		byID[o.ID] = o
+	}
+	for _, r := range res.SLOReports {
+		o := byID[r.ID]
+		if r.ActiveSec != o.ActiveSec || r.SatisfiedSec != o.SatisfiedSec ||
+			r.Availability != o.Availability || r.Violated != o.Violated {
+			t.Fatalf("auditor diverges from outcome accounting:\nreport  %+v\noutcome %+v", r, o)
+		}
+	}
+	offline := RecomputeSLO(workload, res.SLOLog, 0.01)
+	if err := CompareSLOReports(res.SLOReports, offline); err != nil {
+		t.Fatalf("offline recomputation gate failed: %v", err)
+	}
+}
+
+// Satellite regression: a demand whose whole lifetime falls between
+// two ticks must not be activated, hold capacity, or be charged a
+// phantom active second (previously it got ActiveSec=1 for a second
+// entirely outside [Start, End)).
+func TestTimeSimExpiredOnArrival(t *testing.T) {
+	n, ts := testbedSetup(t)
+	workload := []*demand.Demand{
+		mkDemand(t, n, 0, "DC1", "DC3", 400, 0.95, 0, 100),
+		mkDemand(t, n, 1, "DC1", "DC4", 300, 0.99, 5.2, 5.9), // sub-tick lifetime
+	}
+	res, err := RunTimeSim(TimeSimConfig{
+		Net: n, Tunnels: ts, Workload: workload,
+		HorizonSec: 100, TE: TEConfig{Kind: KindBATE},
+		Admission: AdmitBATE, Seed: 3, Audit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpiredOnArrival != 1 {
+		t.Fatalf("ExpiredOnArrival = %d, want 1", res.ExpiredOnArrival)
+	}
+	if res.Arrived != 2 {
+		t.Fatalf("arrived %d", res.Arrived)
+	}
+	for _, o := range res.Outcomes {
+		if o.ID != 1 {
+			continue
+		}
+		if o.Admitted || o.ActiveSec != 0 || o.Violated {
+			t.Fatalf("expired-on-arrival demand was activated: %+v", o)
+		}
+	}
+	for _, r := range res.SLOReports {
+		if r.ID == 1 {
+			t.Fatalf("expired-on-arrival demand reached the auditor: %+v", r)
+		}
+	}
+}
+
+// The event simulator gets the same guard.
+func TestEventSimExpiredOnArrival(t *testing.T) {
+	n, ts := testbedSetup(t)
+	dead := mkDemand(t, n, 1, "DC1", "DC4", 300, 0.99, 50, 50) // End == Start
+	workload := []*demand.Demand{
+		mkDemand(t, n, 0, "DC1", "DC3", 400, 0.95, 0, 400),
+		dead,
+	}
+	res, err := RunEventSim(EventSimConfig{
+		Net: n, Tunnels: ts, Workload: workload,
+		HorizonSec: 400, ScheduleEverySec: 100,
+		TE: TEConfig{Kind: KindBATE}, Admission: AdmitBATE, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExpiredOnArrival != 1 {
+		t.Fatalf("ExpiredOnArrival = %d, want 1", res.ExpiredOnArrival)
+	}
+	if res.Admitted+res.Rejected+res.ExpiredOnArrival != res.Arrived {
+		t.Fatalf("accounting: admitted %d + rejected %d + expired %d != arrived %d",
+			res.Admitted, res.Rejected, res.ExpiredOnArrival, res.Arrived)
+	}
+}
+
+// Satellite regression: a demand departing mid-outage is charged
+// exactly the outage seconds inside its lifetime — the downUntil
+// repair time extending past d.End must not leak accounting beyond
+// the departure, and the auditor must attribute the misses to the
+// outage even after the TE reaction zeroes dead-tunnel rates.
+func TestTimeSimDepartureMidOutage(t *testing.T) {
+	// Single-link topology with failures disabled: the only failure is
+	// the scripted one.
+	n := topo.NewBuilder("line").AddLink("a", "b", 1000, 0).MustBuild()
+	ts := routing.Compute(n, routing.KShortest, 1)
+	a0, _ := n.NodeByName("a")
+	b0, _ := n.NodeByName("b")
+	d := &demand.Demand{
+		ID: 0, Pairs: []demand.PairDemand{{Src: a0, Dst: b0, Bandwidth: 400}},
+		Target: 0.95, Start: 0, End: 95.5, Charge: 100, RefundFrac: 0.25,
+	}
+	link, _ := n.LinkBetween(a0, b0)
+	res, err := RunTimeSim(TimeSimConfig{
+		Net: n, Tunnels: ts, Workload: []*demand.Demand{d},
+		HorizonSec: 150, ScheduleEverySec: 60,
+		TE: TEConfig{Kind: KindBATE}, DisableRecovery: true,
+		Admission: AdmitNone, Seed: 1, Audit: true,
+		// Outage 90..200: covers the demand's last six active seconds
+		// (90..95) and repairs long after it departs at End=95.5.
+		Trace: []FailureEvent{{Link: link.ID, DownAt: 90, UpAt: 200}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v", res.Outcomes)
+	}
+	o := res.Outcomes[0]
+	if o.ActiveSec != 96 {
+		t.Fatalf("ActiveSec = %d, want 96 (seconds 0..95)", o.ActiveSec)
+	}
+	if o.SatisfiedSec != 90 {
+		t.Fatalf("SatisfiedSec = %d, want 90 (outage covers 90..95)", o.SatisfiedSec)
+	}
+	if want := 90.0 / 96.0; o.Availability != want {
+		t.Fatalf("availability %v, want %v", o.Availability, want)
+	}
+	if !o.Violated {
+		t.Fatal("0.9375 availability must violate the 0.95 target")
+	}
+	if len(res.SLOReports) != 1 {
+		t.Fatalf("reports: %+v", res.SLOReports)
+	}
+	r := res.SLOReports[0]
+	if r.Cause != CauseOutage || r.UnsatOutage != 6 || r.UnsatCongestion+r.UnsatShed != 0 {
+		t.Fatalf("outage misattributed: %+v", r)
+	}
+	if want := 0.25 * 100; math.Abs(r.RefundDue-want) > 1e-9 {
+		t.Fatalf("refund %v, want %v", r.RefundDue, want)
+	}
+	if err := CompareSLOReports(res.SLOReports, RecomputeSLO([]*demand.Demand{d}, res.SLOLog, 0.01)); err != nil {
+		t.Fatalf("offline gate: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bate/internal/demand"
 	"bate/internal/pricing"
 	"bate/internal/routing"
+	"bate/internal/scenario"
 	"bate/internal/topo"
 )
 
@@ -75,6 +76,21 @@ type TimeSimConfig struct {
 	// with zero failure probabilities, instead of) the Bernoulli
 	// failure process.
 	Trace []FailureEvent
+	// RiskGroups arms correlated whole-group failures: groups with
+	// Prob > 0 fire in the injector every second, and all groups flow
+	// into TE.Groups is the caller's choice (set TE.Groups to make the
+	// scheduler correlation-aware too).
+	RiskGroups []scenario.RiskGroup
+	// Maintenance schedules planned windows: each link is reported as
+	// drained (zero capacity) from StartSec-LeadSec — forcing an
+	// immediate reschedule that routes traffic off it — and is down
+	// during [StartSec, EndSec).
+	Maintenance []MaintenanceWindow
+	// Audit attaches the online SLO auditor: per-demand achieved
+	// availability, violation causes and refund exposure appear in
+	// TimeSimResult.SLOReports, with the raw per-second observations in
+	// SLOLog for offline recomputation.
+	Audit bool
 }
 
 func (c TimeSimConfig) defaults() TimeSimConfig {
@@ -138,6 +154,13 @@ type TimeSimResult struct {
 	// the theoretical maximum.
 	Profit     float64
 	FullCharge float64
+	// ExpiredOnArrival counts demands whose whole lifetime fell between
+	// two simulation ticks: they arrive already expired and are never
+	// activated (no capacity held, no phantom active second).
+	ExpiredOnArrival int
+	// SLOReports/SLOLog are filled when TimeSimConfig.Audit is set.
+	SLOReports []SLOReport
+	SLOLog     []SLOObservation
 }
 
 // SatisfactionRatio returns the fraction of admitted demands meeting
@@ -174,6 +197,24 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 	if len(cfg.Trace) > 0 {
 		injector.ApplyTrace(cfg.Trace)
 	}
+	for _, g := range cfg.RiskGroups {
+		if g.Prob > 0 {
+			injector.AddRiskGroup(g.Links, g.Prob)
+		}
+	}
+	if len(cfg.Maintenance) > 0 {
+		// The planned outage itself is a scripted trace event; the
+		// proactive drain is handled in the main loop.
+		events := make([]FailureEvent, 0, len(cfg.Maintenance))
+		for _, m := range cfg.Maintenance {
+			events = append(events, FailureEvent{Link: m.Link, DownAt: m.StartSec, UpAt: m.EndSec})
+		}
+		injector.ApplyTrace(events)
+	}
+	var auditor *SLOAuditor
+	if cfg.Audit {
+		auditor = NewSLOAuditor(cfg.Tolerance)
+	}
 
 	// Sort workload by start time.
 	workload := append([]*demand.Demand(nil), cfg.Workload...)
@@ -183,8 +224,31 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 	outcomes := make(map[int]*DemandOutcome)
 
 	var active []*demand.Demand
+	var drained []topo.LinkID
 	input := func() *alloc.Input {
-		return &alloc.Input{Net: cfg.Net, Tunnels: cfg.Tunnels, Demands: active}
+		return &alloc.Input{Net: cfg.Net, Tunnels: cfg.Tunnels, Demands: active, Drained: drained}
+	}
+	// drainSet lists the links inside a maintenance drain window
+	// (lead-in through end) at time now, in cfg.Maintenance order.
+	drainSet := func(now float64) []topo.LinkID {
+		var out []topo.LinkID
+		for _, m := range cfg.Maintenance {
+			if now >= m.StartSec-m.LeadSec && now < m.EndSec {
+				out = append(out, m.Link)
+			}
+		}
+		return out
+	}
+	sameLinks := func(a, b []topo.LinkID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
 	}
 	current := alloc.Allocation{} // scheduled allocation
 	var backups map[topo.LinkID]*bate.RecoveryResult
@@ -260,6 +324,18 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 
 	lastSchedule := -cfg.ScheduleEverySec
 	for now := 0.0; now < cfg.HorizonSec; now++ {
+		// Maintenance drains: when the drained set changes (a lead-in
+		// begins or a window ends), force a reschedule this second so
+		// traffic moves off the link before it goes down — the
+		// proactive half of a planned maintenance window.
+		forceReschedule := false
+		if len(cfg.Maintenance) > 0 {
+			if nd := drainSet(now); !sameLinks(nd, drained) {
+				drained = nd
+				forceReschedule = true
+			}
+		}
+
 		// Departures.
 		kept := active[:0]
 		for _, d := range active {
@@ -285,6 +361,9 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 			res.Admitted++
 			out.Admitted = true
 			out.Method = adRes.Method
+			if auditor != nil {
+				auditor.Track(d)
+			}
 			active = append(active, d)
 			if adRes.NewAlloc != nil {
 				current[d.ID] = adRes.NewAlloc
@@ -293,8 +372,20 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 		}
 		var arrivals []*demand.Demand
 		for nextArrival < len(workload) && workload[nextArrival].Start <= now {
-			arrivals = append(arrivals, workload[nextArrival])
+			d := workload[nextArrival]
 			nextArrival++
+			if d.End <= now {
+				// The demand's whole lifetime fell between two ticks:
+				// it expired before this tick, so activating it would
+				// hold capacity and charge a phantom active second
+				// entirely outside [Start, End). Record the arrival
+				// without running admission.
+				res.Arrived++
+				res.ExpiredOnArrival++
+				outcomes[d.ID] = &DemandOutcome{ID: d.ID, Target: d.Target, Charge: d.Charge, RefundFrac: d.RefundFrac}
+				continue
+			}
+			arrivals = append(arrivals, d)
 		}
 		if cfg.Admission == AdmitBATE && len(arrivals) > 1 {
 			// Same-second arrivals are admitted as one batch: candidates
@@ -343,8 +434,8 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 			}
 		}
 
-		// Periodic scheduling.
-		if now-lastSchedule >= cfg.ScheduleEverySec {
+		// Periodic scheduling (or a forced drain reschedule).
+		if forceReschedule || now-lastSchedule >= cfg.ScheduleEverySec {
 			if err := reschedule(); err != nil {
 				return nil, err
 			}
@@ -368,25 +459,18 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 
 		// Account this second.
 		in := input()
-		delivered, offered := deliveredThisSecond(in, rates, injector)
+		detail, offered := deliveredThisSecond(in, rates, injector)
 		offeredTotal += offered.sent
 		lostTotal += offered.lost
 		tol := 1 - cfg.Tolerance
 		for _, d := range active {
 			out := outcomes[d.ID]
 			out.ActiveSec++
-			okAll := true
-			for pi, pr := range d.Pairs {
-				if pr.Bandwidth <= 0 {
-					continue
-				}
-				if delivered[d.ID] == nil || delivered[d.ID][pi] < pr.Bandwidth*tol {
-					okAll = false
-					break
-				}
-			}
-			if okAll {
+			if ok, _ := classifySecond(d, detail[d.ID], tol); ok {
 				out.SatisfiedSec++
+			}
+			if auditor != nil {
+				auditor.Observe(d, detail[d.ID])
 			}
 		}
 
@@ -417,6 +501,10 @@ func RunTimeSim(cfg TimeSimConfig) (*TimeSimResult, error) {
 		res.LossRatio = lostTotal / offeredTotal
 	}
 	res.FailCount = injector.FailCounts
+	if auditor != nil {
+		res.SLOReports = auditor.Reports()
+		res.SLOLog = auditor.Log()
+	}
 	return res, nil
 }
 
@@ -448,12 +536,15 @@ type secondAccounting struct {
 	sent, lost float64
 }
 
-// deliveredThisSecond computes delivered bandwidth per demand pair for
-// the current second: dead-tunnel traffic is lost entirely, surviving
-// traffic is throttled by link congestion.
-func deliveredThisSecond(in *alloc.Input, rates sendRates, injector *FailureInjector) (map[int][]float64, secondAccounting) {
+// deliveredThisSecond computes per-demand-pair delivery detail for the
+// current second: dead-tunnel traffic is lost entirely, surviving
+// traffic is throttled by link congestion. The PairSecond breakdown
+// (offered / dead / delivered) is what the SLO auditor classifies
+// violation causes from.
+func deliveredThisSecond(in *alloc.Input, rates sendRates, injector *FailureInjector) (map[int][]PairSecond, secondAccounting) {
 	// Split rates into surviving and dead portions.
 	surviving := make(sendRates, len(rates))
+	detail := make(map[int][]PairSecond, len(rates))
 	var acct secondAccounting
 	for _, d := range in.Demands {
 		rows, ok := rates[d.ID]
@@ -461,26 +552,36 @@ func deliveredThisSecond(in *alloc.Input, rates sendRates, injector *FailureInje
 			continue
 		}
 		nr := make([][]float64, len(rows))
+		det := make([]PairSecond, len(d.Pairs))
 		for pi := range d.Pairs {
 			if pi >= len(rows) {
 				nr[pi] = nil
 				continue
 			}
 			tunnels := in.TunnelsFor(d, pi)
+			for ti := range tunnels {
+				if !injector.TunnelUp(tunnels[ti]) {
+					det[pi].PathDown = true
+					break
+				}
+			}
 			nr[pi] = make([]float64, len(rows[pi]))
 			for ti, r := range rows[pi] {
 				if r <= 0 {
 					continue
 				}
 				acct.sent += r
+				det[pi].Offered += r
 				if injector.TunnelUp(tunnels[ti]) {
 					nr[pi][ti] = r
 				} else {
+					det[pi].Dead += r
 					acct.lost += r
 				}
 			}
 		}
 		surviving[d.ID] = nr
+		detail[d.ID] = det
 	}
 	delivered, offered := deliveredWithCongestion(in, surviving)
 	// Congestion drops count as loss too. Sum in demand order, not map
@@ -488,7 +589,11 @@ func deliveredThisSecond(in *alloc.Input, rates sendRates, injector *FailureInje
 	// order would flip the sign of a near-zero loss.
 	deliveredSum := 0.0
 	for _, d := range in.Demands {
-		for _, v := range delivered[d.ID] {
+		det := detail[d.ID]
+		for pi, v := range delivered[d.ID] {
+			if pi < len(det) {
+				det[pi].Delivered = v
+			}
 			deliveredSum += v
 		}
 	}
@@ -496,5 +601,5 @@ func deliveredThisSecond(in *alloc.Input, rates sendRates, injector *FailureInje
 	if acct.lost < 0 {
 		acct.lost = 0
 	}
-	return delivered, acct
+	return detail, acct
 }
